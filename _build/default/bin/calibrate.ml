@@ -1,0 +1,79 @@
+(* Developer calibration tool: dump baseline/DFP/SIP behaviour for each
+   workload model so the model parameters can be tuned against the
+   paper's reported shapes. *)
+
+module Runner = Sim.Runner
+module Scheme = Preload.Scheme
+module Metrics = Sgxsim.Metrics
+
+let epc = 2048
+
+let pct x = Printf.sprintf "%+.1f%%" (100.0 *. x)
+
+let profile_plan trace_of =
+  let train = trace_of ~epc_pages:epc ~input:Workload.Input.Train in
+  let profile =
+    Preload.Sip_profiler.profile
+      (Preload.Sip_profiler.default_config ~residency_pages:epc)
+      train
+  in
+  Preload.Sip_instrumenter.plan_of_profile profile
+
+let () =
+  let names =
+    match Array.to_list Sys.argv with
+    | _ :: rest when rest <> [] -> rest
+    | _ ->
+      [
+        "microbenchmark"; "bwaves"; "lbm"; "wrf"; "roms"; "mcf"; "mcf.2006";
+        "deepsjeng"; "omnetpp"; "xz"; "SIFT"; "MSER"; "mixed-blood";
+      ]
+  in
+  Printf.printf
+    "%-15s %12s %8s %7s %7s %7s %7s %6s %6s %5s\n"
+    "workload" "base-cycles" "fault%" "DFP" "DFPstop" "SIP" "hybrid" "points"
+    "preacc" "stop?";
+  List.iter
+    (fun name ->
+      let model =
+        match Workload.Spec.by_name name with
+        | Some m -> m
+        | None -> (
+          match Workload.Vision.by_name name with
+          | Some m -> m
+          | None -> failwith ("unknown workload " ^ name))
+      in
+      let trace = model ~epc_pages:epc ~input:(Workload.Input.Ref 0) in
+      let t0 = Unix.gettimeofday () in
+      let base = Runner.run ~scheme:Scheme.Baseline trace in
+      let dt = Unix.gettimeofday () -. t0 in
+      let dfp = Runner.run ~scheme:Scheme.dfp_default trace in
+      let dfp_stop = Runner.run ~scheme:Scheme.dfp_stop trace in
+      let plan = profile_plan model in
+      let sip = Runner.run ~scheme:(Scheme.Sip plan) trace in
+      let hybrid =
+        Runner.run
+          ~scheme:(Scheme.Hybrid (Preload.Dfp.with_stop Preload.Dfp.default_config, plan))
+          trace
+      in
+      let fault_share =
+        float_of_int (Metrics.fault_handling_cycles base.metrics)
+        /. float_of_int base.cycles
+      in
+      let preacc =
+        if dfp.metrics.preloads_completed = 0 then 0.0
+        else
+          float_of_int dfp.metrics.preload_hits
+          /. float_of_int dfp.metrics.preloads_completed
+      in
+      Printf.printf
+        "%-15s %12d %7.1f%% %7s %7s %7s %7s %6d %5.0f%% %5b (%.1fs, %d faults)\n%!"
+        name base.cycles (100.0 *. fault_share)
+        (pct (Runner.improvement ~baseline:base dfp))
+        (pct (Runner.improvement ~baseline:base dfp_stop))
+        (pct (Runner.improvement ~baseline:base sip))
+        (pct (Runner.improvement ~baseline:base hybrid))
+        (Preload.Sip_instrumenter.instrumentation_points plan)
+        (100.0 *. preacc) dfp_stop.dfp_stopped dt
+        (Metrics.total_faults base.metrics))
+    names

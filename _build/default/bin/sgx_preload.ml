@@ -1,0 +1,413 @@
+(* Command-line driver: run a workload under a scheme, inspect SIP
+   profiles/plans, or regenerate paper experiments. *)
+
+open Cmdliner
+
+module Scheme = Preload.Scheme
+module Input = Workload.Input
+module Experiments = Sim.Experiments
+
+let list_workloads () =
+  List.map (fun (n, _, _) -> n) Workload.Spec.all
+  @ List.map fst Workload.Vision.all
+
+let model_of_name name =
+  match Workload.Spec.by_name name with
+  | Some m -> Some m
+  | None -> (
+    match Workload.Vision.by_name name with
+    | Some m -> Some m
+    | None -> (
+      match Workload.Parallel_apps.by_name name with
+      | Some m -> Some m
+      | None -> Workload.Synthetic.by_name name))
+
+(* ---------- shared argument converters ---------- *)
+
+let input_conv =
+  let parse s =
+    if s = "train" then Ok Input.Train
+    else if String.length s > 3 && String.sub s 0 3 = "ref" then
+      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+      | Some i -> Ok (Input.Ref i)
+      | None -> Error (`Msg "expected train or ref<N>")
+    else Error (`Msg "expected train or ref<N>")
+  in
+  Arg.conv (parse, fun fmt i -> Format.pp_print_string fmt (Input.to_string i))
+
+let workload_arg =
+  let doc = "Workload model (see $(b,list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let epc_arg =
+  let doc = "Usable EPC size in 4 KiB pages." in
+  Arg.(value & opt int 2048 & info [ "epc" ] ~docv:"PAGES" ~doc)
+
+let input_arg =
+  let doc = "Input set: $(b,train) or $(b,ref0), $(b,ref1), ..." in
+  Arg.(value & opt input_conv (Input.Ref 0) & info [ "input" ] ~docv:"INPUT" ~doc)
+
+let threshold_arg =
+  let doc = "SIP irregular-ratio instrumentation threshold." in
+  Arg.(
+    value
+    & opt float Preload.Sip_instrumenter.default_threshold
+    & info [ "threshold" ] ~docv:"RATIO" ~doc)
+
+(* ---------- run ---------- *)
+
+let settings_of ~epc ~input =
+  { Experiments.default with epc_pages = epc; ref_input = input }
+
+let build_plan ~epc name =
+  let model =
+    match model_of_name name with
+    | Some m -> m
+    | None -> failwith (Printf.sprintf "unknown workload %S" name)
+  in
+  let train = model ~epc_pages:epc ~input:Input.Train in
+  let profile =
+    Preload.Sip_profiler.profile
+      (Preload.Sip_profiler.default_config ~residency_pages:epc)
+      train
+  in
+  Preload.Sip_instrumenter.plan_of_profile profile
+
+let scheme_of_string ~epc ~workload s =
+  let dfp = Preload.Dfp.default_config in
+  match String.lowercase_ascii s with
+  | "baseline" -> Scheme.Baseline
+  | "native" -> Scheme.Native
+  | "dfp" -> Scheme.Dfp dfp
+  | "dfp-stop" -> Scheme.Dfp (Preload.Dfp.with_stop dfp)
+  | "sip" -> Scheme.Sip (build_plan ~epc workload)
+  | "hybrid" | "sip+dfp" ->
+    Scheme.Hybrid (Preload.Dfp.with_stop dfp, build_plan ~epc workload)
+  | s when String.length s > 10 && String.sub s 0 10 = "next-line:" ->
+    Scheme.Next_line (int_of_string (String.sub s 10 (String.length s - 10)))
+  | s when String.length s > 7 && String.sub s 0 7 = "stride:" ->
+    Scheme.Stride (int_of_string (String.sub s 7 (String.length s - 7)))
+  | other ->
+    failwith
+      (Printf.sprintf
+         "unknown scheme %S (expected baseline, native, dfp, dfp-stop, sip, \
+          hybrid, next-line:K, stride:K)"
+         other)
+
+let run_cmd =
+  let scheme_arg =
+    let doc =
+      "Preloading scheme: $(b,baseline), $(b,native), $(b,dfp), \
+       $(b,dfp-stop), $(b,sip), $(b,hybrid), $(b,next-line:K), $(b,stride:K)."
+    in
+    Arg.(value & opt string "baseline" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let breakdown_arg =
+    let doc = "Print the cycle-accounting breakdown." in
+    Arg.(value & flag & info [ "breakdown" ] ~doc)
+  in
+  let events_arg =
+    let doc = "Record and print the first $(docv) timeline events." in
+    Arg.(value & opt int 0 & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let plan_arg =
+    let doc = "Use a saved instrumentation plan (see $(b,profile --save-plan)) for the sip/hybrid schemes." in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let action workload scheme epc input breakdown events plan_file =
+    match model_of_name workload with
+    | None ->
+      Printf.eprintf "unknown workload %S; try `sgx_preload list`\n" workload;
+      exit 1
+    | Some model ->
+      let scheme =
+        match (plan_file, String.lowercase_ascii scheme) with
+        | Some path, "sip" -> Scheme.Sip (Preload.Plan_io.load ~path)
+        | Some path, ("hybrid" | "sip+dfp") ->
+          Scheme.Hybrid
+            ( Preload.Dfp.with_stop Preload.Dfp.default_config,
+              Preload.Plan_io.load ~path )
+        | _ -> scheme_of_string ~epc ~workload scheme
+      in
+      let trace = model ~epc_pages:epc ~input in
+      let config =
+        { Sim.Runner.default_config with epc_pages = epc; log_capacity = events }
+      in
+      let result =
+        Sim.Runner.run ~config ~input_label:(Input.to_string input) ~scheme trace
+      in
+      print_endline (Sim.Report.summary result);
+      if result.instrumentation_points > 0 then
+        Printf.printf "instrumentation points: %d\n" result.instrumentation_points;
+      if result.dfp_stopped then print_endline "DFP-stop fired during the run.";
+      if breakdown then begin
+        print_newline ();
+        Repro_util.Table.print (Sim.Report.breakdown_table result)
+      end;
+      if events > 0 then begin
+        print_newline ();
+        List.iter (fun e -> Format.printf "%a@." Sgxsim.Event.pp e) result.events
+      end
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ scheme_arg $ epc_arg $ input_arg
+      $ breakdown_arg $ events_arg $ plan_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one preloading scheme")
+    term
+
+(* ---------- compare ---------- *)
+
+let compare_cmd =
+  let action workload epc input =
+    match model_of_name workload with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+    | Some model ->
+      let trace = model ~epc_pages:epc ~input in
+      let config = { Sim.Runner.default_config with epc_pages = epc } in
+      let run scheme = Sim.Runner.run ~config ~scheme trace in
+      let baseline = run Scheme.Baseline in
+      let plan = build_plan ~epc workload in
+      let table =
+        Repro_util.Table.create
+          ~headers:
+            [
+              ("scheme", Repro_util.Table.Left);
+              ("cycles", Repro_util.Table.Right);
+              ("normalized", Repro_util.Table.Right);
+              ("improvement", Repro_util.Table.Right);
+              ("faults", Repro_util.Table.Right);
+            ]
+      in
+      List.iter
+        (fun scheme ->
+          let r = run scheme in
+          Repro_util.Table.add_row table
+            [
+              r.scheme;
+              Repro_util.Table.cell_int r.cycles;
+              Repro_util.Table.cell_float ~decimals:3
+                (Sim.Runner.normalized_time ~baseline r);
+              Repro_util.Table.cell_pct (Sim.Runner.improvement ~baseline r);
+              Repro_util.Table.cell_int (Sgxsim.Metrics.total_faults r.metrics);
+            ])
+        [
+          Scheme.Baseline; Scheme.dfp_default; Scheme.dfp_stop; Scheme.Sip plan;
+          Scheme.Hybrid (Preload.Dfp.with_stop Preload.Dfp.default_config, plan);
+        ];
+      Printf.printf "%s, input %s, EPC %d pages:\n\n" workload
+        (Input.to_string input) epc;
+      Repro_util.Table.print table
+  in
+  let term = Term.(const action $ workload_arg $ epc_arg $ input_arg) in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every scheme on one workload and compare")
+    term
+
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let save_arg =
+    let doc = "Also write the instrumentation plan to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "save-plan" ] ~docv:"FILE" ~doc)
+  in
+  let action workload epc input threshold save =
+    match model_of_name workload with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+    | Some model ->
+      let trace = model ~epc_pages:epc ~input in
+      let profile =
+        Preload.Sip_profiler.profile
+          (Preload.Sip_profiler.default_config ~residency_pages:epc)
+          trace
+      in
+      let plan = Preload.Sip_instrumenter.plan_of_profile ~threshold profile in
+      let totals = Preload.Sip_profiler.totals profile in
+      Printf.printf "%s (%s): %d accesses, class1=%d class2=%d class3=%d\n"
+        workload (Input.to_string input) profile.total_accesses totals.c1
+        totals.c2 totals.c3;
+      Printf.printf "instrumentation points at %.1f%%: %d\n\n"
+        (100.0 *. threshold)
+        (Preload.Sip_instrumenter.instrumentation_points plan);
+      let table =
+        Repro_util.Table.create
+          ~headers:
+            [
+              ("site", Repro_util.Table.Left);
+              ("class1", Repro_util.Table.Right);
+              ("class2", Repro_util.Table.Right);
+              ("class3", Repro_util.Table.Right);
+              ("irregular", Repro_util.Table.Right);
+              ("instrument", Repro_util.Table.Left);
+            ]
+      in
+      List.iter
+        (fun (d : Preload.Sip_instrumenter.decision) ->
+          Repro_util.Table.add_row table
+            [
+              Workload.Trace.site_name trace d.site;
+              string_of_int d.counts.c1;
+              string_of_int d.counts.c2;
+              string_of_int d.counts.c3;
+              Repro_util.Table.cell_pct d.ratio;
+              (if d.instrument then "yes" else "-");
+            ])
+        plan.decisions;
+      Repro_util.Table.print table;
+      match save with
+      | Some path ->
+        Preload.Plan_io.save plan ~path;
+        Printf.printf "\nplan written to %s\n" path
+      | None -> ()
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ epc_arg $ input_arg $ threshold_arg
+      $ save_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run the SIP profiling pass and show per-site classification")
+    term
+
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let action workload epc input =
+    match model_of_name workload with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+    | Some model ->
+      let trace = model ~epc_pages:epc ~input in
+      let s = Workload.Trace_stats.analyse trace in
+      Printf.printf "%s (%s):\n  %s\n\n" workload (Input.to_string input)
+        (Format.asprintf "%a" Workload.Trace_stats.pp s);
+      print_endline "LRU miss-ratio curve (baseline fault-rate estimate):";
+      List.iter
+        (fun (size, ratio) ->
+          Printf.printf "  %6d pages -> %s\n" size
+            (Repro_util.Table.cell_pct ratio))
+        (Workload.Trace_stats.miss_ratio_curve trace
+           ~epc_pages:[ epc / 4; epc / 2; epc; 2 * epc ])
+  in
+  let term = Term.(const action $ workload_arg $ epc_arg $ input_arg) in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Characterise a workload (locality, miss curve)")
+    term
+
+(* ---------- record / replay ---------- *)
+
+let output_arg =
+  let doc = "Output file." in
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let record_cmd =
+  let action workload epc input output =
+    match model_of_name workload with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+    | Some model ->
+      let trace = model ~epc_pages:epc ~input in
+      Workload.Trace_io.save_trace trace ~path:output;
+      Printf.printf "recorded %s (%s) to %s\n" workload (Input.to_string input)
+        output
+  in
+  let term = Term.(const action $ workload_arg $ epc_arg $ input_arg $ output_arg) in
+  Cmd.v (Cmd.info "record" ~doc:"Record a workload's access trace to a file") term
+
+let replay_cmd =
+  let file_arg =
+    let doc = "Trace file written by $(b,record)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let scheme_arg =
+    let doc = "Scheme: baseline, native, dfp, dfp-stop, next-line:K, stride:K." in
+    Arg.(value & opt string "baseline" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let action file scheme epc =
+    let trace = Workload.Trace_io.load_trace ~path:file in
+    let scheme = scheme_of_string ~epc ~workload:trace.Workload.Trace.name scheme in
+    let config = { Sim.Runner.default_config with epc_pages = epc } in
+    let result = Sim.Runner.run ~config ~scheme trace in
+    print_endline (Sim.Report.summary result)
+  in
+  let term = Term.(const action $ file_arg $ scheme_arg $ epc_arg) in
+  Cmd.v (Cmd.info "replay" ~doc:"Run a recorded trace file under a scheme") term
+
+(* ---------- experiment ---------- *)
+
+let experiment_cmd =
+  let ids_arg =
+    let doc = "Experiment ids (see $(b,list)); defaults to all." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let quick_arg =
+    let doc = "Use the trimmed quick settings." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let action ids epc input quick_flag =
+    let settings =
+      if quick_flag then Experiments.quick else settings_of ~epc ~input
+    in
+    let ids = if ids = [] then List.map fst Experiments.all else ids in
+    List.iter
+      (fun id ->
+        Experiments.run id settings;
+        print_newline ())
+      ids
+  in
+  let term = Term.(const action $ ids_arg $ epc_arg $ input_arg $ quick_arg) in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures by id")
+    term
+
+(* ---------- list ---------- *)
+
+let list_cmd =
+  let action () =
+    print_endline "workloads:";
+    List.iter
+      (fun (name, category, _) ->
+        Printf.printf "  %-16s %s\n" name (Workload.Spec.category_name category))
+      Workload.Spec.all;
+    List.iter
+      (fun (name, _) -> Printf.printf "  %-16s vision (SD-VBS)\n" name)
+      Workload.Vision.all;
+    List.iter
+      (fun (name, _) -> Printf.printf "  %-16s multi-threaded (extension)\n" name)
+      Workload.Parallel_apps.all;
+    List.iter
+      (fun (name, _) -> Printf.printf "  %-16s synthetic boundary case\n" name)
+      Workload.Synthetic.all;
+    print_newline ();
+    print_endline "experiments:";
+    List.iter
+      (fun (id, descr) -> Printf.printf "  %-14s %s\n" id descr)
+      Experiments.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List workload models and experiments")
+    Term.(const action $ const ())
+
+let () =
+  ignore list_workloads;
+  let doc =
+    "Simulated reproduction of 'Regaining Lost Seconds: Efficient Page \
+     Preloading for SGX Enclaves' (Middleware '20)"
+  in
+  let info = Cmd.info "sgx_preload" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; compare_cmd; profile_cmd; stats_cmd; record_cmd;
+            replay_cmd; experiment_cmd; list_cmd;
+          ]))

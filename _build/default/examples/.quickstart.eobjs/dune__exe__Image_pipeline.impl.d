@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: List Preload Printf Repro_util Sim String Workload

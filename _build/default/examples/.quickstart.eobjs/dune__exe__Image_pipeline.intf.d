@@ -1,0 +1,1 @@
+examples/image_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/mixed_blood.ml: Preload Printf Repro_util Sgxsim Sim Workload

@@ -1,0 +1,1 @@
+examples/multithreaded.ml: List Preload Printf Repro_util Sgxsim Sim String Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Preload Printf Repro_util Sgxsim Sim Workload

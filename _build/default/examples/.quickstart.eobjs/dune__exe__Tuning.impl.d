@@ -1,0 +1,1 @@
+examples/tuning.ml: List Preload Printf Repro_util Sim Workload

@@ -1,0 +1,1 @@
+lib/core/dfp.ml: Hashtbl List Sgxsim Stream_predictor

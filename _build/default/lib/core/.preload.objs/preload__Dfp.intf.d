@@ -1,0 +1,1 @@
+lib/core/dfp.mli: Sgxsim Stream_predictor

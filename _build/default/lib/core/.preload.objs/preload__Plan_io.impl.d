@@ -1,0 +1,1 @@
+lib/core/plan_io.ml: Fun List Printf Sip_instrumenter Sip_profiler String

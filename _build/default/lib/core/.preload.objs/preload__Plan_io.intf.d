@@ -1,0 +1,1 @@
+lib/core/plan_io.mli: Sip_instrumenter

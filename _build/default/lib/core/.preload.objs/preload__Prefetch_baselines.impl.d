@@ -1,0 +1,1 @@
+lib/core/prefetch_baselines.ml: Hashtbl List Option Page_lru Printf Sgxsim

@@ -1,0 +1,1 @@
+lib/core/prefetch_baselines.mli: Sgxsim

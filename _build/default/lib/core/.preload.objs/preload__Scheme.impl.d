@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Dfp Printf Sip_instrumenter

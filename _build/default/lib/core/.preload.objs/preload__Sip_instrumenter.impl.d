@@ -1,0 +1,1 @@
+lib/core/sip_instrumenter.ml: Format Hashtbl List Sip_profiler

@@ -1,0 +1,1 @@
+lib/core/sip_instrumenter.mli: Format Sip_profiler

@@ -1,0 +1,1 @@
+lib/core/sip_profiler.ml: Hashtbl List Page_lru Seq Stream_predictor Workload

@@ -1,0 +1,1 @@
+lib/core/sip_profiler.mli: Hashtbl Page_lru Stream_predictor Workload

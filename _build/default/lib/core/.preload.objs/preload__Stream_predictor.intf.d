@@ -1,0 +1,1 @@
+lib/core/stream_predictor.mli:

@@ -1,0 +1,109 @@
+module Enclave = Sgxsim.Enclave
+
+type config = {
+  stream_list_length : int;
+  load_length : int;
+  detect_backward : bool;
+  stop_enabled : bool;
+  stop_margin : int;
+  per_thread : bool;
+}
+
+let default_config =
+  {
+    stream_list_length = 30;
+    load_length = 4;
+    detect_backward = true;
+    stop_enabled = false;
+    stop_margin = 160;
+    per_thread = true;
+  }
+
+let with_stop config = { config with stop_enabled = true }
+
+type t = {
+  config : config;
+  predictors : (int, Stream_predictor.t) Hashtbl.t; (* keyed by thread *)
+  mutable acc_preload_counter : int;
+  mutable preload_counter : int;
+  mutable stopped : bool;
+}
+
+let predictor_for t thread =
+  let key = if t.config.per_thread then thread else 0 in
+  match Hashtbl.find_opt t.predictors key with
+  | Some p -> p
+  | None ->
+    let p =
+      Stream_predictor.create ~detect_backward:t.config.detect_backward
+        ~stream_list_length:t.config.stream_list_length
+        ~load_length:t.config.load_length ()
+    in
+    Hashtbl.add t.predictors key p;
+    p
+
+(* Refresh a stream's pending window against what is actually still
+   queued, then queue the new predictions and record which ones the
+   enclave accepted. *)
+let issue_preloads enclave ~now stream predict =
+  let still_queued = Enclave.pending_preloads enclave in
+  let old_pending =
+    List.filter (fun p -> List.mem p still_queued) stream.Stream_predictor.pending
+  in
+  let queued =
+    List.filter (fun p -> Enclave.request_preload enclave ~now p) predict
+  in
+  Stream_predictor.set_pending stream (old_pending @ queued)
+
+let on_fault t enclave (ctx : Enclave.fault_ctx) =
+  if not t.stopped then begin
+    let now = ctx.handled_at in
+    let predictor = predictor_for t ctx.fault_thread in
+    match Stream_predictor.on_fault predictor ctx.fault_vpage with
+    | Extend { stream; predict } -> issue_preloads enclave ~now stream predict
+    | Restart_within { stream = _; abort } ->
+      ignore
+        (Enclave.abort_pending_preloads_where enclave ~now (fun p ->
+             List.mem p abort))
+    | New_stream { stream = _; replaced } -> (
+      match replaced with
+      | Some dead ->
+        let abort = dead.Stream_predictor.pending in
+        if abort <> [] then
+          ignore
+            (Enclave.abort_pending_preloads_where enclave ~now (fun p ->
+                 List.mem p abort))
+      | None -> ())
+  end
+
+let check_stop t enclave ~now =
+  if
+    t.config.stop_enabled && (not t.stopped)
+    && t.acc_preload_counter + t.config.stop_margin < t.preload_counter / 2
+  then begin
+    t.stopped <- true;
+    ignore (Enclave.abort_pending_preloads enclave ~now)
+  end
+
+let attach enclave config =
+  let t =
+    {
+      config;
+      predictors = Hashtbl.create 4;
+      acc_preload_counter = 0;
+      preload_counter = 0;
+      stopped = false;
+    }
+  in
+  Enclave.set_on_fault enclave (fun enc ctx -> on_fault t enc ctx);
+  Enclave.set_on_preload_complete enclave (fun _ _ ->
+      t.preload_counter <- t.preload_counter + 1);
+  Enclave.set_on_preload_hit enclave (fun _ _ ->
+      t.acc_preload_counter <- t.acc_preload_counter + 1);
+  Enclave.set_on_scan enclave (fun enc at -> check_stop t enc ~now:at);
+  t
+
+let stopped t = t.stopped
+let counters t = (t.acc_preload_counter, t.preload_counter)
+let predictor t = predictor_for t 0
+let thread_count t = Hashtbl.length t.predictors

@@ -1,0 +1,59 @@
+(** DFP: dynamic page-fault-history-based preloading (§3.1, §4.1–§4.2).
+
+    DFP lives entirely in the untrusted OS.  It observes only the fault
+    event stream (page numbers), feeds it to the multiple-stream predictor
+    and queues asynchronous preloads through the enclave's load channel.
+    Its two safety devices are exactly the paper's:
+
+    - the {e in-stream abort}: a fault that lands inside a stream's
+      not-yet-loaded preload window drops the rest of that window;
+    - the {e stop safety valve} (DFP-stop): the service-thread scan keeps
+      an [AccPreloadCounter] of preloaded-and-then-used pages and a
+      [PreloadCounter] of all completed preloads; when
+      [acc + stop_margin < total/2] the preloading thread stops itself
+      for good (§4.2's empirical formula, with the margin scaled to the
+      simulated EPC size). *)
+
+type config = {
+  stream_list_length : int;  (** Fig. 6 knob; paper default 30. *)
+  load_length : int;  (** Fig. 7 knob (preload distance); paper default 4. *)
+  detect_backward : bool;
+  stop_enabled : bool;  (** DFP-stop (Fig. 8's rescue) on/off. *)
+  stop_margin : int;
+      (** The additive constant of the §4.2 stop formula.  The paper uses
+          200,000 on a 24,576-page EPC; scale proportionally. *)
+  per_thread : bool;
+      (** One stream list per faulting thread, as Algorithm 1 prescribes
+          ([find_stream_list(ID)]).  Disable to share a single list across
+          threads (the ablation of E-abl-threads). *)
+}
+
+val default_config : config
+(** Paper defaults: list length 30, load length 4, backward detection on,
+    stop disabled (plain DFP). *)
+
+val with_stop : config -> config
+(** Same configuration with the §4.2 safety valve enabled. *)
+
+type t
+
+val attach : Sgxsim.Enclave.t -> config -> t
+(** Hook DFP onto an enclave.  From this point every fault drives the
+    predictor and may queue preloads.  Only one scheme should own the
+    enclave's hooks. *)
+
+val stopped : t -> bool
+(** Whether the safety valve has fired. *)
+
+val counters : t -> int * int
+(** [(AccPreloadCounter, PreloadCounter)]. *)
+
+val predictor : t -> Stream_predictor.t
+(** Thread 0's stream list (the only one for single-threaded runs). *)
+
+val predictor_for : t -> int -> Stream_predictor.t
+(** The stream list serving a given thread; with [per_thread = false]
+    every thread maps to the shared list. *)
+
+val thread_count : t -> int
+(** Number of distinct stream lists created so far. *)

@@ -1,0 +1,58 @@
+(* Classic lazy-deletion LRU: a FIFO of (page, stamp) plus a table with
+   each page's freshest stamp; stale FIFO entries are skipped at eviction
+   time. *)
+
+type t = {
+  capacity : int;
+  stamps : (int, int) Hashtbl.t;
+  queue : (int * int) Queue.t;
+  mutable clock : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Page_lru.create: capacity must be positive";
+  { capacity; stamps = Hashtbl.create (2 * capacity); queue = Queue.create (); clock = 0 }
+
+let capacity t = t.capacity
+
+let mem t page = Hashtbl.mem t.stamps page
+
+let evict_one t =
+  let rec pop () =
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some (page, stamp) -> (
+      match Hashtbl.find_opt t.stamps page with
+      | Some fresh when fresh = stamp -> Hashtbl.remove t.stamps page
+      | Some _ | None -> pop () (* stale entry *))
+  in
+  pop ()
+
+let touch t page =
+  let was_in = Hashtbl.mem t.stamps page in
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.stamps page t.clock;
+  Queue.add (page, t.clock) t.queue;
+  if not was_in then
+    while Hashtbl.length t.stamps > t.capacity do
+      evict_one t
+    done;
+  (* Bound the queue against pathological re-touch storms. *)
+  if Queue.length t.queue > 8 * t.capacity then begin
+    let entries = Queue.to_seq t.queue |> List.of_seq in
+    Queue.clear t.queue;
+    List.iter
+      (fun (p, s) ->
+        match Hashtbl.find_opt t.stamps p with
+        | Some fresh when fresh = s -> Queue.add (p, s) t.queue
+        | Some _ | None -> ())
+      entries
+  end;
+  was_in
+
+let size t = Hashtbl.length t.stamps
+
+let clear t =
+  Hashtbl.reset t.stamps;
+  Queue.clear t.queue;
+  t.clock <- 0

@@ -1,0 +1,23 @@
+(** An LRU set of page numbers with O(1) amortised touch.
+
+    The SIP profiler uses it as a cheap stand-in for "would this page be
+    resident in EPC by now" when classifying profiled accesses (§4.4,
+    Class 1): the most recently touched [capacity] pages are in. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val touch : t -> int -> bool
+(** Refresh (or insert) a page; returns whether it was already in the
+    set.  May evict the least recently touched page. *)
+
+val size : t -> int
+(** Distinct pages currently in the set. *)
+
+val clear : t -> unit

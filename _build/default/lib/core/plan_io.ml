@@ -1,0 +1,65 @@
+let save (plan : Sip_instrumenter.plan) ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# sgx-preload plan v1\n";
+      Printf.fprintf oc "workload %s\n" plan.workload;
+      Printf.fprintf oc "threshold %.6f\n" plan.threshold;
+      List.iter
+        (fun (d : Sip_instrumenter.decision) ->
+          Printf.fprintf oc "s %d %d %d %d %d\n" d.site d.counts.Sip_profiler.c1
+            d.counts.Sip_profiler.c2 d.counts.Sip_profiler.c3
+            (if d.instrument then 1 else 0))
+        plan.decisions)
+
+let fail path line msg =
+  failwith (Printf.sprintf "Plan_io.load: %s, line %d: %s" path line msg)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lineno = ref 0 in
+      let read () =
+        incr lineno;
+        input_line ic
+      in
+      if read () <> "# sgx-preload plan v1" then
+        fail path !lineno "unrecognised header";
+      let workload = ref "" and threshold = ref 0.0 in
+      let decisions = ref [] in
+      (try
+         while true do
+           let line = read () in
+           match String.split_on_char ' ' line with
+           | "workload" :: rest -> workload := String.concat " " rest
+           | [ "threshold"; x ] -> threshold := float_of_string x
+           | [ "s"; site; c1; c2; c3; instrument ] ->
+             let counts =
+               {
+                 Sip_profiler.c1 = int_of_string c1;
+                 c2 = int_of_string c2;
+                 c3 = int_of_string c3;
+               }
+             in
+             decisions :=
+               {
+                 Sip_instrumenter.site = int_of_string site;
+                 counts;
+                 ratio = Sip_profiler.irregular_ratio counts;
+                 instrument = int_of_string instrument <> 0;
+               }
+               :: !decisions
+           | [ "" ] -> ()
+           | _ -> fail path !lineno "unrecognised line"
+         done
+       with
+      | End_of_file -> ()
+      | Failure _ -> fail path !lineno "malformed field");
+      {
+        Sip_instrumenter.workload = !workload;
+        threshold = !threshold;
+        decisions = List.rev !decisions;
+      })

@@ -1,0 +1,26 @@
+(** Ablation baselines: the "conservative schemes used by hardware
+    prefetchers" the paper contrasts DFP's predictor against (§4.1) —
+    next-line and stride — lifted to EPC page preloading.
+
+    They share DFP's transport (asynchronous preloads through the load
+    channel) but replace Algorithm 1 with a simpler policy, which lets
+    the benches quantify what the multiple-stream predictor itself
+    contributes. *)
+
+type t
+
+val attach_next_line : Sgxsim.Enclave.t -> degree:int -> t
+(** On every fault on page [p], queue [p+1 .. p+degree]. *)
+
+val attach_stride : Sgxsim.Enclave.t -> degree:int -> t
+(** Detect a repeated fault-to-fault delta (two consecutive equal deltas)
+    and queue [degree] further pages at that stride. *)
+
+val attach_markov : Sgxsim.Enclave.t -> table_pages:int -> degree:int -> t
+(** First-order correlation prefetcher (towards the "machine learning
+    based schemes" the paper points at in §4.1): remember, per faulted
+    page, the pages that faulted right after it on previous occasions,
+    and preload the [degree] most recent successors on a repeat fault.
+    The table holds [table_pages] predecessor entries (LRU). *)
+
+val name : t -> string

@@ -1,0 +1,30 @@
+type t =
+  | Baseline
+  | Native
+  | Dfp of Dfp.config
+  | Sip of Sip_instrumenter.plan
+  | Hybrid of Dfp.config * Sip_instrumenter.plan
+  | Next_line of int
+  | Stride of int
+  | Markov of int * int
+
+let name = function
+  | Baseline -> "baseline"
+  | Native -> "native"
+  | Dfp c -> if c.Dfp.stop_enabled then "DFP-stop" else "DFP"
+  | Sip _ -> "SIP"
+  | Hybrid (c, _) -> if c.Dfp.stop_enabled then "SIP+DFP-stop" else "SIP+DFP"
+  | Next_line d -> Printf.sprintf "next-line(%d)" d
+  | Stride d -> Printf.sprintf "stride(%d)" d
+  | Markov (t, d) -> Printf.sprintf "markov(%d,%d)" t d
+
+let dfp_default = Dfp Dfp.default_config
+let dfp_stop = Dfp (Dfp.with_stop Dfp.default_config)
+
+let uses_sip = function
+  | Sip _ | Hybrid _ -> true
+  | Baseline | Native | Dfp _ | Next_line _ | Stride _ | Markov _ -> false
+
+let sip_plan = function
+  | Sip plan | Hybrid (_, plan) -> Some plan
+  | Baseline | Native | Dfp _ | Next_line _ | Stride _ | Markov _ -> None

@@ -1,0 +1,29 @@
+(** The preloading schemes under evaluation.
+
+    [Baseline] is the paper's un-optimized enclave execution; [Native] the
+    same program outside SGX (only the §1 slowdown experiment uses it);
+    [Dfp]/[Sip]/[Hybrid] are the paper's contributions; the two prefetcher
+    variants are ablation baselines. *)
+
+type t =
+  | Baseline
+  | Native
+  | Dfp of Dfp.config
+  | Sip of Sip_instrumenter.plan
+  | Hybrid of Dfp.config * Sip_instrumenter.plan
+  | Next_line of int  (** degree *)
+  | Stride of int  (** degree *)
+  | Markov of int * int  (** (table size in predecessor entries, degree) *)
+
+val name : t -> string
+
+val dfp_default : t
+(** DFP with the paper's defaults (no stop valve). *)
+
+val dfp_stop : t
+(** DFP with the §4.2 safety valve — the Fig. 8 "DFP-stop" series. *)
+
+val uses_sip : t -> bool
+(** Whether the scheme consults an instrumentation plan at run time. *)
+
+val sip_plan : t -> Sip_instrumenter.plan option

@@ -1,0 +1,103 @@
+module Trace = Workload.Trace
+module Access = Workload.Access
+
+type access_class = Class1 | Class2 | Class3
+
+type site_counts = { mutable c1 : int; mutable c2 : int; mutable c3 : int }
+
+type config = {
+  stream_list_length : int;
+  load_length : int;
+  residency_pages : int;
+}
+
+let default_config ~residency_pages =
+  { stream_list_length = 30; load_length = 4; residency_pages }
+
+type t = {
+  workload : string;
+  input : string;
+  config : config;
+  per_site : (int, site_counts) Hashtbl.t;
+  mutable total_accesses : int;
+}
+
+(* Would DFP's stream list consider [page] covered?  Either it extends a
+   stream or it sits within [load_length] pages ahead of a tail (the
+   window DFP would have preloaded). *)
+let within_stream predictor ~load_length page =
+  List.exists
+    (fun (s : Stream_predictor.stream) ->
+      let delta = page - s.stpn in
+      if s.dir > 0 then delta >= 1 && delta <= load_length
+      else if s.dir < 0 then -delta >= 1 && -delta <= load_length
+      else abs delta >= 1 && abs delta <= load_length)
+    (Stream_predictor.streams predictor)
+
+let classify_one predictor cache ~load_length page =
+  let resident = Page_lru.mem cache page in
+  if resident then begin
+    ignore (Page_lru.touch cache page);
+    Class1
+  end
+  else begin
+    let cls = if within_stream predictor ~load_length page then Class2 else Class3 in
+    (* A non-resident access is a (simulated) fault: it enters the fault
+       history exactly as the OS would record it. *)
+    ignore (Stream_predictor.on_fault predictor page);
+    ignore (Page_lru.touch cache page);
+    cls
+  end
+
+let profile config trace =
+  let predictor =
+    Stream_predictor.create ~stream_list_length:config.stream_list_length
+      ~load_length:config.load_length ()
+  in
+  let cache = Page_lru.create ~capacity:config.residency_pages in
+  let t =
+    {
+      workload = trace.Trace.name;
+      input = "";
+      config;
+      per_site = Hashtbl.create 64;
+      total_accesses = 0;
+    }
+  in
+  Seq.iter
+    (fun (a : Access.t) ->
+      let counts =
+        match Hashtbl.find_opt t.per_site a.site with
+        | Some c -> c
+        | None ->
+          let c = { c1 = 0; c2 = 0; c3 = 0 } in
+          Hashtbl.add t.per_site a.site c;
+          c
+      in
+      t.total_accesses <- t.total_accesses + 1;
+      match classify_one predictor cache ~load_length:config.load_length a.vpage with
+      | Class1 -> counts.c1 <- counts.c1 + 1
+      | Class2 -> counts.c2 <- counts.c2 + 1
+      | Class3 -> counts.c3 <- counts.c3 + 1)
+    (Trace.events trace);
+  t
+
+let site_counts t site = Hashtbl.find_opt t.per_site site
+
+let sites t =
+  Hashtbl.fold (fun site counts acc -> (site, counts) :: acc) t.per_site []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let irregular_ratio c =
+  let total = c.c1 + c.c2 + c.c3 in
+  if total = 0 then 0.0 else float_of_int c.c3 /. float_of_int total
+
+let totals t =
+  let acc = { c1 = 0; c2 = 0; c3 = 0 } in
+  Hashtbl.iter
+    (fun _ c ->
+      acc.c1 <- acc.c1 + c.c1;
+      acc.c2 <- acc.c2 + c.c2;
+      acc.c3 <- acc.c3 + c.c3)
+    t.per_site;
+  acc

@@ -1,0 +1,82 @@
+module Lru = Repro_util.Lru
+
+type stream = { mutable stpn : int; mutable dir : int; mutable pending : int list }
+
+type reaction =
+  | Extend of { stream : stream; predict : int list }
+  | Restart_within of { stream : stream; abort : int list }
+  | New_stream of { stream : stream; replaced : stream option }
+
+type t = {
+  list : stream Lru.t;
+  load_length : int;
+  list_length : int;
+  detect_backward : bool;
+}
+
+let create ?(detect_backward = true) ~stream_list_length ~load_length () =
+  if stream_list_length <= 0 then
+    invalid_arg "Stream_predictor.create: stream_list_length must be positive";
+  if load_length <= 0 then
+    invalid_arg "Stream_predictor.create: load_length must be positive";
+  {
+    list = Lru.create stream_list_length;
+    load_length;
+    list_length = stream_list_length;
+    detect_backward;
+  }
+
+let load_length t = t.load_length
+let stream_list_length t = t.list_length
+
+(* Is [npn] a continuation of [s]?  In steady state the pages
+   [stpn+1 .. stpn+LOADLENGTH] are preloaded and never fault, so the next
+   fault of a live stream lands at [stpn + LOADLENGTH + 1]: anything in
+   that window continues the stream.  (A fault {e inside} a window whose
+   preloads are still pending is a skip, handled separately — the paper's
+   page(5)-while-loading-page(3) abort example.)  Returns the direction
+   that makes [npn] a continuation, if any. *)
+let sequential_dir t s npn =
+  let window = t.load_length + 1 in
+  let fits dir =
+    let delta = (npn - s.stpn) * dir in
+    delta >= 1 && delta <= window
+  in
+  if s.dir <> 0 then if fits s.dir then Some s.dir else None
+  else if fits 1 then Some 1
+  else if t.detect_backward && fits (-1) then Some (-1)
+  else None
+
+let on_fault t npn =
+  (* The pending check runs first: a fault on a page whose preload is
+     still queued means the application skipped ahead of the loader. *)
+  match Lru.find t.list (fun s -> List.mem npn s.pending) with
+  | Some s ->
+    let abort = s.pending in
+    s.pending <- [];
+    s.stpn <- npn;
+    s.dir <- 0;
+    ignore (Lru.promote t.list (fun x -> x == s));
+    Restart_within { stream = s; abort }
+  | None -> (
+    match Lru.find t.list (fun s -> sequential_dir t s npn <> None) with
+    | Some s ->
+      let dir = Option.get (sequential_dir t s npn) in
+      s.dir <- dir;
+      s.stpn <- npn;
+      ignore (Lru.promote t.list (fun x -> x == s));
+      let predict =
+        List.init t.load_length (fun i -> npn + (dir * (i + 1)))
+        |> List.filter (fun p -> p >= 0)
+      in
+      Extend { stream = s; predict }
+    | None ->
+      let fresh = { stpn = npn; dir = 0; pending = [] } in
+      let replaced = Lru.insert t.list fresh in
+      New_stream { stream = fresh; replaced })
+
+let set_pending s pages = s.pending <- pages
+
+let streams t = Lru.to_list t.list
+
+let reset t = Lru.clear t.list

@@ -1,0 +1,1 @@
+lib/sgx/clock_evictor.ml: Array List

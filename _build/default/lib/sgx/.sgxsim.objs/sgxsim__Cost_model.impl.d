@@ -1,0 +1,1 @@
+lib/sgx/cost_model.ml: Format

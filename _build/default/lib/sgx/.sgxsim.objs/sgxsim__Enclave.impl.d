@@ -1,0 +1,1 @@
+lib/sgx/enclave.ml: Clock_evictor Cost_model Event List Load_channel Metrics Option Page_table Repro_util

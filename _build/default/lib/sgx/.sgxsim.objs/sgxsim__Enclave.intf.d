@@ -1,0 +1,1 @@
+lib/sgx/enclave.mli: Cost_model Event Load_channel Metrics

@@ -1,0 +1,1 @@
+lib/sgx/event.ml: Format List Load_channel Repro_util

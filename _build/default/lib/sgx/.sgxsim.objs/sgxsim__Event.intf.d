@@ -1,0 +1,1 @@
+lib/sgx/event.mli: Format Load_channel

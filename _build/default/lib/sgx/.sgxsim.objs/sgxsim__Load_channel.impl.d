@@ -1,0 +1,1 @@
+lib/sgx/load_channel.ml: List Printf

@@ -1,0 +1,1 @@
+lib/sgx/page_table.ml: Array Printf

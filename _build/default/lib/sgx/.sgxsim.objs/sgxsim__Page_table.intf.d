@@ -1,0 +1,1 @@
+lib/sgx/page_table.mli:

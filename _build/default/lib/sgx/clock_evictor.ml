@@ -1,0 +1,71 @@
+type t = {
+  slots : int array; (* vpage per frame, -1 when free *)
+  mutable free : int list;
+  mutable hand : int;
+  mutable used : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Clock_evictor.create: capacity must be positive";
+  {
+    slots = Array.make capacity (-1);
+    free = List.init capacity (fun i -> i);
+    hand = 0;
+    used = 0;
+  }
+
+let capacity t = Array.length t.slots
+let used t = t.used
+let is_full t = t.used >= Array.length t.slots
+
+let insert t vpage =
+  match t.free with
+  | [] -> invalid_arg "Clock_evictor.insert: EPC full"
+  | slot :: rest ->
+    t.free <- rest;
+    t.slots.(slot) <- vpage;
+    t.used <- t.used + 1;
+    slot
+
+let remove t ~slot =
+  if slot < 0 || slot >= Array.length t.slots then
+    invalid_arg "Clock_evictor.remove: slot out of range";
+  if t.slots.(slot) = -1 then invalid_arg "Clock_evictor.remove: slot already free";
+  t.slots.(slot) <- -1;
+  t.free <- slot :: t.free;
+  t.used <- t.used - 1
+
+let advance t = t.hand <- (t.hand + 1) mod Array.length t.slots
+
+let choose_victim t ~accessed ~clear =
+  if t.used = 0 then invalid_arg "Clock_evictor.choose_victim: EPC empty";
+  (* At most two revolutions: the first may clear every bit, the second
+     must then find a victim. *)
+  let budget = ref (2 * Array.length t.slots) in
+  let rec sweep () =
+    if !budget <= 0 then invalid_arg "Clock_evictor.choose_victim: no victim found"
+    else begin
+      decr budget;
+      let vpage = t.slots.(t.hand) in
+      if vpage = -1 then begin
+        advance t;
+        sweep ()
+      end
+      else if accessed vpage then begin
+        clear vpage;
+        advance t;
+        sweep ()
+      end
+      else begin
+        advance t;
+        vpage
+      end
+    end
+  in
+  sweep ()
+
+let scan t f =
+  Array.iter (fun vpage -> if vpage <> -1 then f vpage) t.slots
+
+let resident t =
+  Array.fold_right (fun vpage acc -> if vpage = -1 then acc else vpage :: acc) t.slots []

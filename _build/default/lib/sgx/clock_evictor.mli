@@ -1,0 +1,45 @@
+(** CLOCK (second-chance) management of the EPC frame pool.
+
+    Mirrors the Intel SGX driver's page reclaim: frames form a circular
+    buffer over which a hand sweeps; a set access bit buys the page one
+    more revolution.  The same structure hosts the periodic service-thread
+    scan that clears access bits and — piggybacked, as in §4.2 of the
+    paper — harvests "preloaded page was actually used" information for
+    DFP's abort counters. *)
+
+type t
+
+val create : capacity:int -> t
+(** An empty EPC with [capacity] frames.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val used : t -> int
+(** Frames currently holding a page. *)
+
+val is_full : t -> bool
+
+val insert : t -> int -> int
+(** [insert t vpage] places a page into a free frame and returns the slot
+    index (to be recorded in the page-table entry).
+    @raise Invalid_argument if full. *)
+
+val remove : t -> slot:int -> unit
+(** Free a frame by slot index (page evicted or enclave-destroyed).
+    @raise Invalid_argument if the slot is already free. *)
+
+val choose_victim : t -> accessed:(int -> bool) -> clear:(int -> unit) -> int
+(** [choose_victim t ~accessed ~clear] runs the CLOCK sweep: pages whose
+    access bit is set (per [accessed]) are given a second chance ([clear]
+    is called and the hand advances); the first page with a clear bit is
+    the victim.  Returns the victim's vpage {e without} freeing the slot —
+    callers evict via {!remove} once the write-back completes.
+    @raise Invalid_argument if the EPC is empty. *)
+
+val scan : t -> (int -> unit) -> unit
+(** [scan t f] visits every resident page once (service-thread pass);
+    [f] receives the vpage.  Visit order is frame order, not recency. *)
+
+val resident : t -> int list
+(** Resident vpages in frame order (testing/report helper). *)

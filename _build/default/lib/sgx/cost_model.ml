@@ -1,0 +1,51 @@
+type t = {
+  t_aex : int;
+  t_eresume : int;
+  t_load : int;
+  t_evict : int;
+  t_fault_native : int;
+  t_bitmap_check : int;
+  t_notify : int;
+  t_access : int;
+  clock_scan_period : int;
+}
+
+let paper =
+  {
+    t_aex = 10_000;
+    t_eresume = 10_000;
+    t_load = 44_000;
+    t_evict = 4_000;
+    t_fault_native = 2_000;
+    (* The check reads a bitmap word in untrusted memory from inside the
+       enclave (address arithmetic + a likely-cold load + branch); the
+       notification is a shared-memory mailbox write plus the kernel
+       thread's polling pickup latency. *)
+    t_bitmap_check = 120;
+    t_notify = 3_000;
+    t_access = 6;
+    clock_scan_period = 2_000_000;
+  }
+
+let native =
+  {
+    paper with
+    (* No enclave transitions; a first-touch fault is a ~2k-cycle minor
+       fault and the "load" is the kernel mapping a page. *)
+    t_aex = 0;
+    t_eresume = 0;
+    t_load = 2_000;
+    t_evict = 0;
+    t_bitmap_check = 0;
+    t_notify = 0;
+  }
+
+let fault_cost t ~evict =
+  t.t_aex + (if evict then t.t_evict else 0) + t.t_load + t.t_eresume
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>AEX=%d ERESUME=%d load=%d evict=%d native-fault=%d@ \
+     bitmap-check=%d notify=%d access=%d scan-period=%d@]"
+    t.t_aex t.t_eresume t.t_load t.t_evict t.t_fault_native t.t_bitmap_check
+    t.t_notify t.t_access t.clock_scan_period

@@ -1,0 +1,52 @@
+(** Cycle-cost model of the simulated SGX memory subsystem.
+
+    The headline constants come straight from the paper (§2, after the
+    CVE-2019-0117 micro-code update): an enclave page fault costs
+    [t_aex + t_load + t_eresume] ≈ 60,000–64,000 cycles, an out-of-enclave
+    fault ≈ 2,000 cycles, and the EPC load channel moves exactly one page
+    at a time, non-preemptibly, in [t_load] = 44,000 cycles. *)
+
+type t = {
+  t_aex : int;
+      (** Asynchronous enclave exit on a fault (paper: 10,000 cycles). *)
+  t_eresume : int;
+      (** ERESUME back into the enclave (paper: 10,000 cycles). *)
+  t_load : int;
+      (** One EPC page load, ELDU/ELDB; exclusive and non-preemptible
+          (paper: 44,000 cycles). *)
+  t_evict : int;
+      (** EWB write-back when the EPC is full and a frame must be freed
+          before a load; folded into the busy span of the channel.  The
+          paper's 60k–64k fault range corresponds to evict-free vs
+          evict-needed faults. *)
+  t_fault_native : int;
+      (** Page-fault service outside an enclave (paper: ~2,000 cycles);
+          also used for the short OS handler path when a fault finds its
+          page already (pre)loaded. *)
+  t_bitmap_check : int;
+      (** SIP's BIT_MAP_CHECK of the shared presence bitmap (§4.3): a few
+          loads and a branch inside the enclave. *)
+  t_notify : int;
+      (** SIP preload notification through the shared memory mailbox:
+          write + kernel-thread pickup latency (§3.2, Fig. 4). *)
+  t_access : int;
+      (** An in-EPC memory access (amortised, page-granular event). *)
+  clock_scan_period : int;
+      (** Period, in cycles, of the SGX-driver service thread that scans
+          and clears page-table access bits (§4.2). *)
+}
+
+val paper : t
+(** The constants reported by the paper, with the remaining knobs set to
+    values consistent with its measurements. *)
+
+val native : t
+(** Same machine without SGX: faults cost [t_fault_native], no AEX or
+    ERESUME, loads are plain memory-bandwidth page touches.  Used for the
+    §1 enclave-vs-native slowdown experiment. *)
+
+val fault_cost : t -> evict:bool -> int
+(** End-to-end demand-fault cost when the channel is free:
+    AEX + (evict?) + load + ERESUME. *)
+
+val pp : Format.formatter -> t -> unit

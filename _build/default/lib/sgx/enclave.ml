@@ -1,0 +1,368 @@
+module Bitset = Repro_util.Bitset
+
+type fault_resolution = Already_present | Waited_in_flight | Demand_load
+
+type fault_ctx = {
+  fault_vpage : int;
+  fault_thread : int;
+  raised_at : int;
+  handled_at : int;
+  resolution : fault_resolution;
+}
+
+type t = {
+  costs : Cost_model.t;
+  pt : Page_table.t;
+  epc : Clock_evictor.t;
+  channel : Load_channel.t;
+  metrics : Metrics.t;
+  bitmap : Bitset.t;
+  mutable log : Event.log;
+  mutable next_scan : int;
+  mutable protected_vpage : int;
+      (* Page being returned to the faulting thread: the handler pins it
+         so a preload-triggered eviction cannot snatch it back before the
+         application's access completes.  -1 when no fault is in
+         progress. *)
+  mutable on_fault : t -> fault_ctx -> unit;
+  mutable on_preload_complete : t -> int -> unit;
+  mutable on_preload_hit : t -> int -> unit;
+  mutable on_scan : t -> int -> unit;
+}
+
+let create ?(costs = Cost_model.paper) ?(log = Event.null_log) ~epc_pages
+    ~elrange_pages () =
+  {
+    costs;
+    pt = Page_table.create ~pages:elrange_pages;
+    epc = Clock_evictor.create ~capacity:epc_pages;
+    channel = Load_channel.create ();
+    metrics = Metrics.create ();
+    bitmap = Bitset.create elrange_pages;
+    log;
+    next_scan = costs.Cost_model.clock_scan_period;
+    protected_vpage = -1;
+    on_fault = (fun _ _ -> ());
+    on_preload_complete = (fun _ _ -> ());
+    on_preload_hit = (fun _ _ -> ());
+    on_scan = (fun _ _ -> ());
+  }
+
+let set_on_fault t f = t.on_fault <- f
+let set_on_preload_complete t f = t.on_preload_complete <- f
+let set_on_preload_hit t f = t.on_preload_hit <- f
+let set_on_scan t f = t.on_scan <- f
+
+let record t e = Event.record t.log e
+
+(* Credit a preloaded page's first observed use to the scheme (the paper's
+   AccPreloadCounter).  Called wherever the driver inspects access bits:
+   the service scan, the CLOCK sweep, and eviction. *)
+let harvest t vpage =
+  let e = Page_table.entry t.pt vpage in
+  match e.prov with
+  | Preloaded p when (not p.counted) && e.accessed ->
+    p.counted <- true;
+    t.metrics.preload_hits <- t.metrics.preload_hits + 1;
+    t.on_preload_hit t vpage
+  | Preloaded _ | Demand -> ()
+
+(* Free one EPC frame via the CLOCK sweep.  The victim's state transition
+   is applied at [at]; the EWB write-back time is charged to the load that
+   needed the frame (part of the channel busy span). *)
+let evict_one t ~at =
+  (* The pinned page is treated as permanently accessed so the CLOCK
+     sweep passes it over. *)
+  let accessed v =
+    v = t.protected_vpage || (Page_table.entry t.pt v).accessed
+  in
+  let clear v =
+    if v <> t.protected_vpage then begin
+      harvest t v;
+      (Page_table.entry t.pt v).accessed <- false
+    end
+  in
+  let victim = Clock_evictor.choose_victim t.epc ~accessed ~clear in
+  let e = Page_table.entry t.pt victim in
+  (match e.prov with
+  | Preloaded p when not p.counted ->
+    t.metrics.preload_evicted_unused <- t.metrics.preload_evicted_unused + 1
+  | Preloaded _ | Demand -> ());
+  Clock_evictor.remove t.epc ~slot:e.slot;
+  Page_table.mark_evicted t.pt victim;
+  Bitset.clear t.bitmap victim;
+  t.metrics.evictions <- t.metrics.evictions + 1;
+  record t (Event.Evict { at; vpage = victim })
+
+(* Begin a load on the (idle) channel at [at]; evicts first if the EPC is
+   full, extending the busy span by the write-back cost. *)
+let start_load t ~at ~vpage ~kind =
+  let evict = Clock_evictor.is_full t.epc in
+  if evict then evict_one t ~at;
+  let duration =
+    (if evict then t.costs.Cost_model.t_evict else 0) + t.costs.Cost_model.t_load
+  in
+  record t (Event.Load_start { at; vpage; kind });
+  Load_channel.begin_load t.channel ~vpage ~kind ~now:at ~duration
+
+let complete_load t (l : Load_channel.inflight) =
+  record t (Event.Load_done { at = l.finishes; vpage = l.vpage; kind = l.kind });
+  if not (Page_table.present t.pt l.vpage) then begin
+    let prov =
+      match l.kind with
+      | Demand | Preload_sip -> Page_table.Demand
+      | Preload_dfp -> Page_table.Preloaded { counted = false }
+    in
+    let slot = Clock_evictor.insert t.epc l.vpage in
+    Page_table.mark_loaded t.pt l.vpage ~prov ~slot;
+    Bitset.set t.bitmap l.vpage;
+    match l.kind with
+    | Preload_dfp ->
+      t.metrics.preloads_completed <- t.metrics.preloads_completed + 1;
+      t.on_preload_complete t l.vpage
+    | Demand | Preload_sip -> ()
+  end
+
+let run_scan t ~at =
+  t.metrics.scans <- t.metrics.scans + 1;
+  record t (Event.Scan { at });
+  Clock_evictor.scan t.epc (fun v ->
+      harvest t v;
+      (Page_table.entry t.pt v).accessed <- false);
+  t.next_scan <- at + t.costs.Cost_model.clock_scan_period;
+  t.on_scan t at
+
+(* Replay background events (load completions, scans, preload starts) in
+   timestamp order up to [now].  [preload_bound] freezes the preload
+   queue: no {e new} speculative load may begin at or after that time —
+   used while a fault handler owns the channel, since demand has
+   priority. *)
+let rec pump t ~now ~preload_bound =
+  let completion =
+    match Load_channel.in_flight t.channel with
+    | Some l when l.finishes <= now -> Some l.finishes
+    | Some _ | None -> None
+  in
+  let scan = if t.next_scan <= now then Some t.next_scan else None in
+  let preload_start =
+    match (Load_channel.in_flight t.channel, Load_channel.next_queued t.channel) with
+    | None, Some (vpage, queued_at) ->
+      let st = max (Load_channel.free_at t.channel) queued_at in
+      if st <= now && st < preload_bound then Some (st, vpage) else None
+    | _ -> None
+  in
+  let earliest =
+    List.fold_left
+      (fun acc ev ->
+        match (acc, ev) with
+        | None, e -> e
+        | Some (ta, _), Some (tb, _) when tb < ta -> ev
+        | Some _, _ -> acc)
+      None
+      [
+        Option.map (fun at -> (at, `Complete)) completion;
+        Option.map (fun at -> (at, `Scan)) scan;
+        Option.map (fun (at, vpage) -> (at, `Start vpage)) preload_start;
+      ]
+  in
+  match earliest with
+  | None -> ()
+  | Some (at, `Complete) ->
+    (match Load_channel.take_completed t.channel ~now:at with
+    | Some l -> complete_load t l
+    | None -> assert false);
+    pump t ~now ~preload_bound
+  | Some (at, `Scan) ->
+    run_scan t ~at;
+    pump t ~now ~preload_bound
+  | Some (at, `Start vpage) ->
+    ignore (Load_channel.pop_queued t.channel);
+    (* The page may have been demand-loaded while it waited in the queue;
+       the kernel thread re-checks presence cheaply and skips it.  A
+       single-frame EPC whose only frame is pinned has no victim, so the
+       preload is dropped rather than started. *)
+    let no_victim =
+      Clock_evictor.is_full t.epc
+      && Clock_evictor.capacity t.epc = 1
+      && t.protected_vpage >= 0
+    in
+    if (not (Page_table.present t.pt vpage)) && not no_victim then
+      ignore (start_load t ~at ~vpage ~kind:Load_channel.Preload_dfp);
+    pump t ~now ~preload_bound
+
+let sync t ~now = pump t ~now ~preload_bound:max_int
+
+(* Complete the access itself once the page is resident. *)
+let finish_access t ~now vpage =
+  Page_table.touch t.pt vpage;
+  t.metrics.cyc_access <- t.metrics.cyc_access + t.costs.Cost_model.t_access;
+  now + t.costs.Cost_model.t_access
+
+(* The full demand-fault path: AEX, handler (three possible resolutions),
+   ERESUME. *)
+let fault_path t ~now ~thread vpage =
+  let c = t.costs in
+  record t (Event.Fault { at = now; vpage });
+  let t_handler_start = now + c.Cost_model.t_aex in
+  t.metrics.cyc_aex <- t.metrics.cyc_aex + c.Cost_model.t_aex;
+  (* The channel keeps working during the AEX transition, but the fault
+     freezes the speculative queue: the handler owns the channel next. *)
+  pump t ~now:t_handler_start ~preload_bound:now;
+  record t (Event.Aex_done { at = t_handler_start; vpage });
+  let handled_at, resolution =
+    if Page_table.present t.pt vpage then begin
+      (* A preload for this very page finished during the AEX window: the
+         handler just fixes the PTE and returns. *)
+      t.metrics.faults_already_present <- t.metrics.faults_already_present + 1;
+      t.metrics.cyc_os_handler <-
+        t.metrics.cyc_os_handler + c.Cost_model.t_fault_native;
+      (t_handler_start + c.Cost_model.t_fault_native, Already_present)
+    end
+    else
+      match Load_channel.in_flight t.channel with
+      | Some l when l.vpage = vpage ->
+        (* The faulted page is mid-preload; the load is non-preemptible,
+           so the handler waits out the remainder. *)
+        t.metrics.faults_in_flight <- t.metrics.faults_in_flight + 1;
+        let wait = max 0 (l.finishes - t_handler_start) in
+        t.metrics.cyc_load_wait <- t.metrics.cyc_load_wait + wait;
+        pump t ~now:l.finishes ~preload_bound:now;
+        (l.finishes, Waited_in_flight)
+      | Some _ | None ->
+        t.metrics.faults <- t.metrics.faults + 1;
+        (* Drain whatever other load occupies the channel... *)
+        let free_at = Load_channel.busy_until t.channel ~now:t_handler_start in
+        t.metrics.cyc_load_wait <-
+          t.metrics.cyc_load_wait + (free_at - t_handler_start);
+        pump t ~now:free_at ~preload_bound:now;
+        (* ...take over any queued preload of the same page... *)
+        ignore (Load_channel.remove_queued t.channel vpage);
+        (* ...and perform the demand load. *)
+        let l = start_load t ~at:free_at ~vpage ~kind:Load_channel.Demand in
+        t.metrics.cyc_load_wait <-
+          t.metrics.cyc_load_wait + (l.finishes - free_at);
+        pump t ~now:l.finishes ~preload_bound:now;
+        (l.finishes, Demand_load)
+  in
+  t.protected_vpage <- vpage;
+  t.on_fault t
+    { fault_vpage = vpage; fault_thread = thread; raised_at = now; handled_at;
+      resolution };
+  t.metrics.cyc_eresume <- t.metrics.cyc_eresume + c.Cost_model.t_eresume;
+  let resumed = handled_at + c.Cost_model.t_eresume in
+  record t (Event.Eresume { at = resumed; vpage });
+  let finished = finish_access t ~now:resumed vpage in
+  t.protected_vpage <- -1;
+  finished
+
+let access ?(thread = 0) t ~now vpage =
+  sync t ~now;
+  t.metrics.accesses <- t.metrics.accesses + 1;
+  if Page_table.present t.pt vpage then finish_access t ~now vpage
+  else fault_path t ~now ~thread vpage
+
+(* SIP's checked access: bitmap check, then either a plain access or a
+   notification + synchronous in-enclave wait.  No AEX/ERESUME on the
+   miss path — that is the whole point of the scheme (Fig. 4). *)
+let sip_access ?(thread = 0) t ~now vpage =
+  ignore thread;
+  let c = t.costs in
+  sync t ~now;
+  t.metrics.accesses <- t.metrics.accesses + 1;
+  t.metrics.sip_checks <- t.metrics.sip_checks + 1;
+  t.metrics.cyc_bitmap_check <-
+    t.metrics.cyc_bitmap_check + c.Cost_model.t_bitmap_check;
+  let t_checked = now + c.Cost_model.t_bitmap_check in
+  let present = Bitset.mem t.bitmap vpage in
+  record t (Event.Sip_check { at = t_checked; vpage; present });
+  if present then finish_access t ~now:t_checked vpage
+  else begin
+    t.metrics.sip_notifies <- t.metrics.sip_notifies + 1;
+    t.metrics.cyc_notify <- t.metrics.cyc_notify + c.Cost_model.t_notify;
+    let t_notified = t_checked + c.Cost_model.t_notify in
+    record t (Event.Sip_notify { at = t_checked; vpage });
+    (* The kernel thread owns the channel next; freeze speculation. *)
+    pump t ~now:t_notified ~preload_bound:t_checked;
+    let loaded_at =
+      if Page_table.present t.pt vpage then
+        (* Completed in the notification window. *)
+        t_notified
+      else
+        match Load_channel.in_flight t.channel with
+        | Some l when l.vpage = vpage ->
+          let wait = max 0 (l.finishes - t_notified) in
+          t.metrics.cyc_sip_wait <- t.metrics.cyc_sip_wait + wait;
+          pump t ~now:l.finishes ~preload_bound:t_checked;
+          l.finishes
+        | Some _ | None ->
+          let free_at = Load_channel.busy_until t.channel ~now:t_notified in
+          t.metrics.cyc_sip_wait <-
+            t.metrics.cyc_sip_wait + (free_at - t_notified);
+          pump t ~now:free_at ~preload_bound:t_checked;
+          ignore (Load_channel.remove_queued t.channel vpage);
+          let l = start_load t ~at:free_at ~vpage ~kind:Load_channel.Preload_sip in
+          t.metrics.cyc_sip_wait <-
+            t.metrics.cyc_sip_wait + (l.finishes - free_at);
+          pump t ~now:l.finishes ~preload_bound:t_checked;
+          l.finishes
+    in
+    finish_access t ~now:loaded_at vpage
+  end
+
+let compute t ~now cycles =
+  if cycles < 0 then invalid_arg "Enclave.compute: negative cycles";
+  t.metrics.cyc_compute <- t.metrics.cyc_compute + cycles;
+  now + cycles
+
+let request_preload t ~now vpage =
+  sync t ~now;
+  if vpage < 0 || vpage >= Page_table.pages t.pt then
+    (* Predictors may run past the end of ELRANGE; the driver range-checks
+       and skips such requests. *)
+    false
+  else
+  let in_flight_same =
+    match Load_channel.in_flight t.channel with
+    | Some l -> l.vpage = vpage
+    | None -> false
+  in
+  if
+    Page_table.present t.pt vpage || in_flight_same
+    || Load_channel.queued_mem t.channel vpage
+  then false
+  else begin
+    Load_channel.queue_preload t.channel ~vpage ~at:now;
+    t.metrics.preloads_issued <- t.metrics.preloads_issued + 1;
+    record t (Event.Preload_queued { at = now; vpage });
+    true
+  end
+
+let abort_pending_preloads t ~now =
+  sync t ~now;
+  let n = Load_channel.abort_queued t.channel in
+  if n > 0 then begin
+    t.metrics.preloads_aborted <- t.metrics.preloads_aborted + n;
+    record t (Event.Preload_aborted { at = now; count = n })
+  end;
+  n
+
+let abort_pending_preloads_where t ~now pred =
+  sync t ~now;
+  let n = Load_channel.abort_queued_where t.channel pred in
+  if n > 0 then begin
+    t.metrics.preloads_aborted <- t.metrics.preloads_aborted + n;
+    record t (Event.Preload_aborted { at = now; count = n })
+  end;
+  n
+
+let costs t = t.costs
+let metrics t = t.metrics
+let elrange_pages t = Page_table.pages t.pt
+let epc_capacity t = Clock_evictor.capacity t.epc
+let resident_count t = Page_table.resident_count t.pt
+let page_present t vpage = Page_table.present t.pt vpage
+let bitmap_present t vpage = Bitset.mem t.bitmap vpage
+let pending_preloads t = Load_channel.queued t.channel
+let in_flight t = Load_channel.in_flight t.channel
+let events t = Event.events t.log
+let set_log t log = t.log <- log

@@ -1,0 +1,119 @@
+(** The simulated enclave: ELRANGE + EPC + paging + preloading machinery.
+
+    This facade ties the page table, the CLOCK evictor, the exclusive load
+    channel and the metrics together, and exposes exactly the interface
+    the paper's components see:
+
+    - the {e application} performs page-granular accesses
+      ({!access}) and, when instrumented by SIP, checked accesses
+      ({!sip_access});
+    - the {e OS / DFP} observes faults through the [on_fault] hook (page
+      number only — SGX clears the low 12 bits) and reacts by queueing
+      asynchronous preloads ({!request_preload}) or aborting pending ones;
+    - the {e SGX-driver service thread} periodically scans and clears
+      access bits; the scan harvests which preloaded pages were actually
+      used, feeding DFP's abort counters (§4.2).
+
+    Time is an absolute cycle counter owned by the caller.  Each
+    application-side operation takes the current time and returns the
+    advanced time; background work (in-flight loads, queued preloads, the
+    periodic scan) is replayed lazily and in timestamp order whenever the
+    simulation reaches a new point in time. *)
+
+type fault_resolution =
+  | Already_present
+      (** The handler found the page in EPC: a preload completed during
+          the AEX window.  Only the short handler path is paid. *)
+  | Waited_in_flight
+      (** The faulted page was being preloaded; the handler waited out the
+          remainder of the non-preemptible load. *)
+  | Demand_load  (** The ordinary path: the handler loaded the page. *)
+
+type fault_ctx = {
+  fault_vpage : int;
+  fault_thread : int;
+      (** Faulting thread id — the [ID] input of Algorithm 1; the OS sees
+          which thread trapped. *)
+  raised_at : int;  (** Cycle at which the fault trapped (AEX begins). *)
+  handled_at : int;  (** Cycle at which the OS handler finished. *)
+  resolution : fault_resolution;
+}
+
+type t
+
+val create :
+  ?costs:Cost_model.t -> ?log:Event.log -> epc_pages:int -> elrange_pages:int -> unit -> t
+(** Fresh enclave with an empty EPC of [epc_pages] frames and an ELRANGE
+    of [elrange_pages] virtual pages.  [costs] defaults to
+    {!Cost_model.paper}. *)
+
+(** {1 Hooks (scheme attachment points)} *)
+
+val set_on_fault : t -> (t -> fault_ctx -> unit) -> unit
+(** Called once per fault, while the OS handler is logically running
+    (timestamp [handled_at]).  The callback may queue preloads and abort
+    pending ones; this is where DFP lives. *)
+
+val set_on_preload_complete : t -> (t -> int -> unit) -> unit
+(** Called when a DFP preload finishes loading (the paper's
+    [PreloadCounter] increment point). *)
+
+val set_on_preload_hit : t -> (t -> int -> unit) -> unit
+(** Called when the service scan first observes that a preloaded page has
+    been accessed (the paper's [AccPreloadCounter] increment point). *)
+
+val set_on_scan : t -> (t -> int -> unit) -> unit
+(** Called after each service-thread scan with the scan time; DFP-stop
+    runs its periodic counter comparison here. *)
+
+(** {1 Application-side operations} *)
+
+val access : ?thread:int -> t -> now:int -> int -> int
+(** [access t ~now vpage] performs one un-instrumented enclave access;
+    returns the advanced cycle counter.  Faults are fully serviced inside
+    (AEX, channel wait, load, ERESUME) with [on_fault] invoked at handler
+    time.  [thread] (default 0) is reported in the fault context. *)
+
+val sip_access : ?thread:int -> t -> now:int -> int -> int
+(** [sip_access t ~now vpage] performs one SIP-instrumented access:
+    BIT_MAP_CHECK first, then, on absence, notification plus a synchronous
+    in-enclave wait for the OS to load the page — no AEX, no ERESUME
+    (§3.2, Fig. 4). *)
+
+val compute : t -> now:int -> int -> int
+(** [compute t ~now cycles] accounts application compute time between
+    accesses; returns [now + cycles]. *)
+
+val sync : t -> now:int -> unit
+(** Replay background work up to [now] (in-flight load completion, queued
+    preload starts, periodic scans).  Application-side operations sync
+    implicitly; call this at end of run to drain. *)
+
+(** {1 OS-side operations} *)
+
+val request_preload : t -> now:int -> int -> bool
+(** Queue an asynchronous preload.  Returns [false] (no-op) if the page is
+    already present, in flight, queued, or outside ELRANGE (the driver
+    range-checks speculative requests); [true] if it was queued. *)
+
+val abort_pending_preloads : t -> now:int -> int
+(** Drop all queued (not yet started) preloads; returns the count. *)
+
+val abort_pending_preloads_where : t -> now:int -> (int -> bool) -> int
+(** Drop queued preloads matching the predicate (per-stream abort). *)
+
+(** {1 Inspection} *)
+
+val costs : t -> Cost_model.t
+val metrics : t -> Metrics.t
+val elrange_pages : t -> int
+val epc_capacity : t -> int
+val resident_count : t -> int
+val page_present : t -> int -> bool
+val bitmap_present : t -> int -> bool
+(** What SIP's shared bitmap says (kept in sync by load/evict). *)
+
+val pending_preloads : t -> int list
+val in_flight : t -> Load_channel.inflight option
+val events : t -> Event.t list
+val set_log : t -> Event.log -> unit

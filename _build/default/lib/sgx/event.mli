@@ -1,0 +1,40 @@
+(** Timeline event log.
+
+    Optional per-run recording of what happened when, used by the Fig. 2 /
+    Fig. 4 timeline reproductions and by integration tests that assert on
+    event ordering.  Recording is off by default; experiments that need it
+    attach a bounded ring. *)
+
+type t =
+  | Access of { at : int; vpage : int }
+      (** In-EPC access completed at [at]. *)
+  | Fault of { at : int; vpage : int }  (** Fault raised (AEX begins). *)
+  | Aex_done of { at : int; vpage : int }
+  | Load_start of { at : int; vpage : int; kind : Load_channel.kind }
+  | Load_done of { at : int; vpage : int; kind : Load_channel.kind }
+  | Eresume of { at : int; vpage : int }
+  | Evict of { at : int; vpage : int }
+  | Preload_queued of { at : int; vpage : int }
+  | Preload_aborted of { at : int; count : int }
+  | Sip_check of { at : int; vpage : int; present : bool }
+  | Sip_notify of { at : int; vpage : int }
+  | Scan of { at : int }
+
+val at : t -> int
+(** Timestamp of the event. *)
+
+val vpage : t -> int option
+(** Page concerned, if any. *)
+
+val pp : Format.formatter -> t -> unit
+
+type log
+(** Bounded recorder. *)
+
+val make_log : capacity:int -> log
+val record : log -> t -> unit
+val events : log -> t list
+(** Chronological (oldest first), up to the ring capacity. *)
+
+val null_log : log
+(** Discards everything; the default. *)

@@ -1,0 +1,85 @@
+type kind = Demand | Preload_dfp | Preload_sip
+
+type inflight = { vpage : int; kind : kind; started : int; finishes : int }
+
+type t = {
+  mutable current : inflight option;
+  mutable queue : (int * int) list; (* (vpage, queued_at), FIFO: head is next *)
+  mutable rev_tail : (int * int) list; (* amortised FIFO second half *)
+  mutable free_at : int;
+}
+
+let create () = { current = None; queue = []; rev_tail = []; free_at = 0 }
+
+let in_flight t = t.current
+
+let is_busy t ~now = match t.current with None -> false | Some l -> l.finishes > now
+
+let busy_until t ~now =
+  match t.current with None -> now | Some l -> max now l.finishes
+
+let free_at t = t.free_at
+
+let begin_load t ~vpage ~kind ~now ~duration =
+  if is_busy t ~now then invalid_arg "Load_channel.begin_load: channel busy";
+  (match t.current with
+  | Some stale ->
+    invalid_arg
+      (Printf.sprintf
+         "Load_channel.begin_load: completed load of page %d not collected"
+         stale.vpage)
+  | None -> ());
+  let load = { vpage; kind; started = now; finishes = now + duration } in
+  t.current <- Some load;
+  t.free_at <- load.finishes;
+  load
+
+let take_completed t ~now =
+  match t.current with
+  | Some l when l.finishes <= now ->
+    t.current <- None;
+    Some l
+  | Some _ | None -> None
+
+let normalize t =
+  if t.queue = [] then begin
+    t.queue <- List.rev t.rev_tail;
+    t.rev_tail <- []
+  end
+
+let queue_preload t ~vpage ~at = t.rev_tail <- (vpage, at) :: t.rev_tail
+
+let next_queued t =
+  normalize t;
+  match t.queue with [] -> None | x :: _ -> Some x
+
+let pop_queued t =
+  normalize t;
+  match t.queue with
+  | [] -> None
+  | x :: rest ->
+    t.queue <- rest;
+    Some x
+
+let queued t = List.map fst t.queue @ List.rev_map fst t.rev_tail
+
+let queue_length t = List.length t.queue + List.length t.rev_tail
+
+let abort_queued t =
+  let n = queue_length t in
+  t.queue <- [];
+  t.rev_tail <- [];
+  n
+
+let abort_queued_where t pred =
+  let keep (vpage, _) = not (pred vpage) in
+  let before = queue_length t in
+  t.queue <- List.filter keep t.queue;
+  t.rev_tail <- List.filter keep t.rev_tail;
+  before - queue_length t
+
+let remove_queued t vpage = abort_queued_where t (fun p -> p = vpage) > 0
+
+let queued_mem t vpage =
+  List.exists (fun (p, _) -> p = vpage) t.queue
+  || List.exists (fun (p, _) -> p = vpage) t.rev_tail

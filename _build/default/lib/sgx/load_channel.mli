@@ -1,0 +1,71 @@
+(** The exclusive EPC page-load channel.
+
+    §3.1 and §5.6 of the paper establish the two constraints that shape
+    everything DFP can achieve: the channel moves {e one} page at a time,
+    and an in-progress ELDU/ELDB cannot be preempted.  A demand fault that
+    arrives while a speculative preload is in flight therefore waits for
+    the full remainder of that load.
+
+    This module is pure bookkeeping over absolute cycle timestamps; the
+    {!Enclave} facade decides when loads start and what happens on
+    completion. *)
+
+type kind =
+  | Demand  (** Load servicing an actual fault. *)
+  | Preload_dfp  (** Speculative load issued by the DFP kernel thread. *)
+  | Preload_sip  (** Load requested through the SIP notification. *)
+
+type inflight = { vpage : int; kind : kind; started : int; finishes : int }
+
+type t
+
+val create : unit -> t
+
+val in_flight : t -> inflight option
+
+val is_busy : t -> now:int -> bool
+(** Whether a load is still in progress at [now]. *)
+
+val busy_until : t -> now:int -> int
+(** First cycle at which the channel is free, [>= now]. *)
+
+val free_at : t -> int
+(** Completion time of the last load ever started (0 initially); the
+    earliest time a new load may begin when the channel is idle. *)
+
+val begin_load : t -> vpage:int -> kind:kind -> now:int -> duration:int -> inflight
+(** Occupy the channel.  @raise Invalid_argument if busy at [now]. *)
+
+val take_completed : t -> now:int -> inflight option
+(** If the in-flight load has finished by [now], clear it and return it. *)
+
+val queue_preload : t -> vpage:int -> at:int -> unit
+(** Append a page to the pending-preload FIFO, stamped with its enqueue
+    time (a queued load cannot start before it was requested).  Duplicate
+    suppression is the caller's job. *)
+
+val next_queued : t -> (int * int) option
+(** Head of the pending FIFO as [(vpage, queued_at)], not removed. *)
+
+val pop_queued : t -> (int * int) option
+
+val queued : t -> int list
+(** Pending vpages, next-to-load first. *)
+
+val queue_length : t -> int
+
+val abort_queued : t -> int
+(** Drop every pending (not yet started) preload; returns how many were
+    dropped.  The in-flight load, if any, is untouched — it cannot be
+    preempted. *)
+
+val abort_queued_where : t -> (int -> bool) -> int
+(** Drop pending preloads whose vpage satisfies the predicate; returns the
+    number dropped.  Used for per-stream aborts. *)
+
+val remove_queued : t -> int -> bool
+(** Drop one specific pending page (demand load took over); [false] if it
+    was not queued. *)
+
+val queued_mem : t -> int -> bool
+(** Whether a page is waiting in the pending FIFO. *)

@@ -1,0 +1,75 @@
+type t = {
+  mutable cyc_compute : int;
+  mutable cyc_access : int;
+  mutable cyc_aex : int;
+  mutable cyc_eresume : int;
+  mutable cyc_os_handler : int;
+  mutable cyc_load_wait : int;
+  mutable cyc_bitmap_check : int;
+  mutable cyc_notify : int;
+  mutable cyc_sip_wait : int;
+  mutable accesses : int;
+  mutable faults : int;
+  mutable faults_in_flight : int;
+  mutable faults_already_present : int;
+  mutable preloads_issued : int;
+  mutable preloads_completed : int;
+  mutable preloads_aborted : int;
+  mutable preload_hits : int;
+  mutable preload_evicted_unused : int;
+  mutable evictions : int;
+  mutable sip_checks : int;
+  mutable sip_notifies : int;
+  mutable scans : int;
+}
+
+let create () =
+  {
+    cyc_compute = 0;
+    cyc_access = 0;
+    cyc_aex = 0;
+    cyc_eresume = 0;
+    cyc_os_handler = 0;
+    cyc_load_wait = 0;
+    cyc_bitmap_check = 0;
+    cyc_notify = 0;
+    cyc_sip_wait = 0;
+    accesses = 0;
+    faults = 0;
+    faults_in_flight = 0;
+    faults_already_present = 0;
+    preloads_issued = 0;
+    preloads_completed = 0;
+    preloads_aborted = 0;
+    preload_hits = 0;
+    preload_evicted_unused = 0;
+    evictions = 0;
+    sip_checks = 0;
+    sip_notifies = 0;
+    scans = 0;
+  }
+
+let total_cycles t =
+  t.cyc_compute + t.cyc_access + t.cyc_aex + t.cyc_eresume + t.cyc_os_handler
+  + t.cyc_load_wait + t.cyc_bitmap_check + t.cyc_notify + t.cyc_sip_wait
+
+let fault_handling_cycles t =
+  t.cyc_aex + t.cyc_eresume + t.cyc_os_handler + t.cyc_load_wait
+  + t.cyc_bitmap_check + t.cyc_notify + t.cyc_sip_wait
+
+let total_faults t = t.faults + t.faults_in_flight + t.faults_already_present
+
+let copy t = { t with cyc_compute = t.cyc_compute }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cycles: total=%d compute=%d access=%d aex=%d eresume=%d handler=%d \
+     load-wait=%d check=%d notify=%d sip-wait=%d@ events: accesses=%d faults=%d \
+     in-flight=%d already-present=%d preloads=%d/%d aborted=%d hits=%d \
+     wasted-evict=%d evictions=%d sip-checks=%d notifies=%d scans=%d@]"
+    (total_cycles t) t.cyc_compute t.cyc_access t.cyc_aex t.cyc_eresume
+    t.cyc_os_handler t.cyc_load_wait t.cyc_bitmap_check t.cyc_notify
+    t.cyc_sip_wait t.accesses t.faults t.faults_in_flight
+    t.faults_already_present t.preloads_completed t.preloads_issued
+    t.preloads_aborted t.preload_hits t.preload_evicted_unused t.evictions
+    t.sip_checks t.sip_notifies t.scans

@@ -1,0 +1,57 @@
+(** Counters and cycle accounting collected during a simulated run.
+
+    Cycle totals are split by category so reports can show where time
+    went (compute vs fault handling vs waiting on the load channel), and
+    event counters expose the quantities the paper analyses: faults,
+    preloads issued/used/aborted, SIP checks and notifications. *)
+
+type t = {
+  (* Cycle accounting. *)
+  mutable cyc_compute : int;  (** Application compute between accesses. *)
+  mutable cyc_access : int;  (** In-EPC access cost. *)
+  mutable cyc_aex : int;  (** Asynchronous enclave exits. *)
+  mutable cyc_eresume : int;  (** ERESUME re-entries. *)
+  mutable cyc_os_handler : int;
+      (** Short OS fault-handler path (fault found page already present /
+          native fault service). *)
+  mutable cyc_load_wait : int;
+      (** Demand-path waiting: channel drain + eviction + own load. *)
+  mutable cyc_bitmap_check : int;  (** SIP BIT_MAP_CHECK instructions. *)
+  mutable cyc_notify : int;  (** SIP notification sends. *)
+  mutable cyc_sip_wait : int;  (** SIP synchronous wait for the load. *)
+  (* Event counters. *)
+  mutable accesses : int;
+  mutable faults : int;  (** Demand faults needing a real load. *)
+  mutable faults_in_flight : int;
+      (** Faults that found their page mid-preload and waited it out. *)
+  mutable faults_already_present : int;
+      (** Faults resolved by the handler finding the page preloaded
+          during the AEX window. *)
+  mutable preloads_issued : int;
+  mutable preloads_completed : int;
+  mutable preloads_aborted : int;  (** Queued preloads dropped by aborts. *)
+  mutable preload_hits : int;
+      (** Preloaded pages later observed accessed by the CLOCK scan. *)
+  mutable preload_evicted_unused : int;
+      (** Preloaded pages evicted before any access — pure waste. *)
+  mutable evictions : int;
+  mutable sip_checks : int;
+  mutable sip_notifies : int;
+  mutable scans : int;  (** CLOCK service-thread passes. *)
+}
+
+val create : unit -> t
+
+val total_cycles : t -> int
+(** Sum of every cycle category: the run's execution time. *)
+
+val fault_handling_cycles : t -> int
+(** Cycles spent in fault handling and load waits (AEX + handler + wait +
+    ERESUME + SIP wait/notify/check). *)
+
+val total_faults : t -> int
+(** All fault events, whatever their resolution. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type provenance = Demand | Preloaded of { mutable counted : bool }
+
+type entry = {
+  mutable present : bool;
+  mutable accessed : bool;
+  mutable prov : provenance;
+  mutable slot : int;
+}
+
+type t = { entries : entry array; mutable resident : int }
+
+let create ~pages =
+  if pages <= 0 then invalid_arg "Page_table.create: pages must be positive";
+  {
+    entries =
+      Array.init pages (fun _ ->
+          { present = false; accessed = false; prov = Demand; slot = -1 });
+    resident = 0;
+  }
+
+let pages t = Array.length t.entries
+
+let entry t vpage =
+  if vpage < 0 || vpage >= Array.length t.entries then
+    invalid_arg
+      (Printf.sprintf "Page_table: page %d outside ELRANGE [0,%d)" vpage
+         (Array.length t.entries));
+  t.entries.(vpage)
+
+let present t vpage = (entry t vpage).present
+
+let resident_count t = t.resident
+
+let mark_loaded t vpage ~prov ~slot =
+  let e = entry t vpage in
+  if e.present then
+    invalid_arg (Printf.sprintf "Page_table.mark_loaded: page %d already present" vpage);
+  e.present <- true;
+  e.prov <- prov;
+  e.slot <- slot;
+  (* Demand-loaded pages are hot by construction; preloaded pages start
+     with a clear bit so the scan can tell whether they were ever used. *)
+  e.accessed <- (match prov with Demand -> true | Preloaded _ -> false);
+  t.resident <- t.resident + 1
+
+let mark_evicted t vpage =
+  let e = entry t vpage in
+  if not e.present then
+    invalid_arg (Printf.sprintf "Page_table.mark_evicted: page %d not present" vpage);
+  e.present <- false;
+  e.slot <- -1;
+  e.accessed <- false;
+  t.resident <- t.resident - 1
+
+let touch t vpage =
+  let e = entry t vpage in
+  if not e.present then
+    invalid_arg (Printf.sprintf "Page_table.touch: page %d not present" vpage);
+  e.accessed <- true

@@ -1,0 +1,49 @@
+(** Per-enclave virtual page table.
+
+    One entry per page of the enclave linear address range (ELRANGE).  The
+    simulator works at page granularity throughout — SGX clears the bottom
+    12 bits of faulting addresses before the OS sees them (§3.1), so page
+    numbers are the finest information any scheme can observe. *)
+
+type provenance =
+  | Demand  (** Loaded by the ordinary fault path. *)
+  | Preloaded of { mutable counted : bool }
+      (** Loaded ahead of demand by DFP or SIP.  [counted] records whether
+          the CLOCK service scan has already credited this page to the
+          [AccPreloadCounter] (§4.2); it prevents double counting. *)
+
+type entry = {
+  mutable present : bool;  (** Resident in EPC. *)
+  mutable accessed : bool;  (** PTE access bit, cleared by the scan. *)
+  mutable prov : provenance;
+  mutable slot : int;
+      (** Index of the EPC frame slot holding this page, [-1] if absent.
+          Maintained by {!Clock_evictor}. *)
+}
+
+type t
+
+val create : pages:int -> t
+(** All pages absent.  @raise Invalid_argument if [pages <= 0]. *)
+
+val pages : t -> int
+
+val entry : t -> int -> entry
+(** @raise Invalid_argument if the page number is out of ELRANGE. *)
+
+val present : t -> int -> bool
+
+val resident_count : t -> int
+(** Number of present pages (O(1), maintained incrementally). *)
+
+val mark_loaded : t -> int -> prov:provenance -> slot:int -> unit
+(** Transition a page to present.  Demand loads come in with the access
+    bit set (they are about to be touched); preloads come in clear, which
+    is exactly the §4.2 bookkeeping.  @raise Invalid_argument if already
+    present. *)
+
+val mark_evicted : t -> int -> unit
+(** Transition a page to absent.  @raise Invalid_argument if absent. *)
+
+val touch : t -> int -> unit
+(** Set the access bit of a present page (app-side memory access). *)

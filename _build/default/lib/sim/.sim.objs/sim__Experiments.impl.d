@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Format List Option Preload Printf Report Repro_util Runner Seq Sgxsim String Workload

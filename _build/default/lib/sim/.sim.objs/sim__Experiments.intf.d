@@ -1,0 +1,1 @@
+lib/sim/experiments.mli: Sgxsim Workload

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Array Buffer List Printf Repro_util Runner Sgxsim String

@@ -1,0 +1,1 @@
+lib/sim/report.mli: Repro_util Runner

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Preload Seq Sgxsim Workload

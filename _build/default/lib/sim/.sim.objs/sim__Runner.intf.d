@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Preload Sgxsim Workload

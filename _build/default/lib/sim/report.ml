@@ -1,0 +1,82 @@
+module Table = Repro_util.Table
+module Metrics = Sgxsim.Metrics
+
+let summary (r : Runner.result) =
+  let m = r.metrics in
+  Printf.sprintf
+    "%s/%s: %s cycles, %s faults (%s in-flight, %s resolved-by-preload), %s \
+     preloads (%s used, %s aborted)"
+    r.workload r.scheme (Table.cell_int r.cycles)
+    (Table.cell_int (Metrics.total_faults m))
+    (Table.cell_int m.faults_in_flight)
+    (Table.cell_int m.faults_already_present)
+    (Table.cell_int m.preloads_completed)
+    (Table.cell_int m.preload_hits)
+    (Table.cell_int m.preloads_aborted)
+
+let breakdown_table (r : Runner.result) =
+  let m = r.metrics in
+  let t =
+    Table.create
+      ~headers:[ ("category", Table.Left); ("cycles", Table.Right); ("share", Table.Right) ]
+  in
+  let total = float_of_int (max 1 r.cycles) in
+  let row name cycles =
+    Table.add_row t
+      [ name; Table.cell_int cycles; Table.cell_pct (float_of_int cycles /. total) ]
+  in
+  row "compute" m.cyc_compute;
+  row "in-EPC access" m.cyc_access;
+  row "AEX" m.cyc_aex;
+  row "ERESUME" m.cyc_eresume;
+  row "OS handler" m.cyc_os_handler;
+  row "load wait (demand)" m.cyc_load_wait;
+  row "bitmap checks" m.cyc_bitmap_check;
+  row "notifications" m.cyc_notify;
+  row "SIP load wait" m.cyc_sip_wait;
+  Table.add_separator t;
+  row "total" r.cycles;
+  t
+
+let comparison_row ~baseline r =
+  ( r.Runner.scheme,
+    Runner.normalized_time ~baseline r,
+    Runner.improvement ~baseline r )
+
+let geomean_normalized pairs =
+  match pairs with
+  | [] -> invalid_arg "Report.geomean_normalized: no runs"
+  | _ ->
+    Repro_util.Stats.geometric_mean
+      (List.map (fun (b, r) -> Runner.normalized_time ~baseline:b r) pairs)
+
+let ascii_scatter ~width ~height points ~max_x ~max_y =
+  if width <= 0 || height <= 0 then invalid_arg "Report.ascii_scatter: bad size";
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun (x, y) ->
+      if x >= 0 && x <= max_x && y >= 0 && y <= max_y then begin
+        let cx = x * (width - 1) / max 1 max_x in
+        let cy = y * (height - 1) / max 1 max_y in
+        (* Row 0 renders at the top; flip so y grows upward. *)
+        grid.(height - 1 - cy).(cx) <- '*'
+      end)
+    points;
+  let buf = Buffer.create (height * (width + 4)) in
+  Array.iter
+    (fun row ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (String.init width (Array.get row));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let fault_reduction ~baseline r =
+  let bf = Metrics.total_faults baseline.Runner.metrics in
+  if bf = 0 then 0.0
+  else
+    1.0
+    -. (float_of_int (Metrics.total_faults r.Runner.metrics) /. float_of_int bf)

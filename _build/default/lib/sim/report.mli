@@ -1,0 +1,23 @@
+(** Formatting helpers shared by the bench harness, CLI and examples. *)
+
+val summary : Runner.result -> string
+(** One line: workload, scheme, cycles, faults, preload stats. *)
+
+val breakdown_table : Runner.result -> Repro_util.Table.t
+(** Cycle accounting by category (compute / access / AEX / loads / ...). *)
+
+val comparison_row :
+  baseline:Runner.result -> Runner.result -> string * float * float
+(** [(scheme, normalized_time, improvement)] against the baseline run. *)
+
+val geomean_normalized : (Runner.result * Runner.result) list -> float
+(** Geometric mean of normalized times over [(baseline, candidate)]
+    pairs — the SPEC-style aggregate. *)
+
+val ascii_scatter :
+  width:int -> height:int -> (int * int) list -> max_x:int -> max_y:int -> string
+(** Render (x, y) points into an ASCII scatter plot, for the Fig. 3
+    access-pattern reproduction. *)
+
+val fault_reduction : baseline:Runner.result -> Runner.result -> float
+(** Fraction of baseline faults eliminated ([0.7] = 70% fewer). *)

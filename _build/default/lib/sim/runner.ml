@@ -1,0 +1,94 @@
+module Enclave = Sgxsim.Enclave
+module Cost_model = Sgxsim.Cost_model
+module Metrics = Sgxsim.Metrics
+module Event = Sgxsim.Event
+module Trace = Workload.Trace
+module Access = Workload.Access
+module Scheme = Preload.Scheme
+
+type config = { epc_pages : int; costs : Cost_model.t; log_capacity : int }
+
+let default_config =
+  { epc_pages = 2048; costs = Cost_model.paper; log_capacity = 0 }
+
+type result = {
+  workload : string;
+  input : string;
+  scheme : string;
+  cycles : int;
+  metrics : Metrics.t;
+  events : Event.t list;
+  dfp_stopped : bool;
+  instrumentation_points : int;
+}
+
+let run ?(config = default_config) ?(input_label = "") ~scheme trace =
+  let costs, epc_pages =
+    match scheme with
+    | Scheme.Native ->
+      (* Outside SGX the whole footprint fits in RAM: faults are cheap
+         first-touch minor faults and nothing is ever evicted. *)
+      (Cost_model.native, trace.Trace.elrange_pages)
+    | _ -> (config.costs, config.epc_pages)
+  in
+  let log =
+    if config.log_capacity > 0 then Event.make_log ~capacity:config.log_capacity
+    else Event.null_log
+  in
+  let enclave =
+    Enclave.create ~costs ~log ~epc_pages ~elrange_pages:trace.Trace.elrange_pages
+      ()
+  in
+  let dfp =
+    match scheme with
+    | Scheme.Dfp dfp_config | Scheme.Hybrid (dfp_config, _) ->
+      Some (Preload.Dfp.attach enclave dfp_config)
+    | Scheme.Next_line degree ->
+      ignore (Preload.Prefetch_baselines.attach_next_line enclave ~degree);
+      None
+    | Scheme.Stride degree ->
+      ignore (Preload.Prefetch_baselines.attach_stride enclave ~degree);
+      None
+    | Scheme.Markov (table_pages, degree) ->
+      ignore
+        (Preload.Prefetch_baselines.attach_markov enclave ~table_pages ~degree);
+      None
+    | Scheme.Baseline | Scheme.Native | Scheme.Sip _ -> None
+  in
+  let sip_site =
+    match Scheme.sip_plan scheme with
+    | Some plan -> Preload.Sip_instrumenter.site_predicate plan
+    | None -> fun _ -> false
+  in
+  let now = ref 0 in
+  Seq.iter
+    (fun (a : Access.t) ->
+      let t = Enclave.compute enclave ~now:!now a.compute in
+      let t =
+        if sip_site a.site then
+          Enclave.sip_access ~thread:a.thread enclave ~now:t a.vpage
+        else Enclave.access ~thread:a.thread enclave ~now:t a.vpage
+      in
+      now := t)
+    (Trace.events trace);
+  Enclave.sync enclave ~now:!now;
+  let metrics = Enclave.metrics enclave in
+  {
+    workload = trace.Trace.name;
+    input = input_label;
+    scheme = Scheme.name scheme;
+    cycles = Metrics.total_cycles metrics;
+    metrics;
+    events = Enclave.events enclave;
+    dfp_stopped = (match dfp with Some d -> Preload.Dfp.stopped d | None -> false);
+    instrumentation_points =
+      (match Scheme.sip_plan scheme with
+      | Some plan -> Preload.Sip_instrumenter.instrumentation_points plan
+      | None -> 0);
+  }
+
+let normalized_time ~baseline result =
+  if baseline.cycles = 0 then invalid_arg "Runner.normalized_time: empty baseline";
+  float_of_int result.cycles /. float_of_int baseline.cycles
+
+let improvement ~baseline result = 1.0 -. normalized_time ~baseline result

@@ -1,0 +1,40 @@
+(** Execute a workload trace against a simulated enclave under a scheme.
+
+    This is the reproduction's measurement harness: one [run] call is one
+    "execution" of the paper's methodology (they run each binary under
+    Graphene-SGX and read wall-clock time; we replay the trace and read
+    the cycle counter). *)
+
+type config = {
+  epc_pages : int;
+      (** Usable EPC frames.  The default, 2048 (8 MB), keeps the full
+          experiment matrix fast; workload footprints scale with it. *)
+  costs : Sgxsim.Cost_model.t;
+  log_capacity : int;  (** Event-log ring size; 0 disables logging. *)
+}
+
+val default_config : config
+
+type result = {
+  workload : string;
+  input : string;
+  scheme : string;
+  cycles : int;  (** Total simulated execution time. *)
+  metrics : Sgxsim.Metrics.t;
+  events : Sgxsim.Event.t list;  (** Empty unless logging was enabled. *)
+  dfp_stopped : bool;  (** Whether the §4.2 safety valve fired. *)
+  instrumentation_points : int;  (** 0 for non-SIP schemes. *)
+}
+
+val run :
+  ?config:config -> ?input_label:string -> scheme:Preload.Scheme.t ->
+  Workload.Trace.t -> result
+(** Replay the trace once.  [Native] schemes run with the native cost
+    model and an effectively unbounded EPC (the machine's RAM). *)
+
+val improvement : baseline:result -> result -> float
+(** Fractional improvement of a result over the baseline run
+    ([0.114] = 11.4% faster; negative = overhead). *)
+
+val normalized_time : baseline:result -> result -> float
+(** Execution time normalized to the baseline ([< 1.] is faster). *)

@@ -1,0 +1,74 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~buckets =
+  if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int buckets;
+    counts = Array.make buckets 0;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+  }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = min i (Array.length t.counts - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+
+let bucket_count t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bucket_count: index out of range";
+  t.counts.(i)
+
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bucket_range t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bucket_range: index out of range";
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let fraction_below t x =
+  if t.total = 0 then 0.0
+  else begin
+    let below = ref t.underflow in
+    Array.iteri
+      (fun i c ->
+        let _, hi = bucket_range t i in
+        if hi <= x then below := !below + c)
+      t.counts;
+    float_of_int !below /. float_of_int t.total
+  end
+
+let pp fmt t =
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  let peak = Array.fold_left max 1 t.counts in
+  let cells =
+    Array.map
+      (fun c ->
+        let level = c * (Array.length glyphs - 1) / peak in
+        glyphs.(level))
+      t.counts
+  in
+  Format.fprintf fmt "[%s] n=%d under=%d over=%d"
+    (String.init (Array.length cells) (Array.get cells))
+    t.total t.underflow t.overflow

@@ -1,0 +1,32 @@
+(** Fixed-bucket histograms, used to characterise page-access locality and
+    fault inter-arrival distributions in reports and tests. *)
+
+type t
+
+val create : lo:float -> hi:float -> buckets:int -> t
+(** [create ~lo ~hi ~buckets] covers [\[lo, hi)] with equal-width buckets.
+    Observations below [lo] land in an underflow bucket, at or above [hi]
+    in an overflow bucket.  @raise Invalid_argument if [buckets <= 0] or
+    [hi <= lo]. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total observations, including under/overflow. *)
+
+val bucket_count : t -> int -> int
+(** [bucket_count t i] is the number of observations in bucket [i]
+    ([0 <= i < buckets]). *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bucket_range : t -> int -> float * float
+(** Inclusive-exclusive bounds of bucket [i]. *)
+
+val fraction_below : t -> float -> float
+(** [fraction_below t x] approximates P(obs < x) from bucket boundaries
+    (whole buckets only; [x] is rounded down to a boundary). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render a compact ASCII sparkline of the distribution. *)

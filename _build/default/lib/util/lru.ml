@@ -1,0 +1,61 @@
+type 'a t = { capacity : int; mutable items : 'a list (* MRU first *) }
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; items = [] }
+
+let capacity t = t.capacity
+let length t = List.length t.items
+let is_full t = length t >= t.capacity
+
+let find t pred = List.find_opt pred t.items
+
+let promote t pred =
+  let rec extract acc = function
+    | [] -> None
+    | x :: rest when pred x -> Some (x, List.rev_append acc rest)
+    | x :: rest -> extract (x :: acc) rest
+  in
+  match extract [] t.items with
+  | None -> false
+  | Some (x, rest) ->
+    t.items <- x :: rest;
+    true
+
+let insert t x =
+  if is_full t then begin
+    (* Drop the tail (LRU) and return it. *)
+    let rec split_last acc = function
+      | [] -> assert false
+      | [ last ] -> (List.rev acc, last)
+      | y :: rest -> split_last (y :: acc) rest
+    in
+    let kept, dropped = split_last [] t.items in
+    t.items <- x :: kept;
+    Some dropped
+  end
+  else begin
+    t.items <- x :: t.items;
+    None
+  end
+
+let remove t pred =
+  let rec extract acc = function
+    | [] -> None
+    | x :: rest when pred x -> Some (List.rev_append acc rest)
+    | x :: rest -> extract (x :: acc) rest
+  in
+  match extract [] t.items with
+  | None -> false
+  | Some rest ->
+    t.items <- rest;
+    true
+
+let lru t =
+  match List.rev t.items with [] -> None | x :: _ -> Some x
+
+let mru t = match t.items with [] -> None | x :: _ -> Some x
+let to_list t = t.items
+let iter f t = List.iter f t.items
+let exists t pred = List.exists pred t.items
+let clear t = t.items <- []

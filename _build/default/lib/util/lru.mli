@@ -1,0 +1,44 @@
+(** Small fixed-capacity recency (LRU) lists.
+
+    This is the shape of Algorithm 1's [stream_list] in the paper: a short
+    list ordered most-recently-used first, where hits are promoted to the
+    head and insertion into a full list replaces the least-recently-used
+    entry.  Capacities are tens of entries, so operations are O(n) list
+    scans by design — clarity over asymptotics. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** @raise Invalid_argument if the capacity is not positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_full : 'a t -> bool
+
+val find : 'a t -> ('a -> bool) -> 'a option
+(** First match in MRU-to-LRU order, without promoting it. *)
+
+val promote : 'a t -> ('a -> bool) -> bool
+(** Move the first match to the head; [false] if nothing matched. *)
+
+val insert : 'a t -> 'a -> 'a option
+(** Insert at the head.  When full, the least-recently-used entry is
+    dropped and returned. *)
+
+val remove : 'a t -> ('a -> bool) -> bool
+(** Remove the first match; [false] if nothing matched. *)
+
+val lru : 'a t -> 'a option
+(** The least-recently-used entry. *)
+
+val mru : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** MRU first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** MRU first. *)
+
+val exists : 'a t -> ('a -> bool) -> bool
+
+val clear : 'a t -> unit

@@ -1,0 +1,49 @@
+type 'a t = {
+  capacity : int;
+  mutable items : 'a option array;
+  mutable start : int; (* index of oldest item *)
+  mutable length : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { capacity; items = Array.make capacity None; start = 0; length = 0 }
+
+let capacity t = t.capacity
+let length t = t.length
+
+let push t x =
+  if t.length < t.capacity then begin
+    t.items.((t.start + t.length) mod t.capacity) <- Some x;
+    t.length <- t.length + 1
+  end
+  else begin
+    t.items.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod t.capacity
+  end
+
+let get t i =
+  if i < 0 || i >= t.length then invalid_arg "Ring.get: index out of range";
+  match t.items.((t.start + i) mod t.capacity) with
+  | Some x -> x
+  | None -> assert false
+
+let newest t = if t.length = 0 then None else Some (get t (t.length - 1))
+let oldest t = if t.length = 0 then None else Some (get t 0)
+
+let iter f t =
+  for i = 0 to t.length - 1 do
+    f (get t i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let clear t =
+  Array.fill t.items 0 t.capacity None;
+  t.start <- 0;
+  t.length <- 0

@@ -1,0 +1,34 @@
+(** Fixed-capacity ring buffer keeping the most recent [capacity] items.
+    Used to retain recent fault history windows and event logs without
+    unbounded growth. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity].  @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Number of items currently retained ([<= capacity]). *)
+
+val push : 'a t -> 'a -> unit
+(** Append; evicts the oldest retained item when full. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th oldest retained item, [0 <= i < length t].
+    @raise Invalid_argument out of range. *)
+
+val newest : 'a t -> 'a option
+val oldest : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest first. *)
+
+val clear : 'a t -> unit

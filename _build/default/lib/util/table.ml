@@ -1,0 +1,78 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d"
+         (List.length t.headers) (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Cells c -> measure c | Separator -> ()) t.rows;
+  let pad align width s =
+    let gap = width - String.length s in
+    if gap <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  let aligns = List.map snd t.headers in
+  let emit_cells cells =
+    List.iteri
+      (fun i (cell, align) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align widths.(i) cell))
+      (List.combine cells aligns);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells (List.map fst t.headers);
+  rule ();
+  List.iter
+    (function Cells c -> emit_cells c | Separator -> rule ())
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_pct ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals (x *. 100.0)
+
+let cell_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

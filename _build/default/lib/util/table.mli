@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment reports.
+
+    The bench harness prints the same rows/series the paper's tables and
+    figures report; this module keeps that output aligned and uniform. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:(string * align) list -> t
+(** Column headers with per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+(** Full table, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell; default 2 decimals. *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** Format a fraction as a percentage cell, e.g. [0.114] -> ["11.4%"]. *)
+
+val cell_int : int -> string
+(** Thousands-separated integer cell. *)

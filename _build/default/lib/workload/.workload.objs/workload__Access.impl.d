@@ -1,0 +1,1 @@
+lib/workload/access.ml: Format

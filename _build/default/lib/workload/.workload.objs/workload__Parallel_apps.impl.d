@@ -1,0 +1,1 @@
+lib/workload/parallel_apps.ml: Fun Input List Pattern Printf Trace

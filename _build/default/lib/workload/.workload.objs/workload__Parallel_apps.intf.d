@@ -1,0 +1,1 @@
+lib/workload/parallel_apps.mli: Spec

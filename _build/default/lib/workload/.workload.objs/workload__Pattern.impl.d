@@ -1,0 +1,1 @@
+lib/workload/pattern.ml: Access Array List Repro_util Seq

@@ -1,0 +1,1 @@
+lib/workload/pattern.mli: Access Repro_util Seq

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Input List Pattern Printf Trace

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Input List Pattern Trace

@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Spec

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Access Hashtbl List Pattern Printf Repro_util Seq

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Access Fun List Pattern Printf Seq String Trace

@@ -1,0 +1,1 @@
+lib/workload/trace_stats.ml: Access Format Hashtbl List Queue Seq Trace

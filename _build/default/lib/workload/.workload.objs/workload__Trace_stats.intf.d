@@ -1,0 +1,1 @@
+lib/workload/trace_stats.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/workload/vision.ml: Input List Pattern Printf Trace

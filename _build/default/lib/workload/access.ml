@@ -1,0 +1,11 @@
+type t = { site : int; vpage : int; compute : int; thread : int }
+
+let make ~site ~vpage ~compute ?(thread = 0) () =
+  if vpage < 0 then invalid_arg "Access.make: negative page";
+  if compute < 0 then invalid_arg "Access.make: negative compute";
+  if thread < 0 then invalid_arg "Access.make: negative thread";
+  { site; vpage; compute; thread }
+
+let pp fmt t =
+  Format.fprintf fmt "site=%d page=%d compute=%d thread=%d" t.site t.vpage
+    t.compute t.thread

@@ -1,0 +1,26 @@
+(** One page-granular memory event of a simulated application.
+
+    The paper's schemes observe nothing finer than a page number (SGX
+    clears the low 12 bits of faulting addresses) plus, for SIP, the
+    identity of the source construct that issued the access — so this is
+    the entire information content of a workload event. *)
+
+type t = {
+  site : int;
+      (** Identifier of the memory instruction / source line issuing the
+          access.  SIP classifies and instruments at site granularity
+          (§4.4); DFP never sees it. *)
+  vpage : int;  (** Virtual page touched. *)
+  compute : int;
+      (** Application compute cycles preceding this access — the time DFP
+          can hide a preload behind. *)
+  thread : int;
+      (** Issuing thread.  Algorithm 1 keeps one stream list per faulting
+          thread ([find_stream_list(ID)]); single-threaded workloads use
+          thread 0. *)
+}
+
+val make : site:int -> vpage:int -> compute:int -> ?thread:int -> unit -> t
+(** @raise Invalid_argument on a negative page, compute, or thread. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = Train | Ref of int
+
+let seed_of t ~base =
+  match t with
+  | Train -> (base * 31) + 17
+  | Ref i -> (base * 131) + (1009 * (i + 1))
+
+let size_factor = function
+  | Train -> 0.45
+  | Ref i -> 1.0 +. (0.06 *. float_of_int (i mod 3))
+
+let to_string = function
+  | Train -> "train"
+  | Ref i -> Printf.sprintf "ref%d" i
+
+let equal a b =
+  match (a, b) with
+  | Train, Train -> true
+  | Ref i, Ref j -> i = j
+  | Train, Ref _ | Ref _, Train -> false

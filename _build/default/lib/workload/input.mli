@@ -1,0 +1,23 @@
+(** Input-set selection for the PGO flow.
+
+    The paper profiles with SPEC's {e train} inputs (or one sample image)
+    and measures with {e ref} inputs (other images), §5.2/§5.3.  An input
+    deterministically perturbs a workload model's seed and size so the
+    profile run and the measured run differ the way two input sets do,
+    while keeping the benchmark's characteristic pattern. *)
+
+type t =
+  | Train  (** The profiling input. *)
+  | Ref of int  (** A measurement input; the index selects among several
+                    (e.g. several images of the FiveK set). *)
+
+val seed_of : t -> base:int -> int
+(** Derive the PRNG seed for this input from the benchmark's base seed. *)
+
+val size_factor : t -> float
+(** Relative workload size: train inputs are smaller (paper's train sets
+    are); ref inputs are full-size with slight per-input variation. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

@@ -1,0 +1,23 @@
+(** Multi-threaded enclave workloads (extension).
+
+    Algorithm 1 keeps a stream list {e per faulting thread}
+    ([find_stream_list(ID)] in the paper), but the paper's evaluation is
+    single-threaded.  These models exercise the per-thread machinery: each
+    thread advances its own sequential stream while also issuing irregular
+    accesses, so a single {e shared} stream list is churned out of
+    existence by the combined fault stream while per-thread lists keep
+    every stream alive. *)
+
+val mt_scan : threads:int -> Spec.model
+(** [threads] worker threads, each sequentially scanning a private region
+    (with interleaved irregular probes into a shared cold pool).  Footprint
+    ~[0.75 x threads] EPCs. *)
+
+val mt_zipf : threads:int -> Spec.model
+(** Threads sharing one zipf-hot pool plus private scratch scans — a
+    server-like shape where per-thread streams are short. *)
+
+val all : (string * Spec.model) list
+(** Fixed 8-thread instances under the names ["mt-scan"] / ["mt-zipf"]. *)
+
+val by_name : string -> Spec.model option

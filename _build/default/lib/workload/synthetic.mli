@@ -1,0 +1,20 @@
+(** Purpose-built synthetic workloads outside the paper's benchmark list.
+
+    - {!oram}: §3.1 points out that memory-protection layers like ORAM
+      randomise the page-access sequence, so "the same program" has a
+      different pattern every run — the adversarial case for any
+      history-based predictor.  The model issues uniformly random page
+      accesses whose sequence differs per input while keeping footprint
+      and volume fixed.
+    - {!adversarial_streams}: the theoretical worst case for Algorithm 1 —
+      every fault pair looks sequential, no third page ever follows.
+    - {!best_case}: one infinite stream with ample compute, the
+      theoretical best case (DFP converges to 1 fault per
+      [LOADLENGTH]+1 pages). *)
+
+val oram : Spec.model
+val adversarial_streams : Spec.model
+val best_case : Spec.model
+
+val all : (string * Spec.model) list
+val by_name : string -> Spec.model option

@@ -1,0 +1,31 @@
+module Prng = Repro_util.Prng
+
+type t = {
+  name : string;
+  elrange_pages : int;
+  footprint_pages : int;
+  seed : int;
+  pattern : Pattern.t;
+  sites : (int * string) list;
+}
+
+let make ~name ~elrange_pages ~footprint_pages ~seed ~sites pattern =
+  if elrange_pages <= 0 then invalid_arg "Trace.make: elrange must be positive";
+  { name; elrange_pages; footprint_pages; seed; pattern; sites }
+
+let events t = Pattern.run t.pattern (Prng.create t.seed)
+
+let site_name t site =
+  match List.assoc_opt site t.sites with
+  | Some name -> name
+  | None -> Printf.sprintf "site%d" site
+
+let length t = Seq.fold_left (fun n _ -> n + 1) 0 (events t)
+
+let count_distinct_pages t =
+  let seen = Hashtbl.create 1024 in
+  Seq.iter
+    (fun (a : Access.t) ->
+      if not (Hashtbl.mem seen a.vpage) then Hashtbl.add seen a.vpage ())
+    (events t);
+  Hashtbl.length seen

@@ -1,0 +1,32 @@
+(** A named, replayable workload: a pattern plus its seed and address-space
+    size.
+
+    Replays are the backbone of the PGO flow — the profiling run and the
+    measured run both call {!events} and receive streams rebuilt from the
+    trace's seed, so "run the same binary again" is exact. *)
+
+type t = {
+  name : string;
+  elrange_pages : int;  (** Virtual address-space size (ELRANGE), pages. *)
+  footprint_pages : int;  (** Distinct pages the workload touches. *)
+  seed : int;
+  pattern : Pattern.t;
+  sites : (int * string) list;  (** Site id -> human label, for reports. *)
+}
+
+val make :
+  name:string -> elrange_pages:int -> footprint_pages:int -> seed:int ->
+  sites:(int * string) list -> Pattern.t -> t
+
+val events : t -> Access.t Seq.t
+(** A fresh single-consumption stream built from the stored seed.
+    Successive calls yield identical streams. *)
+
+val site_name : t -> int -> string
+(** Label of a site (falls back to ["site<i>"]). *)
+
+val length : t -> int
+(** Number of events (forces one full replay; O(trace)). *)
+
+val count_distinct_pages : t -> int
+(** Distinct pages touched (forces one full replay). *)

@@ -1,0 +1,61 @@
+let save_trace (trace : Trace.t) ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# sgx-preload trace v1\n";
+      Printf.fprintf oc "name %s\n" trace.name;
+      Printf.fprintf oc "elrange %d\n" trace.elrange_pages;
+      Printf.fprintf oc "footprint %d\n" trace.footprint_pages;
+      List.iter
+        (fun (site, label) -> Printf.fprintf oc "site %d %s\n" site label)
+        trace.sites;
+      Seq.iter
+        (fun (a : Access.t) ->
+          Printf.fprintf oc "a %d %d %d %d\n" a.site a.vpage a.compute a.thread)
+        (Trace.events trace))
+
+let fail path line msg =
+  failwith (Printf.sprintf "Trace_io.load_trace: %s, line %d: %s" path line msg)
+
+let load_trace ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lineno = ref 0 in
+      let read () =
+        incr lineno;
+        input_line ic
+      in
+      let header = read () in
+      if header <> "# sgx-preload trace v1" then
+        fail path !lineno "unrecognised header";
+      let name = ref "" and elrange = ref 0 and footprint = ref 0 in
+      let sites = ref [] in
+      let accesses = ref [] in
+      (try
+         while true do
+           let line = read () in
+           match String.split_on_char ' ' line with
+           | "name" :: rest -> name := String.concat " " rest
+           | [ "elrange"; n ] -> elrange := int_of_string n
+           | [ "footprint"; n ] -> footprint := int_of_string n
+           | "site" :: id :: label ->
+             sites := (int_of_string id, String.concat " " label) :: !sites
+           | [ "a"; site; vpage; compute; thread ] ->
+             accesses :=
+               Access.make ~site:(int_of_string site)
+                 ~vpage:(int_of_string vpage) ~compute:(int_of_string compute)
+                 ~thread:(int_of_string thread) ()
+               :: !accesses
+           | [ "" ] -> ()
+           | _ -> fail path !lineno "unrecognised line"
+         done
+       with
+      | End_of_file -> ()
+      | Failure _ -> fail path !lineno "malformed field");
+      if !elrange <= 0 then fail path !lineno "missing or invalid elrange";
+      Trace.make ~name:!name ~elrange_pages:!elrange ~footprint_pages:!footprint
+        ~seed:0 ~sites:(List.rev !sites)
+        (Pattern.of_events (List.rev !accesses)))

@@ -1,0 +1,104 @@
+type t = {
+  events : int;
+  distinct_pages : int;
+  sites : int;
+  threads : int;
+  total_compute : int;
+  sequential_pairs : int;
+  same_page_pairs : int;
+  run_length_mean : float;
+}
+
+let analyse trace =
+  let pages = Hashtbl.create 1024 in
+  let sites = Hashtbl.create 64 in
+  let threads = Hashtbl.create 8 in
+  let events = ref 0 in
+  let total_compute = ref 0 in
+  let sequential_pairs = ref 0 in
+  let same_page_pairs = ref 0 in
+  let prev = ref None in
+  let runs = ref 0 in
+  let run_pages = ref 0 in
+  let current_run = ref 1 in
+  let close_run () =
+    if !current_run > 0 then begin
+      incr runs;
+      run_pages := !run_pages + !current_run
+    end
+  in
+  Seq.iter
+    (fun (a : Access.t) ->
+      incr events;
+      total_compute := !total_compute + a.compute;
+      Hashtbl.replace pages a.vpage ();
+      Hashtbl.replace sites a.site ();
+      Hashtbl.replace threads a.thread ();
+      (match !prev with
+      | Some p when abs (a.vpage - p) = 1 ->
+        incr sequential_pairs;
+        incr current_run
+      | Some p when a.vpage = p -> incr same_page_pairs
+      | Some _ ->
+        close_run ();
+        current_run := 1
+      | None -> ());
+      prev := Some a.vpage)
+    (Trace.events trace);
+  if !events > 0 then close_run ();
+  {
+    events = !events;
+    distinct_pages = Hashtbl.length pages;
+    sites = Hashtbl.length sites;
+    threads = Hashtbl.length threads;
+    total_compute = !total_compute;
+    sequential_pairs = !sequential_pairs;
+    same_page_pairs = !same_page_pairs;
+    run_length_mean =
+      (if !runs = 0 then 0.0 else float_of_int !run_pages /. float_of_int !runs);
+  }
+
+let miss_ratio trace ~epc_pages =
+  if epc_pages <= 0 then invalid_arg "Trace_stats.miss_ratio: epc_pages must be positive";
+  (* Reuse the core library's trick without depending on it: a lazy LRU
+     set of page numbers. *)
+  let stamps = Hashtbl.create (2 * epc_pages) in
+  let queue = Queue.create () in
+  let clock = ref 0 in
+  let misses = ref 0 in
+  let events = ref 0 in
+  let evict () =
+    let rec pop () =
+      match Queue.take_opt queue with
+      | None -> ()
+      | Some (page, stamp) -> (
+        match Hashtbl.find_opt stamps page with
+        | Some fresh when fresh = stamp -> Hashtbl.remove stamps page
+        | Some _ | None -> pop ())
+    in
+    pop ()
+  in
+  Seq.iter
+    (fun (a : Access.t) ->
+      incr events;
+      let hit = Hashtbl.mem stamps a.vpage in
+      if not hit then incr misses;
+      incr clock;
+      Hashtbl.replace stamps a.vpage !clock;
+      Queue.add (a.vpage, !clock) queue;
+      if not hit then
+        while Hashtbl.length stamps > epc_pages do
+          evict ()
+        done)
+    (Trace.events trace);
+  if !events = 0 then 0.0 else float_of_int !misses /. float_of_int !events
+
+let miss_ratio_curve trace ~epc_pages =
+  List.map (fun epc -> (epc, miss_ratio trace ~epc_pages:epc)) epc_pages
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>events=%d distinct-pages=%d sites=%d threads=%d compute=%d@ \
+     sequential-pairs=%d same-page-pairs=%d mean-run=%.2f@]"
+    t.events t.distinct_pages t.sites t.threads t.total_compute
+    t.sequential_pairs t.same_page_pairs t.run_length_mean

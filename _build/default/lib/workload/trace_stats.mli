@@ -1,0 +1,33 @@
+(** Offline workload characterisation.
+
+    Computes the quantities Table 1 of the paper classifies benchmarks by
+    (working-set size, regularity) plus the standard locality curves used
+    to sanity-check the synthetic models: an LRU miss-ratio curve (what
+    fraction of accesses would fault at a given EPC size) and the
+    distribution of sequential run lengths in the page stream. *)
+
+type t = {
+  events : int;
+  distinct_pages : int;
+  sites : int;
+  threads : int;
+  total_compute : int;
+  sequential_pairs : int;
+      (** Adjacent consecutive accesses ([|Δpage| = 1]), the raw material
+          of stream detection. *)
+  same_page_pairs : int;  (** Consecutive accesses to the same page. *)
+  run_length_mean : float;
+      (** Mean length (in pages) of maximal ±1-step runs. *)
+}
+
+val analyse : Trace.t -> t
+(** One replay of the trace (O(events)). *)
+
+val miss_ratio : Trace.t -> epc_pages:int -> float
+(** Fraction of accesses that miss an LRU set of [epc_pages] pages — a
+    fast approximation of the baseline fault rate at that EPC size. *)
+
+val miss_ratio_curve : Trace.t -> epc_pages:int list -> (int * float) list
+(** {!miss_ratio} at several sizes, one replay per size. *)
+
+val pp : Format.formatter -> t -> unit

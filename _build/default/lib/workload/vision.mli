@@ -1,0 +1,17 @@
+(** Models of the two SD-VBS real-world applications (§5.3) and the
+    synthesized [mixed-blood] program (§5.4).
+
+    SIFT's page behaviour is dominated by sequential sweeps over the image
+    pyramid (DFP-friendly; the paper's tool finds 0 instrumentation
+    points); MSER is dominated by irregular union-find traffic
+    (SIP-friendly, 54 instrumentation points).  [mixed-blood] is the
+    paper's synthesized validation: a sequential image scan followed by
+    MSER blob detection, exercising both schemes at once. *)
+
+val sift : Spec.model
+val mser : Spec.model
+val mixed_blood : Spec.model
+
+val all : (string * Spec.model) list
+
+val by_name : string -> Spec.model option

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Filename Fun Hashtbl List Option Preload Printf QCheck2 QCheck_alcotest Repro_util Sgxsim Sys Workload

@@ -1,0 +1,1 @@
+test/test_enclave.ml: Alcotest Fun List Preload QCheck2 QCheck_alcotest Repro_util Sgxsim

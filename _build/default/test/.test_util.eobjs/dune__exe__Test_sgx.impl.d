@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Array Format Hashtbl List QCheck2 QCheck_alcotest Sgxsim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float List Option Preload Repro_util Sgxsim Sim String Workload

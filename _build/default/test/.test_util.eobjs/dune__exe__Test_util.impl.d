@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Hashtbl List QCheck2 QCheck_alcotest Repro_util

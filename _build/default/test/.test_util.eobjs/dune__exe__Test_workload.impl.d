@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Filename Fun Hashtbl List Option QCheck2 QCheck_alcotest Repro_util Seq Sys Workload

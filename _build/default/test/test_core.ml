@@ -1,0 +1,693 @@
+(* Tests of the paper's core contribution: Algorithm 1, DFP with its
+   abort machinery, the SIP profiler/instrumenter, and the ablation
+   prefetchers. *)
+
+module SP = Preload.Stream_predictor
+module Dfp = Preload.Dfp
+module Page_lru = Preload.Page_lru
+module Profiler = Preload.Sip_profiler
+module Instrumenter = Preload.Sip_instrumenter
+module Scheme = Preload.Scheme
+module Enclave = Sgxsim.Enclave
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Stream predictor (Algorithm 1)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let predictor ?(len = 4) ?(ll = 4) ?detect_backward () =
+  SP.create ?detect_backward ~stream_list_length:len ~load_length:ll ()
+
+let test_first_fault_opens_stream () =
+  let p = predictor () in
+  (match SP.on_fault p 10 with
+  | SP.New_stream { stream; replaced } ->
+    checki "tail" 10 stream.stpn;
+    checki "no direction yet" 0 stream.dir;
+    checkb "nothing replaced" true (replaced = None)
+  | _ -> Alcotest.fail "expected New_stream");
+  checki "one stream" 1 (List.length (SP.streams p))
+
+let test_sequential_fault_extends () =
+  let p = predictor () in
+  ignore (SP.on_fault p 10);
+  match SP.on_fault p 11 with
+  | SP.Extend { stream; predict } ->
+    checki "tail advanced" 11 stream.stpn;
+    checki "ascending" 1 stream.dir;
+    Alcotest.(check (list int)) "LOADLENGTH pages ahead" [ 12; 13; 14; 15 ] predict
+  | _ -> Alcotest.fail "expected Extend"
+
+let test_descending_stream_detected () =
+  let p = predictor () in
+  ignore (SP.on_fault p 10);
+  match SP.on_fault p 9 with
+  | SP.Extend { stream; predict } ->
+    checki "descending" (-1) stream.dir;
+    Alcotest.(check (list int)) "downward predictions" [ 8; 7; 6; 5 ] predict
+  | _ -> Alcotest.fail "expected Extend"
+
+let test_backward_detection_can_be_disabled () =
+  let p = predictor ~detect_backward:false () in
+  ignore (SP.on_fault p 10);
+  match SP.on_fault p 9 with
+  | SP.New_stream _ -> ()
+  | _ -> Alcotest.fail "descending fault must open a new stream"
+
+let test_direction_locks () =
+  let p = predictor () in
+  ignore (SP.on_fault p 10);
+  ignore (SP.on_fault p 11);
+  (* Once ascending, 10 is not sequential any more. *)
+  match SP.on_fault p 10 with
+  | SP.New_stream _ -> ()
+  | _ -> Alcotest.fail "locked direction must not re-extend backwards"
+
+let test_predictions_clamped_at_zero () =
+  let p = predictor () in
+  ignore (SP.on_fault p 2);
+  match SP.on_fault p 1 with
+  | SP.Extend { predict; _ } ->
+    Alcotest.(check (list int)) "no negative pages" [ 0 ] predict
+  | _ -> Alcotest.fail "expected Extend"
+
+let test_lru_replacement () =
+  let p = predictor ~len:2 () in
+  ignore (SP.on_fault p 10);
+  ignore (SP.on_fault p 50);
+  (match SP.on_fault p 90 with
+  | SP.New_stream { replaced = Some dead; _ } -> checki "LRU evicted" 10 dead.stpn
+  | _ -> Alcotest.fail "expected replacement");
+  checki "bounded" 2 (List.length (SP.streams p))
+
+let test_hit_promotes_stream () =
+  let p = predictor ~len:2 () in
+  ignore (SP.on_fault p 10);
+  ignore (SP.on_fault p 50);
+  (* Extending the older stream must move it to the head: the next
+     replacement victim is then 50, not 10's stream. *)
+  ignore (SP.on_fault p 11);
+  match SP.on_fault p 90 with
+  | SP.New_stream { replaced = Some dead; _ } -> checki "newer got evicted" 50 dead.stpn
+  | _ -> Alcotest.fail "expected replacement"
+
+let test_restart_within_pending_window () =
+  let p = predictor () in
+  ignore (SP.on_fault p 1);
+  let stream, _ =
+    match SP.on_fault p 2 with
+    | SP.Extend { stream; predict } ->
+      SP.set_pending stream predict;
+      (stream, predict)
+    | _ -> Alcotest.fail "expected Extend"
+  in
+  (* The paper's example: the fault skips to page 5 while 3..6 are still
+     pending -> abort them, restart the stream at 5. *)
+  match SP.on_fault p 5 with
+  | SP.Restart_within { stream = s; abort } ->
+    checkb "same stream" true (s == stream);
+    Alcotest.(check (list int)) "aborts the window" [ 3; 4; 5; 6 ] abort;
+    checki "restarted at the fault" 5 s.stpn;
+    checki "direction reset" 0 s.dir;
+    Alcotest.(check (list int)) "pending cleared" [] s.pending
+  | _ -> Alcotest.fail "expected Restart_within"
+
+let test_restarted_stream_can_extend_again () =
+  let p = predictor () in
+  ignore (SP.on_fault p 1);
+  (match SP.on_fault p 2 with
+  | SP.Extend { stream; predict } -> SP.set_pending stream predict
+  | _ -> Alcotest.fail "expected Extend");
+  ignore (SP.on_fault p 5);
+  match SP.on_fault p 6 with
+  | SP.Extend { predict; _ } ->
+    Alcotest.(check (list int)) "resumes from the restart" [ 7; 8; 9; 10 ] predict
+  | _ -> Alcotest.fail "expected Extend"
+
+let test_interleaved_streams_both_tracked () =
+  let p = predictor ~len:4 () in
+  ignore (SP.on_fault p 100);
+  ignore (SP.on_fault p 200);
+  (* Faults alternate between two sequential regions; both must extend. *)
+  let ok = ref true in
+  List.iter
+    (fun npn ->
+      match SP.on_fault p npn with SP.Extend _ -> () | _ -> ok := false)
+    [ 101; 201; 102; 202; 103; 203 ];
+  checkb "multi-stream" true !ok
+
+let test_reset () =
+  let p = predictor () in
+  ignore (SP.on_fault p 1);
+  SP.reset p;
+  checki "empty" 0 (List.length (SP.streams p))
+
+let test_create_validation () =
+  Alcotest.check_raises "bad list length"
+    (Invalid_argument "Stream_predictor.create: stream_list_length must be positive")
+    (fun () -> ignore (SP.create ~stream_list_length:0 ~load_length:4 ()));
+  Alcotest.check_raises "bad load length"
+    (Invalid_argument "Stream_predictor.create: load_length must be positive")
+    (fun () -> ignore (SP.create ~stream_list_length:4 ~load_length:0 ()))
+
+let predictor_qcheck =
+  [
+    QCheck2.Test.make ~name:"stream list never exceeds its capacity" ~count:200
+      QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 1 100) (int_range 0 200)))
+      (fun (len, faults) ->
+        let p = predictor ~len () in
+        List.iter (fun f -> ignore (SP.on_fault p f)) faults;
+        List.length (SP.streams p) <= len);
+    QCheck2.Test.make ~name:"predictions never include the faulted page" ~count:200
+      QCheck2.Gen.(list_size (int_range 1 60) (int_range 0 100))
+      (fun faults ->
+        let p = predictor () in
+        List.for_all
+          (fun f ->
+            match SP.on_fault p f with
+            | SP.Extend { predict; _ } -> not (List.mem f predict)
+            | _ -> true)
+          faults);
+    QCheck2.Test.make ~name:"predictions are contiguous from the fault" ~count:200
+      QCheck2.Gen.(list_size (int_range 1 60) (int_range 0 100))
+      (fun faults ->
+        let p = predictor () in
+        List.for_all
+          (fun f ->
+            match SP.on_fault p f with
+            | SP.Extend { stream; predict } ->
+              let dir = stream.dir in
+              List.for_all2
+                (fun i pred -> pred = f + (dir * (i + 1)))
+                (List.init (List.length predict) Fun.id)
+                predict
+            | _ -> true)
+          faults);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Page LRU                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_page_lru_eviction () =
+  let l = Page_lru.create ~capacity:2 in
+  checkb "miss" false (Page_lru.touch l 1);
+  checkb "miss" false (Page_lru.touch l 2);
+  checkb "hit" true (Page_lru.touch l 1);
+  (* 2 is now the LRU. *)
+  ignore (Page_lru.touch l 3);
+  checkb "evicted lru" false (Page_lru.mem l 2);
+  checkb "kept recent" true (Page_lru.mem l 1);
+  checki "size" 2 (Page_lru.size l)
+
+let test_page_lru_clear () =
+  let l = Page_lru.create ~capacity:4 in
+  ignore (Page_lru.touch l 1);
+  Page_lru.clear l;
+  checki "empty" 0 (Page_lru.size l);
+  checkb "gone" false (Page_lru.mem l 1)
+
+let page_lru_qcheck =
+  [
+    QCheck2.Test.make ~name:"size never exceeds capacity" ~count:200
+      QCheck2.Gen.(pair (int_range 1 16) (list_size (int_range 1 300) (int_range 0 64)))
+      (fun (cap, touches) ->
+        let l = Page_lru.create ~capacity:cap in
+        List.iter (fun p -> ignore (Page_lru.touch l p)) touches;
+        Page_lru.size l <= cap);
+    QCheck2.Test.make ~name:"most recent touch is always in" ~count:200
+      QCheck2.Gen.(pair (int_range 1 16) (list_size (int_range 1 100) (int_range 0 64)))
+      (fun (cap, touches) ->
+        let l = Page_lru.create ~capacity:cap in
+        List.iter (fun p -> ignore (Page_lru.touch l p)) touches;
+        match List.rev touches with [] -> true | last :: _ -> Page_lru.mem l last);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SIP profiler                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let profile_of_pattern ?(residency = 64) pattern =
+  let trace =
+    Workload.Trace.make ~name:"t" ~elrange_pages:100_000 ~footprint_pages:1
+      ~seed:5 ~sites:[] pattern
+  in
+  Profiler.profile
+    { Profiler.stream_list_length = 8; load_length = 4; residency_pages = residency }
+    trace
+
+let test_profiler_sequential_is_class2 () =
+  let profile =
+    profile_of_pattern
+      (Workload.Pattern.sequential ~site:0 ~base:0 ~pages:200 ~events_per_page:1
+         ~compute:0 ~jitter:0.0)
+  in
+  let counts = Option.get (Profiler.site_counts profile 0) in
+  (* First touch opens the stream (Class 3); every subsequent page
+     extends it (Class 2). *)
+  checki "one opener" 1 counts.c3;
+  checki "rest extend" 199 counts.c2
+
+let test_profiler_repeated_touches_are_class1 () =
+  let profile =
+    profile_of_pattern
+      (Workload.Pattern.sequential ~site:0 ~base:0 ~pages:50 ~events_per_page:4
+         ~compute:0 ~jitter:0.0)
+  in
+  let counts = Option.get (Profiler.site_counts profile 0) in
+  (* 3 of every 4 touches hit the residency set. *)
+  checki "class1" 150 counts.c1;
+  checki "class2" 49 counts.c2;
+  checki "class3" 1 counts.c3
+
+let test_profiler_random_is_class3 () =
+  let profile =
+    profile_of_pattern ~residency:16
+      (Workload.Pattern.uniform_random ~site:0 ~base:0 ~pages:50_000 ~events:400
+         ~compute:0 ~jitter:0.0)
+  in
+  let counts = Option.get (Profiler.site_counts profile 0) in
+  checkb "overwhelmingly irregular" true
+    (Profiler.irregular_ratio counts > 0.9);
+  checki "all classified" 400 (counts.c1 + counts.c2 + counts.c3)
+
+let test_profiler_totals_and_sites () =
+  let pattern =
+    Workload.Pattern.seq_list
+      [
+        Workload.Pattern.sequential ~site:1 ~base:0 ~pages:10 ~events_per_page:1
+          ~compute:0 ~jitter:0.0;
+        Workload.Pattern.sequential ~site:2 ~base:100 ~pages:10 ~events_per_page:1
+          ~compute:0 ~jitter:0.0;
+      ]
+  in
+  let profile = profile_of_pattern pattern in
+  checki "two sites" 2 (List.length (Profiler.sites profile));
+  let totals = Profiler.totals profile in
+  checki "accesses" 20 (totals.c1 + totals.c2 + totals.c3);
+  checki "total counter" 20 profile.total_accesses
+
+let test_classify_one_steps () =
+  let predictor = predictor ~len:4 () in
+  let cache = Page_lru.create ~capacity:8 in
+  let cls = Profiler.classify_one predictor cache ~load_length:4 in
+  checkb "first sight irregular" true (cls 10 = Profiler.Class3);
+  checkb "revisit is class1" true (cls 10 = Profiler.Class1);
+  checkb "next page is class2" true (cls 11 = Profiler.Class2);
+  checkb "within load-length window is class2" true (cls 14 = Profiler.Class2)
+
+(* ------------------------------------------------------------------ *)
+(* SIP instrumenter                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mk_profile specs =
+  let t =
+    {
+      Profiler.workload = "synthetic";
+      input = "train";
+      config = { Profiler.stream_list_length = 8; load_length = 4; residency_pages = 8 };
+      per_site = Hashtbl.create 8;
+      total_accesses = 0;
+    }
+  in
+  List.iter
+    (fun (site, c1, c2, c3) ->
+      Hashtbl.add t.Profiler.per_site site { Profiler.c1; c2; c3 };
+      t.total_accesses <- t.total_accesses + c1 + c2 + c3)
+    specs;
+  t
+
+let test_instrumenter_threshold () =
+  let profile = mk_profile [ (0, 96, 0, 4); (1, 50, 0, 50); (2, 100, 0, 0) ] in
+  let plan = Instrumenter.plan_of_profile ~threshold:0.05 profile in
+  Alcotest.(check (list int)) "only the irregular site" [ 1 ]
+    (Instrumenter.instrumented_sites plan);
+  checki "points" 1 (Instrumenter.instrumentation_points plan)
+
+let test_instrumenter_threshold_boundary () =
+  (* ratio exactly at the threshold counts as instrumented (>=). *)
+  let profile = mk_profile [ (0, 95, 0, 5) ] in
+  let plan = Instrumenter.plan_of_profile ~threshold:0.05 profile in
+  checki "boundary included" 1 (Instrumenter.instrumentation_points plan)
+
+let test_instrumenter_predicate_matches_list () =
+  let profile = mk_profile [ (3, 0, 0, 10); (7, 10, 0, 0); (9, 5, 0, 5) ] in
+  let plan = Instrumenter.plan_of_profile profile in
+  let pred = Instrumenter.site_predicate plan in
+  List.iter
+    (fun site ->
+      checkb
+        (Printf.sprintf "site %d" site)
+        (Instrumenter.is_instrumented plan site)
+        (pred site))
+    [ 0; 3; 7; 9 ]
+
+let test_instrumenter_empty_plan () =
+  let plan = Instrumenter.empty_plan ~workload:"x" in
+  checki "no points" 0 (Instrumenter.instrumentation_points plan);
+  checkb "nothing instrumented" false (Instrumenter.is_instrumented plan 0)
+
+let test_default_threshold_is_paper () =
+  Alcotest.(check (float 1e-9)) "5%" 0.05 Instrumenter.default_threshold
+
+(* ------------------------------------------------------------------ *)
+(* Plan IO                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_io_roundtrip () =
+  let profile = mk_profile [ (0, 96, 0, 4); (1, 50, 0, 50); (7, 100, 3, 0) ] in
+  let plan = Instrumenter.plan_of_profile ~threshold:0.05 profile in
+  let path = Filename.temp_file "sgx_preload_test" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Preload.Plan_io.save plan ~path;
+      let loaded = Preload.Plan_io.load ~path in
+      Alcotest.(check string) "workload" plan.workload loaded.workload;
+      Alcotest.(check (float 1e-6)) "threshold" plan.threshold loaded.threshold;
+      checki "decisions" (List.length plan.decisions) (List.length loaded.decisions);
+      Alcotest.(check (list int)) "instrumented sites survive"
+        (Instrumenter.instrumented_sites plan)
+        (Instrumenter.instrumented_sites loaded);
+      List.iter2
+        (fun (a : Instrumenter.decision) (b : Instrumenter.decision) ->
+          checki "site" a.site b.site;
+          checki "c1" a.counts.c1 b.counts.c1;
+          checki "c3" a.counts.c3 b.counts.c3)
+        plan.decisions loaded.decisions)
+
+let test_plan_io_rejects_garbage () =
+  let path = Filename.temp_file "sgx_preload_test" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "bogus\n";
+      close_out oc;
+      checkb "load fails" true
+        (try
+           ignore (Preload.Plan_io.load ~path);
+           false
+         with Failure _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* DFP attached to an enclave                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_dfp_preloads_on_stream () =
+  let e = Enclave.create ~epc_pages:16 ~elrange_pages:64 () in
+  let dfp = Dfp.attach e Dfp.default_config in
+  let now = ref 0 in
+  (* Sequential walk with compute gaps large enough to hide loads. *)
+  for p = 0 to 15 do
+    now := Enclave.compute e ~now:!now 60_000;
+    now := Enclave.access e ~now:!now p
+  done;
+  Enclave.sync e ~now:!now;
+  let m = Enclave.metrics e in
+  checkb "preloads eliminated most faults" true (m.faults < 8);
+  checkb "completed some preloads" true (m.preloads_completed > 6);
+  let acc, total = Dfp.counters dfp in
+  checkb "counters move" true (total > 0);
+  checkb "hits harvested after scans" true (acc >= 0)
+
+let test_dfp_stop_fires_on_garbage () =
+  let e = Enclave.create ~epc_pages:16 ~elrange_pages:4096 () in
+  let dfp = Dfp.attach e { (Dfp.with_stop Dfp.default_config) with stop_margin = 5 } in
+  let prng = Repro_util.Prng.create 17 in
+  let now = ref 0 in
+  (* Adjacent fault pairs at random positions: streams open, predictions
+     never hit.  The safety valve must fire. *)
+  for _ = 1 to 400 do
+    let base = Repro_util.Prng.int prng 4000 in
+    now := Enclave.compute e ~now:!now 50_000;
+    now := Enclave.access e ~now:!now base;
+    now := Enclave.compute e ~now:!now 50_000;
+    now := Enclave.access e ~now:!now (base + 1)
+  done;
+  Enclave.sync e ~now:!now;
+  checkb "stopped" true (Dfp.stopped dfp)
+
+let test_dfp_stop_stays_off_on_streams () =
+  let e = Enclave.create ~epc_pages:16 ~elrange_pages:8192 () in
+  let dfp = Dfp.attach e { (Dfp.with_stop Dfp.default_config) with stop_margin = 5 } in
+  let now = ref 0 in
+  for p = 0 to 2000 do
+    now := Enclave.compute e ~now:!now 50_000;
+    now := Enclave.access e ~now:!now p
+  done;
+  Enclave.sync e ~now:!now;
+  checkb "accurate preloading keeps running" false (Dfp.stopped dfp)
+
+let test_dfp_steady_state_bound () =
+  (* With ample compute between pages, DFP's steady state on an endless
+     scan is exactly 1 fault per LOADLENGTH+1 pages (§4.1). *)
+  let pages = 500 in
+  let e = Enclave.create ~epc_pages:64 ~elrange_pages:pages () in
+  ignore (Dfp.attach e Dfp.default_config);
+  let now = ref 0 in
+  for p = 0 to pages - 1 do
+    now := Enclave.compute e ~now:!now 100_000;
+    now := Enclave.access e ~now:!now p
+  done;
+  Enclave.sync e ~now:!now;
+  let faults = Sgxsim.Metrics.total_faults (Enclave.metrics e) in
+  let expected = pages / (Dfp.default_config.load_length + 1) in
+  checkb "within 5% of the L/(L+1) bound" true
+    (abs (faults - expected) <= (expected / 20) + 2)
+
+let test_window_fault_extends_stream () =
+  (* Steady state from the predictor's view: the next fault of a live
+     stream lands LOADLENGTH+1 past the tail and must extend, not open a
+     new stream. *)
+  let p = predictor () in
+  ignore (SP.on_fault p 10);
+  ignore (SP.on_fault p 11);
+  match SP.on_fault p 16 with
+  | SP.Extend { stream; predict } ->
+    checki "tail jumps to the fault" 16 stream.stpn;
+    Alcotest.(check (list int)) "predicts onward" [ 17; 18; 19; 20 ] predict
+  | _ -> Alcotest.fail "window fault must extend"
+
+let test_beyond_window_opens_new_stream () =
+  let p = predictor () in
+  ignore (SP.on_fault p 10);
+  ignore (SP.on_fault p 11);
+  (* LOADLENGTH+2 past the tail is outside the window. *)
+  match SP.on_fault p 17 with
+  | SP.New_stream _ -> ()
+  | _ -> Alcotest.fail "beyond the window is a new stream"
+
+let test_pending_beats_window () =
+  (* A fault inside a window whose preloads are still queued is a skip
+     (restart), even though the distance alone would say extend. *)
+  let p = predictor () in
+  ignore (SP.on_fault p 1);
+  (match SP.on_fault p 2 with
+  | SP.Extend { stream; predict } -> SP.set_pending stream predict
+  | _ -> Alcotest.fail "expected Extend");
+  match SP.on_fault p 4 with
+  | SP.Restart_within _ -> ()
+  | _ -> Alcotest.fail "pending check must run before the window check"
+
+let test_dfp_per_thread_lists () =
+  let e = Enclave.create ~epc_pages:32 ~elrange_pages:4096 () in
+  let dfp = Dfp.attach e Dfp.default_config in
+  let now = ref 0 in
+  (* Two threads, each with its own sequential stream, interleaved. *)
+  for i = 0 to 9 do
+    now := Enclave.compute e ~now:!now 60_000;
+    now := Enclave.access ~thread:1 e ~now:!now (100 + i);
+    now := Enclave.compute e ~now:!now 60_000;
+    now := Enclave.access ~thread:2 e ~now:!now (2000 + i)
+  done;
+  checki "one list per thread" 2 (Dfp.thread_count dfp);
+  let tails p =
+    List.map (fun (s : SP.stream) -> s.stpn) (SP.streams (Dfp.predictor_for dfp p))
+  in
+  checkb "thread 1's list tracks its own stream" true
+    (List.exists (fun t -> t >= 100 && t < 120) (tails 1));
+  checkb "thread 2's list tracks its own stream" true
+    (List.exists (fun t -> t >= 2000 && t < 2020) (tails 2))
+
+let test_dfp_shared_list_mode () =
+  let e = Enclave.create ~epc_pages:32 ~elrange_pages:4096 () in
+  let dfp = Dfp.attach e { Dfp.default_config with per_thread = false } in
+  let now = ref 0 in
+  for i = 0 to 5 do
+    now := Enclave.access ~thread:7 e ~now:!now (100 + i);
+    now := Enclave.access ~thread:8 e ~now:!now (2000 + i)
+  done;
+  checki "single shared list" 1 (Dfp.thread_count dfp)
+
+let test_dfp_config_helpers () =
+  checkb "default has no stop" false Dfp.default_config.stop_enabled;
+  checkb "with_stop enables" true (Dfp.with_stop Dfp.default_config).stop_enabled;
+  checki "paper list length" 30 Dfp.default_config.stream_list_length;
+  checki "paper load length" 4 Dfp.default_config.load_length
+
+(* ------------------------------------------------------------------ *)
+(* Ablation prefetchers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_next_line_preloads () =
+  let e = Enclave.create ~epc_pages:16 ~elrange_pages:64 () in
+  let b = Preload.Prefetch_baselines.attach_next_line e ~degree:2 in
+  Alcotest.(check string) "name" "next-line(2)" (Preload.Prefetch_baselines.name b);
+  let t = Enclave.access e ~now:0 10 in
+  Enclave.sync e ~now:(t + 200_000);
+  checkb "p+1 preloaded" true (Enclave.page_present e 11);
+  checkb "p+2 preloaded" true (Enclave.page_present e 12);
+  checkb "p+3 not requested" false (Enclave.page_present e 13)
+
+let test_stride_detects_constant_delta () =
+  let e = Enclave.create ~epc_pages:32 ~elrange_pages:256 () in
+  ignore (Preload.Prefetch_baselines.attach_stride e ~degree:2);
+  let now = ref 0 in
+  List.iter
+    (fun p ->
+      now := Enclave.compute e ~now:!now 200_000;
+      now := Enclave.access e ~now:!now p)
+    [ 10; 17; 24 ];
+  (* Two consecutive deltas of 7: pages 31 and 38 should be queued. *)
+  Enclave.sync e ~now:(!now + 400_000);
+  checkb "stride+1" true (Enclave.page_present e 31);
+  checkb "stride+2" true (Enclave.page_present e 38)
+
+let test_markov_learns_repeated_sequence () =
+  let e = Enclave.create ~epc_pages:8 ~elrange_pages:256 () in
+  let b = Preload.Prefetch_baselines.attach_markov e ~table_pages:64 ~degree:2 in
+  Alcotest.(check string) "name" "markov(64,2)" (Preload.Prefetch_baselines.name b);
+  let now = ref 0 in
+  let visit pages =
+    List.iter
+      (fun p ->
+        now := Enclave.compute e ~now:!now 200_000;
+        now := Enclave.access e ~now:!now p)
+      pages
+  in
+  (* First pass teaches 10 -> 20 -> 30; the pages then get evicted by a
+     filler walk; the second pass replays the chain, so after re-faulting
+     on 10 the table preloads 20. *)
+  visit [ 10; 20; 30 ];
+  visit [ 100; 101; 102; 103; 104; 105; 106; 107; 108 ];
+  now := Enclave.access e ~now:!now 10;
+  Enclave.sync e ~now:(!now + 400_000);
+  checkb "successor preloaded" true (Enclave.page_present e 20)
+
+let test_markov_validation () =
+  let e = Enclave.create ~epc_pages:8 ~elrange_pages:16 () in
+  Alcotest.check_raises "degree" (Invalid_argument "attach_markov: degree must be positive")
+    (fun () -> ignore (Preload.Prefetch_baselines.attach_markov e ~table_pages:8 ~degree:0));
+  Alcotest.check_raises "table"
+    (Invalid_argument "attach_markov: table_pages must be positive") (fun () ->
+      ignore (Preload.Prefetch_baselines.attach_markov e ~table_pages:0 ~degree:2))
+
+let test_stride_ignores_irregular () =
+  let e = Enclave.create ~epc_pages:32 ~elrange_pages:256 () in
+  ignore (Preload.Prefetch_baselines.attach_stride e ~degree:2);
+  let now = ref 0 in
+  List.iter
+    (fun p ->
+      now := Enclave.compute e ~now:!now 200_000;
+      now := Enclave.access e ~now:!now p)
+    [ 10; 30; 90 ];
+  Enclave.sync e ~now:(!now + 400_000);
+  checki "no speculative loads" 0 (Enclave.metrics e).preloads_issued
+
+(* ------------------------------------------------------------------ *)
+(* Scheme                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheme_names () =
+  Alcotest.(check string) "baseline" "baseline" (Scheme.name Scheme.Baseline);
+  Alcotest.(check string) "dfp" "DFP" (Scheme.name Scheme.dfp_default);
+  Alcotest.(check string) "dfp-stop" "DFP-stop" (Scheme.name Scheme.dfp_stop);
+  Alcotest.(check string) "sip" "SIP"
+    (Scheme.name (Scheme.Sip (Instrumenter.empty_plan ~workload:"x")));
+  Alcotest.(check string) "hybrid" "SIP+DFP-stop"
+    (Scheme.name
+       (Scheme.Hybrid
+          (Dfp.with_stop Dfp.default_config, Instrumenter.empty_plan ~workload:"x")))
+
+let test_scheme_sip_plan () =
+  let plan = Instrumenter.empty_plan ~workload:"x" in
+  checkb "sip has plan" true (Scheme.sip_plan (Scheme.Sip plan) <> None);
+  checkb "dfp has none" true (Scheme.sip_plan Scheme.dfp_default = None);
+  checkb "uses_sip" true (Scheme.uses_sip (Scheme.Sip plan));
+  checkb "baseline does not" false (Scheme.uses_sip Scheme.Baseline)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let props = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "preload-core"
+    [
+      ( "stream_predictor",
+        [
+          tc "first fault opens stream" test_first_fault_opens_stream;
+          tc "sequential extends" test_sequential_fault_extends;
+          tc "descending detected" test_descending_stream_detected;
+          tc "backward can be disabled" test_backward_detection_can_be_disabled;
+          tc "direction locks" test_direction_locks;
+          tc "clamped at zero" test_predictions_clamped_at_zero;
+          tc "LRU replacement" test_lru_replacement;
+          tc "hit promotes" test_hit_promotes_stream;
+          tc "restart within window" test_restart_within_pending_window;
+          tc "restart then extend" test_restarted_stream_can_extend_again;
+          tc "window fault extends" test_window_fault_extends_stream;
+          tc "beyond window is new" test_beyond_window_opens_new_stream;
+          tc "pending beats window" test_pending_beats_window;
+          tc "interleaved streams" test_interleaved_streams_both_tracked;
+          tc "reset" test_reset;
+          tc "create validation" test_create_validation;
+        ]
+        @ props predictor_qcheck );
+      ( "page_lru",
+        [ tc "eviction" test_page_lru_eviction; tc "clear" test_page_lru_clear ]
+        @ props page_lru_qcheck );
+      ( "sip_profiler",
+        [
+          tc "sequential is class2" test_profiler_sequential_is_class2;
+          tc "repeats are class1" test_profiler_repeated_touches_are_class1;
+          tc "random is class3" test_profiler_random_is_class3;
+          tc "totals and sites" test_profiler_totals_and_sites;
+          tc "classify_one steps" test_classify_one_steps;
+        ] );
+      ( "sip_instrumenter",
+        [
+          tc "threshold" test_instrumenter_threshold;
+          tc "threshold boundary" test_instrumenter_threshold_boundary;
+          tc "predicate matches list" test_instrumenter_predicate_matches_list;
+          tc "empty plan" test_instrumenter_empty_plan;
+          tc "paper threshold" test_default_threshold_is_paper;
+        ] );
+      ( "plan_io",
+        [
+          tc "round trip" test_plan_io_roundtrip;
+          tc "rejects garbage" test_plan_io_rejects_garbage;
+        ] );
+      ( "dfp",
+        [
+          tc "preloads on stream" test_dfp_preloads_on_stream;
+          tc "stop fires on garbage" test_dfp_stop_fires_on_garbage;
+          tc "stop stays off on streams" test_dfp_stop_stays_off_on_streams;
+          tc "config helpers" test_dfp_config_helpers;
+          tc "steady-state bound" test_dfp_steady_state_bound;
+          tc "per-thread lists" test_dfp_per_thread_lists;
+          tc "shared list mode" test_dfp_shared_list_mode;
+        ] );
+      ( "prefetch_baselines",
+        [
+          tc "next-line preloads" test_next_line_preloads;
+          tc "stride detects" test_stride_detects_constant_delta;
+          tc "stride ignores irregular" test_stride_ignores_irregular;
+          tc "markov learns repeats" test_markov_learns_repeated_sequence;
+          tc "markov validation" test_markov_validation;
+        ] );
+      ( "scheme",
+        [ tc "names" test_scheme_names; tc "sip plan" test_scheme_sip_plan ] );
+    ]

@@ -1,0 +1,370 @@
+(* Unit tests for the sgxsim substrate (everything below the Enclave
+   facade; the facade has its own suite in test_enclave.ml). *)
+
+module Cost_model = Sgxsim.Cost_model
+module Page_table = Sgxsim.Page_table
+module Clock_evictor = Sgxsim.Clock_evictor
+module Load_channel = Sgxsim.Load_channel
+module Metrics = Sgxsim.Metrics
+module Event = Sgxsim.Event
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_constants () =
+  let c = Cost_model.paper in
+  checki "AEX" 10_000 c.t_aex;
+  checki "ERESUME" 10_000 c.t_eresume;
+  checki "load" 44_000 c.t_load;
+  checki "native fault" 2_000 c.t_fault_native;
+  (* §2: a fault costs 60,000-64,000 cycles end to end. *)
+  let without_evict = Cost_model.fault_cost c ~evict:false in
+  let with_evict = Cost_model.fault_cost c ~evict:true in
+  checkb "60k..64k band" true (without_evict >= 60_000 && with_evict <= 68_000);
+  checkb "evict costs more" true (with_evict > without_evict)
+
+let test_native_model () =
+  let c = Cost_model.native in
+  checki "no AEX" 0 c.t_aex;
+  checki "no ERESUME" 0 c.t_eresume;
+  checkb "native load is cheap" true (c.t_load < Cost_model.paper.t_load / 10)
+
+(* ------------------------------------------------------------------ *)
+(* Page table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pt_initially_absent () =
+  let pt = Page_table.create ~pages:16 in
+  checki "pages" 16 (Page_table.pages pt);
+  checki "resident" 0 (Page_table.resident_count pt);
+  checkb "absent" false (Page_table.present pt 3)
+
+let test_pt_load_evict_cycle () =
+  let pt = Page_table.create ~pages:8 in
+  Page_table.mark_loaded pt 3 ~prov:Page_table.Demand ~slot:0;
+  checkb "present" true (Page_table.present pt 3);
+  checki "resident" 1 (Page_table.resident_count pt);
+  checkb "demand pages come in hot" true (Page_table.entry pt 3).accessed;
+  Page_table.mark_evicted pt 3;
+  checkb "absent" false (Page_table.present pt 3);
+  checki "resident" 0 (Page_table.resident_count pt);
+  checki "slot cleared" (-1) (Page_table.entry pt 3).slot
+
+let test_pt_preload_comes_in_cold () =
+  let pt = Page_table.create ~pages:8 in
+  Page_table.mark_loaded pt 2 ~prov:(Page_table.Preloaded { counted = false }) ~slot:1;
+  checkb "access bit clear" false (Page_table.entry pt 2).accessed;
+  Page_table.touch pt 2;
+  checkb "touched" true (Page_table.entry pt 2).accessed
+
+let test_pt_double_load_rejected () =
+  let pt = Page_table.create ~pages:4 in
+  Page_table.mark_loaded pt 1 ~prov:Page_table.Demand ~slot:0;
+  Alcotest.check_raises "double load"
+    (Invalid_argument "Page_table.mark_loaded: page 1 already present")
+    (fun () -> Page_table.mark_loaded pt 1 ~prov:Page_table.Demand ~slot:1)
+
+let test_pt_evict_absent_rejected () =
+  let pt = Page_table.create ~pages:4 in
+  Alcotest.check_raises "evict absent"
+    (Invalid_argument "Page_table.mark_evicted: page 2 not present") (fun () ->
+      Page_table.mark_evicted pt 2)
+
+let test_pt_out_of_elrange () =
+  let pt = Page_table.create ~pages:4 in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Page_table: page 4 outside ELRANGE [0,4)") (fun () ->
+      ignore (Page_table.entry pt 4))
+
+(* ------------------------------------------------------------------ *)
+(* Clock evictor                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_insert_remove () =
+  let c = Clock_evictor.create ~capacity:3 in
+  checki "capacity" 3 (Clock_evictor.capacity c);
+  let s0 = Clock_evictor.insert c 10 in
+  let s1 = Clock_evictor.insert c 11 in
+  checki "used" 2 (Clock_evictor.used c);
+  checkb "not full" false (Clock_evictor.is_full c);
+  Clock_evictor.remove c ~slot:s0;
+  checki "used after remove" 1 (Clock_evictor.used c);
+  ignore s1
+
+let test_clock_full_rejects_insert () =
+  let c = Clock_evictor.create ~capacity:1 in
+  ignore (Clock_evictor.insert c 1);
+  Alcotest.check_raises "full" (Invalid_argument "Clock_evictor.insert: EPC full")
+    (fun () -> ignore (Clock_evictor.insert c 2))
+
+let test_clock_second_chance () =
+  let c = Clock_evictor.create ~capacity:3 in
+  ignore (Clock_evictor.insert c 0);
+  ignore (Clock_evictor.insert c 1);
+  ignore (Clock_evictor.insert c 2);
+  (* Page 0 and 1 have their access bits set; page 2 does not.  The sweep
+     must clear 0 and 1 and pick 2. *)
+  let bits = Hashtbl.create 4 in
+  Hashtbl.replace bits 0 true;
+  Hashtbl.replace bits 1 true;
+  Hashtbl.replace bits 2 false;
+  let cleared = ref [] in
+  let victim =
+    Clock_evictor.choose_victim c
+      ~accessed:(fun v -> Hashtbl.find bits v)
+      ~clear:(fun v ->
+        cleared := v :: !cleared;
+        Hashtbl.replace bits v false)
+  in
+  checki "victim is the cold page" 2 victim;
+  Alcotest.(check (list int)) "hot pages got their second chance" [ 0; 1 ]
+    (List.sort compare !cleared)
+
+let test_clock_all_hot_eventually_victimizes () =
+  let c = Clock_evictor.create ~capacity:2 in
+  ignore (Clock_evictor.insert c 0);
+  ignore (Clock_evictor.insert c 1);
+  let bits = Hashtbl.create 4 in
+  Hashtbl.replace bits 0 true;
+  Hashtbl.replace bits 1 true;
+  let victim =
+    Clock_evictor.choose_victim c
+      ~accessed:(fun v -> Hashtbl.find bits v)
+      ~clear:(fun v -> Hashtbl.replace bits v false)
+  in
+  (* Both bits were set: the first revolution clears them, the second
+     finds a victim. *)
+  checkb "some victim" true (victim = 0 || victim = 1)
+
+let test_clock_empty_rejects_victim () =
+  let c = Clock_evictor.create ~capacity:2 in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Clock_evictor.choose_victim: EPC empty") (fun () ->
+      ignore
+        (Clock_evictor.choose_victim c
+           ~accessed:(fun _ -> false)
+           ~clear:(fun _ -> ())))
+
+let test_clock_scan_visits_all () =
+  let c = Clock_evictor.create ~capacity:4 in
+  List.iter (fun p -> ignore (Clock_evictor.insert c p)) [ 5; 6; 7 ];
+  let visited = ref [] in
+  Clock_evictor.scan c (fun v -> visited := v :: !visited);
+  Alcotest.(check (list int)) "all resident" [ 5; 6; 7 ]
+    (List.sort compare !visited)
+
+let test_clock_resident () =
+  let c = Clock_evictor.create ~capacity:4 in
+  let s = Clock_evictor.insert c 9 in
+  ignore (Clock_evictor.insert c 8);
+  Clock_evictor.remove c ~slot:s;
+  Alcotest.(check (list int)) "resident" [ 8 ]
+    (List.sort compare (Clock_evictor.resident c))
+
+let clock_qcheck =
+  [
+    QCheck2.Test.make ~name:"victim is always resident" ~count:200
+      QCheck2.Gen.(pair (int_range 1 16) (list (int_range 0 31)))
+      (fun (cap, hot) ->
+        let c = Clock_evictor.create ~capacity:cap in
+        for p = 0 to cap - 1 do
+          ignore (Clock_evictor.insert c p)
+        done;
+        let bits = Array.make cap false in
+        List.iter (fun h -> if h < cap then bits.(h) <- true) hot;
+        let victim =
+          Clock_evictor.choose_victim c
+            ~accessed:(fun v -> bits.(v))
+            ~clear:(fun v -> bits.(v) <- false)
+        in
+        victim >= 0 && victim < cap);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Load channel                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_channel_lifecycle () =
+  let ch = Load_channel.create () in
+  checkb "initially idle" false (Load_channel.is_busy ch ~now:0);
+  let l = Load_channel.begin_load ch ~vpage:5 ~kind:Load_channel.Demand ~now:100 ~duration:44_000 in
+  checki "finishes" 44_100 l.finishes;
+  checkb "busy during" true (Load_channel.is_busy ch ~now:200);
+  checki "busy until" 44_100 (Load_channel.busy_until ch ~now:200);
+  checkb "no completion early" true (Load_channel.take_completed ch ~now:200 = None);
+  (match Load_channel.take_completed ch ~now:44_100 with
+  | Some done_ -> checki "completed page" 5 done_.vpage
+  | None -> Alcotest.fail "expected completion");
+  checkb "idle after" false (Load_channel.is_busy ch ~now:44_100)
+
+let test_channel_busy_rejects_load () =
+  let ch = Load_channel.create () in
+  ignore (Load_channel.begin_load ch ~vpage:1 ~kind:Load_channel.Demand ~now:0 ~duration:10);
+  Alcotest.check_raises "busy" (Invalid_argument "Load_channel.begin_load: channel busy")
+    (fun () ->
+      ignore
+        (Load_channel.begin_load ch ~vpage:2 ~kind:Load_channel.Demand ~now:5
+           ~duration:10))
+
+let test_channel_queue_fifo () =
+  let ch = Load_channel.create () in
+  Load_channel.queue_preload ch ~vpage:1 ~at:10;
+  Load_channel.queue_preload ch ~vpage:2 ~at:20;
+  Load_channel.queue_preload ch ~vpage:3 ~at:30;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Load_channel.queued ch);
+  Alcotest.(check (option (pair int int))) "head" (Some (1, 10))
+    (Load_channel.next_queued ch);
+  ignore (Load_channel.pop_queued ch);
+  Alcotest.(check (option (pair int int))) "next" (Some (2, 20))
+    (Load_channel.next_queued ch)
+
+let test_channel_abort () =
+  let ch = Load_channel.create () in
+  List.iter (fun v -> Load_channel.queue_preload ch ~vpage:v ~at:0) [ 1; 2; 3; 4 ];
+  checki "selective abort" 2 (Load_channel.abort_queued_where ch (fun v -> v mod 2 = 0));
+  Alcotest.(check (list int)) "left" [ 1; 3 ] (Load_channel.queued ch);
+  checki "full abort" 2 (Load_channel.abort_queued ch);
+  checki "empty" 0 (Load_channel.queue_length ch)
+
+let test_channel_abort_spares_inflight () =
+  let ch = Load_channel.create () in
+  ignore (Load_channel.begin_load ch ~vpage:9 ~kind:Load_channel.Preload_dfp ~now:0 ~duration:100);
+  Load_channel.queue_preload ch ~vpage:10 ~at:0;
+  checki "only queued dropped" 1 (Load_channel.abort_queued ch);
+  checkb "in-flight survives" true (Load_channel.in_flight ch <> None)
+
+let test_channel_remove_queued () =
+  let ch = Load_channel.create () in
+  Load_channel.queue_preload ch ~vpage:7 ~at:0;
+  checkb "mem" true (Load_channel.queued_mem ch 7);
+  checkb "removed" true (Load_channel.remove_queued ch 7);
+  checkb "gone" false (Load_channel.queued_mem ch 7);
+  checkb "absent remove" false (Load_channel.remove_queued ch 7)
+
+let test_channel_free_at_tracks_last_load () =
+  let ch = Load_channel.create () in
+  checki "initially 0" 0 (Load_channel.free_at ch);
+  ignore (Load_channel.begin_load ch ~vpage:1 ~kind:Load_channel.Demand ~now:50 ~duration:100);
+  checki "after load" 150 (Load_channel.free_at ch);
+  ignore (Load_channel.take_completed ch ~now:150);
+  checki "persists after completion" 150 (Load_channel.free_at ch)
+
+let channel_qcheck =
+  [
+    QCheck2.Test.make ~name:"queue preserves FIFO order" ~count:300
+      QCheck2.Gen.(list small_nat)
+      (fun pages ->
+        let ch = Load_channel.create () in
+        List.iter (fun v -> Load_channel.queue_preload ch ~vpage:v ~at:0) pages;
+        Load_channel.queued ch = pages);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics / Event                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_totals () =
+  let m = Metrics.create () in
+  m.cyc_compute <- 100;
+  m.cyc_aex <- 10;
+  m.cyc_load_wait <- 44;
+  m.cyc_eresume <- 10;
+  checki "total" 164 (Metrics.total_cycles m);
+  checki "fault handling" 64 (Metrics.fault_handling_cycles m);
+  m.faults <- 2;
+  m.faults_in_flight <- 1;
+  m.faults_already_present <- 1;
+  checki "total faults" 4 (Metrics.total_faults m)
+
+let test_metrics_copy_is_independent () =
+  let m = Metrics.create () in
+  m.faults <- 5;
+  let c = Metrics.copy m in
+  m.faults <- 9;
+  checki "copy unchanged" 5 c.faults
+
+let test_event_log_ring () =
+  let log = Event.make_log ~capacity:2 in
+  Event.record log (Event.Fault { at = 1; vpage = 0 });
+  Event.record log (Event.Fault { at = 2; vpage = 1 });
+  Event.record log (Event.Fault { at = 3; vpage = 2 });
+  let ats = List.map Event.at (Event.events log) in
+  Alcotest.(check (list int)) "keeps newest" [ 2; 3 ] ats
+
+let test_event_null_log () =
+  Event.record Event.null_log (Event.Scan { at = 1 });
+  Alcotest.(check (list int)) "empty" []
+    (List.map Event.at (Event.events Event.null_log))
+
+let test_event_pp_golden () =
+  let show e = Format.asprintf "%a" Event.pp e in
+  Alcotest.(check string) "fault" "       100 FAULT     p7"
+    (show (Event.Fault { at = 100; vpage = 7 }));
+  Alcotest.(check string) "load kind" "       200 load      p3 (dfp)"
+    (show (Event.Load_start { at = 200; vpage = 3; kind = Load_channel.Preload_dfp }));
+  Alcotest.(check string) "sip check"
+    "       300 sip-check p4 (absent)"
+    (show (Event.Sip_check { at = 300; vpage = 4; present = false }))
+
+let test_event_accessors () =
+  let e = Event.Load_start { at = 5; vpage = 9; kind = Load_channel.Demand } in
+  checki "at" 5 (Event.at e);
+  Alcotest.(check (option int)) "vpage" (Some 9) (Event.vpage e);
+  Alcotest.(check (option int)) "scan has no page" None
+    (Event.vpage (Event.Scan { at = 0 }))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let props = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sgxsim"
+    [
+      ( "cost_model",
+        [ tc "paper constants" test_paper_constants; tc "native model" test_native_model ]
+      );
+      ( "page_table",
+        [
+          tc "initially absent" test_pt_initially_absent;
+          tc "load/evict cycle" test_pt_load_evict_cycle;
+          tc "preload comes in cold" test_pt_preload_comes_in_cold;
+          tc "double load rejected" test_pt_double_load_rejected;
+          tc "evict absent rejected" test_pt_evict_absent_rejected;
+          tc "out of ELRANGE" test_pt_out_of_elrange;
+        ] );
+      ( "clock_evictor",
+        [
+          tc "insert/remove" test_clock_insert_remove;
+          tc "full rejects insert" test_clock_full_rejects_insert;
+          tc "second chance" test_clock_second_chance;
+          tc "all hot still victimizes" test_clock_all_hot_eventually_victimizes;
+          tc "empty rejects victim" test_clock_empty_rejects_victim;
+          tc "scan visits all" test_clock_scan_visits_all;
+          tc "resident" test_clock_resident;
+        ]
+        @ props clock_qcheck );
+      ( "load_channel",
+        [
+          tc "lifecycle" test_channel_lifecycle;
+          tc "busy rejects load" test_channel_busy_rejects_load;
+          tc "queue fifo" test_channel_queue_fifo;
+          tc "abort" test_channel_abort;
+          tc "abort spares in-flight" test_channel_abort_spares_inflight;
+          tc "remove queued" test_channel_remove_queued;
+          tc "free_at tracks last load" test_channel_free_at_tracks_last_load;
+        ]
+        @ props channel_qcheck );
+      ( "metrics_event",
+        [
+          tc "metrics totals" test_metrics_totals;
+          tc "metrics copy" test_metrics_copy_is_independent;
+          tc "event log ring" test_event_log_ring;
+          tc "event null log" test_event_null_log;
+          tc "event pp golden" test_event_pp_golden;
+          tc "event accessors" test_event_accessors;
+        ] );
+    ]

@@ -1,0 +1,496 @@
+(* Unit and property tests for the repro_util substrate. *)
+
+module Prng = Repro_util.Prng
+module Stats = Repro_util.Stats
+module Histogram = Repro_util.Histogram
+module Ring = Repro_util.Ring
+module Bitset = Repro_util.Bitset
+module Lru = Repro_util.Lru
+module Table = Repro_util.Table
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  checkb "different seeds diverge" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_copy_replays () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_split_independent () =
+  let a = Prng.create 9 in
+  let b = Prng.split a in
+  checkb "split diverges" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_int_bounds () =
+  let p = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_rejects_bad_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int (Prng.create 1) 0))
+
+let test_prng_int_in () =
+  let p = Prng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in p (-3) 5 in
+    checkb "in closed range" true (v >= -3 && v <= 5)
+  done
+
+let test_prng_float_bounds () =
+  let p = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.float p 2.5 in
+    checkb "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_chance_extremes () =
+  let p = Prng.create 6 in
+  checkb "p=0 never" false (Prng.chance p 0.0);
+  checkb "p=1 always" true (Prng.chance p 1.0)
+
+let test_prng_geometric_mean () =
+  let p = Prng.create 8 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Prng.geometric p 0.5
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* mean of geometric(0.5) failures-before-success is 1.0 *)
+  checkb "mean near 1.0" true (mean > 0.9 && mean < 1.1)
+
+let test_prng_zipf_bounds () =
+  let p = Prng.create 10 in
+  for _ = 1 to 2000 do
+    let v = Prng.zipf p ~n:100 ~s:1.2 in
+    checkb "in range" true (v >= 0 && v < 100)
+  done
+
+let test_prng_zipf_skew () =
+  let p = Prng.create 11 in
+  let head = ref 0 and n = 10_000 in
+  for _ = 1 to n do
+    if Prng.zipf p ~n:1000 ~s:1.3 < 10 then incr head
+  done;
+  (* With s=1.3 the first 10 of 1000 values should take far more than
+     their uniform 1% share. *)
+  checkb "head-heavy" true (float_of_int !head /. float_of_int n > 0.2)
+
+let test_prng_shuffle_permutation () =
+  let p = Prng.create 12 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let prng_qcheck =
+  [
+    QCheck2.Test.make ~name:"int always within bound" ~count:500
+      QCheck2.Gen.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let v = Prng.int (Prng.create seed) bound in
+        v >= 0 && v < bound);
+    QCheck2.Test.make ~name:"equal seeds give equal ints" ~count:200
+      QCheck2.Gen.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        Prng.int (Prng.create seed) bound = Prng.int (Prng.create seed) bound);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  checki "count" 0 (Stats.count s);
+  checkf "mean" 0.0 (Stats.mean s);
+  checkf "variance" 0.0 (Stats.variance s)
+
+let test_stats_known_values () =
+  let s = Stats.create () in
+  Stats.add_many s [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  checki "count" 8 (Stats.count s);
+  checkf "mean" 5.0 (Stats.mean s);
+  checkf "total" 40.0 (Stats.total s);
+  check (Alcotest.float 1e-6) "variance" (32.0 /. 7.0) (Stats.variance s);
+  checkf "min" 2.0 (Stats.min s);
+  checkf "max" 9.0 (Stats.max s)
+
+let test_stats_merge_equals_combined () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.0; 2.0; 3.5 ] and ys = [ -4.0; 0.25; 10.0; 2.0 ] in
+  Stats.add_many a xs;
+  Stats.add_many b ys;
+  Stats.add_many whole (xs @ ys);
+  let m = Stats.merge a b in
+  checki "count" (Stats.count whole) (Stats.count m);
+  check (Alcotest.float 1e-9) "mean" (Stats.mean whole) (Stats.mean m);
+  check (Alcotest.float 1e-9) "variance" (Stats.variance whole) (Stats.variance m);
+  checkf "min" (Stats.min whole) (Stats.min m);
+  checkf "max" (Stats.max whole) (Stats.max m)
+
+let test_stats_merge_with_empty () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add_many a [ 1.0; 2.0 ];
+  let m = Stats.merge a b in
+  checki "count" 2 (Stats.count m);
+  checkf "mean" 1.5 (Stats.mean m)
+
+let test_stats_percentile () =
+  let xs = [| 15.0; 20.0; 35.0; 40.0; 50.0 |] in
+  checkf "p0 = min" 15.0 (Stats.percentile xs 0.0);
+  checkf "p100 = max" 50.0 (Stats.percentile xs 100.0);
+  checkf "median" 35.0 (Stats.percentile xs 50.0);
+  checkf "p25 interpolates" 20.0 (Stats.percentile xs 25.0)
+
+let test_stats_percentile_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Stats.percentile [||] 50.0))
+
+let test_stats_geometric_mean () =
+  checkf "of equal" 3.0 (Stats.geometric_mean [ 3.0; 3.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "2,8" 4.0 (Stats.geometric_mean [ 2.0; 8.0 ])
+
+let stats_qcheck =
+  [
+    QCheck2.Test.make ~name:"mean within min..max" ~count:300
+      QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1000.) 1000.))
+      (fun xs ->
+        let s = Stats.create () in
+        Stats.add_many s xs;
+        Stats.mean s >= Stats.min s -. 1e-9 && Stats.mean s <= Stats.max s +. 1e-9);
+    QCheck2.Test.make ~name:"merge commutes" ~count:200
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 20) (float_range (-100.) 100.))
+          (list_size (int_range 1 20) (float_range (-100.) 100.)))
+      (fun (xs, ys) ->
+        let build zs =
+          let s = Stats.create () in
+          Stats.add_many s zs;
+          s
+        in
+        let m1 = Stats.merge (build xs) (build ys) in
+        let m2 = Stats.merge (build ys) (build xs) in
+        Float.abs (Stats.mean m1 -. Stats.mean m2) < 1e-9
+        && Stats.count m1 = Stats.count m2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_bucketing () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  List.iter (Histogram.add h) [ 0.0; 1.9; 2.0; 9.99; -1.0; 10.0; 42.0 ];
+  checki "total" 7 (Histogram.count h);
+  checki "bucket 0" 2 (Histogram.bucket_count h 0);
+  checki "bucket 1" 1 (Histogram.bucket_count h 1);
+  checki "bucket 4" 1 (Histogram.bucket_count h 4);
+  checki "underflow" 1 (Histogram.underflow h);
+  checki "overflow" 2 (Histogram.overflow h)
+
+let test_histogram_ranges () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  let lo, hi = Histogram.bucket_range h 2 in
+  checkf "lo" 4.0 lo;
+  checkf "hi" 6.0 hi
+
+let test_histogram_fraction_below () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 2.5; 3.5 ];
+  checkf "half below 2" 0.5 (Histogram.fraction_below h 2.0)
+
+let test_histogram_bad_args () =
+  Alcotest.check_raises "no buckets"
+    (Invalid_argument "Histogram.create: buckets must be positive") (fun () ->
+      ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:0))
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_basics () =
+  let r = Ring.create 3 in
+  checki "empty" 0 (Ring.length r);
+  Ring.push r 1;
+  Ring.push r 2;
+  check Alcotest.(list int) "ordered" [ 1; 2 ] (Ring.to_list r);
+  Ring.push r 3;
+  Ring.push r 4;
+  check Alcotest.(list int) "evicts oldest" [ 2; 3; 4 ] (Ring.to_list r);
+  check Alcotest.(option int) "newest" (Some 4) (Ring.newest r);
+  check Alcotest.(option int) "oldest" (Some 2) (Ring.oldest r)
+
+let test_ring_get () =
+  let r = Ring.create 2 in
+  Ring.push r 10;
+  Ring.push r 20;
+  Ring.push r 30;
+  checki "get 0" 20 (Ring.get r 0);
+  checki "get 1" 30 (Ring.get r 1);
+  Alcotest.check_raises "out of range" (Invalid_argument "Ring.get: index out of range")
+    (fun () -> ignore (Ring.get r 2))
+
+let test_ring_clear () =
+  let r = Ring.create 2 in
+  Ring.push r 1;
+  Ring.clear r;
+  checki "empty again" 0 (Ring.length r);
+  check Alcotest.(option int) "no newest" None (Ring.newest r)
+
+let ring_qcheck =
+  [
+    QCheck2.Test.make ~name:"ring keeps the last capacity items" ~count:300
+      QCheck2.Gen.(pair (int_range 1 10) (list small_int))
+      (fun (cap, xs) ->
+        let r = Ring.create cap in
+        List.iter (Ring.push r) xs;
+        let expected =
+          let n = List.length xs in
+          if n <= cap then xs
+          else List.filteri (fun i _ -> i >= n - cap) xs
+        in
+        Ring.to_list r = expected);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basics () =
+  let b = Bitset.create 100 in
+  checkb "initially clear" false (Bitset.mem b 7);
+  Bitset.set b 7;
+  checkb "set" true (Bitset.mem b 7);
+  checkb "neighbour untouched" false (Bitset.mem b 8);
+  Bitset.clear b 7;
+  checkb "cleared" false (Bitset.mem b 7)
+
+let test_bitset_cardinal () =
+  let b = Bitset.create 64 in
+  List.iter (Bitset.set b) [ 0; 1; 8; 63 ];
+  checki "cardinal" 4 (Bitset.cardinal b);
+  Bitset.clear_all b;
+  checki "cleared all" 0 (Bitset.cardinal b)
+
+let test_bitset_iter_set () =
+  let b = Bitset.create 20 in
+  List.iter (Bitset.set b) [ 3; 9; 17 ];
+  let collected = ref [] in
+  Bitset.iter_set (fun i -> collected := i :: !collected) b;
+  check Alcotest.(list int) "ascending" [ 3; 9; 17 ] (List.rev !collected)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "oob set"
+    (Invalid_argument "Bitset.set: index 8 out of [0,8)") (fun () ->
+      Bitset.set b 8)
+
+let test_bitset_copy_equal () =
+  let b = Bitset.create 30 in
+  Bitset.set b 11;
+  let c = Bitset.copy b in
+  checkb "copies equal" true (Bitset.equal b c);
+  Bitset.set c 12;
+  checkb "diverge after write" false (Bitset.equal b c)
+
+let bitset_qcheck =
+  [
+    QCheck2.Test.make ~name:"bitset agrees with a set model" ~count:300
+      QCheck2.Gen.(list (pair bool (int_range 0 63)))
+      (fun ops ->
+        let b = Bitset.create 64 in
+        let model = Hashtbl.create 16 in
+        List.iter
+          (fun (set, i) ->
+            if set then begin
+              Bitset.set b i;
+              Hashtbl.replace model i ()
+            end
+            else begin
+              Bitset.clear b i;
+              Hashtbl.remove model i
+            end)
+          ops;
+        Bitset.cardinal b = Hashtbl.length model
+        && List.for_all
+             (fun i -> Bitset.mem b i = Hashtbl.mem model i)
+             (List.init 64 Fun.id));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_insert_and_capacity () =
+  let l = Lru.create 2 in
+  checkb "not full" false (Lru.is_full l);
+  check Alcotest.(option int) "no eviction" None (Lru.insert l 1);
+  check Alcotest.(option int) "no eviction" None (Lru.insert l 2);
+  checkb "full" true (Lru.is_full l);
+  check Alcotest.(option int) "evicts lru" (Some 1) (Lru.insert l 3);
+  check Alcotest.(list int) "mru order" [ 3; 2 ] (Lru.to_list l)
+
+let test_lru_promote () =
+  let l = Lru.create 3 in
+  ignore (Lru.insert l 1);
+  ignore (Lru.insert l 2);
+  ignore (Lru.insert l 3);
+  checkb "promoted" true (Lru.promote l (fun x -> x = 1));
+  check Alcotest.(list int) "order" [ 1; 3; 2 ] (Lru.to_list l);
+  checkb "missing" false (Lru.promote l (fun x -> x = 9))
+
+let test_lru_find_does_not_promote () =
+  let l = Lru.create 3 in
+  ignore (Lru.insert l 1);
+  ignore (Lru.insert l 2);
+  check Alcotest.(option int) "found" (Some 1) (Lru.find l (fun x -> x = 1));
+  check Alcotest.(list int) "order unchanged" [ 2; 1 ] (Lru.to_list l)
+
+let test_lru_remove () =
+  let l = Lru.create 3 in
+  ignore (Lru.insert l 1);
+  ignore (Lru.insert l 2);
+  checkb "removed" true (Lru.remove l (fun x -> x = 1));
+  check Alcotest.(list int) "left" [ 2 ] (Lru.to_list l);
+  checkb "gone" false (Lru.remove l (fun x -> x = 1))
+
+let test_lru_endpoints () =
+  let l = Lru.create 3 in
+  check Alcotest.(option int) "lru of empty" None (Lru.lru l);
+  ignore (Lru.insert l 1);
+  ignore (Lru.insert l 2);
+  check Alcotest.(option int) "lru" (Some 1) (Lru.lru l);
+  check Alcotest.(option int) "mru" (Some 2) (Lru.mru l)
+
+let lru_qcheck =
+  [
+    QCheck2.Test.make ~name:"lru length never exceeds capacity" ~count:300
+      QCheck2.Gen.(pair (int_range 1 8) (list small_int))
+      (fun (cap, xs) ->
+        let l = Lru.create cap in
+        List.iter (fun x -> ignore (Lru.insert l x)) xs;
+        Lru.length l <= cap
+        && Lru.length l = min cap (List.length xs));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t = Table.create ~headers:[ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "23" ];
+  let rendered = Table.render t in
+  check Alcotest.string "aligned"
+    "name    n\n-----  --\nalpha   1\nb      23\n" rendered
+
+let test_table_row_width_checked () =
+  let t = Table.create ~headers:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "wrong width"
+    (Invalid_argument "Table.add_row: expected 1 cells, got 2") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_table_cells () =
+  check Alcotest.string "pct" "11.4%" (Table.cell_pct 0.114);
+  check Alcotest.string "float" "1.50" (Table.cell_float 1.5);
+  check Alcotest.string "int" "1,234,567" (Table.cell_int 1234567);
+  check Alcotest.string "negative int" "-1,000" (Table.cell_int (-1000))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let props = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "repro_util"
+    [
+      ( "prng",
+        [
+          tc "determinism" test_prng_determinism;
+          tc "seed sensitivity" test_prng_seed_sensitivity;
+          tc "copy replays" test_prng_copy_replays;
+          tc "split independent" test_prng_split_independent;
+          tc "int bounds" test_prng_int_bounds;
+          tc "int rejects bad bound" test_prng_int_rejects_bad_bound;
+          tc "int_in bounds" test_prng_int_in;
+          tc "float bounds" test_prng_float_bounds;
+          tc "chance extremes" test_prng_chance_extremes;
+          tc "geometric mean" test_prng_geometric_mean;
+          tc "zipf bounds" test_prng_zipf_bounds;
+          tc "zipf skew" test_prng_zipf_skew;
+          tc "shuffle permutation" test_prng_shuffle_permutation;
+        ]
+        @ props prng_qcheck );
+      ( "stats",
+        [
+          tc "empty" test_stats_empty;
+          tc "known values" test_stats_known_values;
+          tc "merge equals combined" test_stats_merge_equals_combined;
+          tc "merge with empty" test_stats_merge_with_empty;
+          tc "percentile" test_stats_percentile;
+          tc "percentile empty" test_stats_percentile_empty;
+          tc "geometric mean" test_stats_geometric_mean;
+        ]
+        @ props stats_qcheck );
+      ( "histogram",
+        [
+          tc "bucketing" test_histogram_bucketing;
+          tc "ranges" test_histogram_ranges;
+          tc "fraction below" test_histogram_fraction_below;
+          tc "bad args" test_histogram_bad_args;
+        ] );
+      ( "ring",
+        [
+          tc "basics" test_ring_basics;
+          tc "get" test_ring_get;
+          tc "clear" test_ring_clear;
+        ]
+        @ props ring_qcheck );
+      ( "bitset",
+        [
+          tc "basics" test_bitset_basics;
+          tc "cardinal" test_bitset_cardinal;
+          tc "iter_set" test_bitset_iter_set;
+          tc "bounds" test_bitset_bounds;
+          tc "copy equal" test_bitset_copy_equal;
+        ]
+        @ props bitset_qcheck );
+      ( "lru",
+        [
+          tc "insert and capacity" test_lru_insert_and_capacity;
+          tc "promote" test_lru_promote;
+          tc "find does not promote" test_lru_find_does_not_promote;
+          tc "remove" test_lru_remove;
+          tc "endpoints" test_lru_endpoints;
+        ]
+        @ props lru_qcheck );
+      ( "table",
+        [
+          tc "render" test_table_render;
+          tc "row width checked" test_table_row_width_checked;
+          tc "cells" test_table_cells;
+        ] );
+    ]
