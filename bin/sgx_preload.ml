@@ -142,7 +142,9 @@ let run_cmd =
       if result.dfp_stopped then print_endline "DFP-stop fired during the run.";
       if breakdown then begin
         print_newline ();
-        Repro_util.Table.print (Sim.Report.breakdown_table result)
+        Repro_util.Table.print (Sim.Report.breakdown_table result);
+        print_newline ();
+        Repro_util.Table.print (Sim.Report.fault_latency_table result)
       end;
       if events > 0 then begin
         print_newline ();
@@ -342,6 +344,116 @@ let replay_cmd =
   let term = Term.(const action $ file_arg $ scheme_arg $ epc_arg) in
   Cmd.v (Cmd.info "replay" ~doc:"Run a recorded trace file under a scheme") term
 
+(* ---------- validate ---------- *)
+
+let scheme_pos_arg =
+  let doc =
+    "Preloading scheme: $(b,baseline), $(b,native), $(b,dfp), $(b,dfp-stop), \
+     $(b,sip), $(b,hybrid), $(b,next-line:K), $(b,stride:K)."
+  in
+  Arg.(value & pos 1 string "baseline" & info [] ~docv:"SCHEME" ~doc)
+
+let run_logged ~workload ~scheme_name ~epc ~input ~log_capacity =
+  match model_of_name workload with
+  | None ->
+    Printf.eprintf "unknown workload %S; try `sgx_preload list`\n" workload;
+    exit 1
+  | Some model ->
+    let scheme = scheme_of_string ~epc ~workload scheme_name in
+    let trace = model ~epc_pages:epc ~input in
+    let config =
+      { Sim.Runner.default_config with epc_pages = epc; log_capacity }
+    in
+    Sim.Runner.run ~config ~input_label:(Input.to_string input) ~scheme trace
+
+let validate_cmd =
+  let action workload scheme epc input =
+    (* Large enough to keep full histories for the shipped workloads, so
+       the event-derived checks actually run; Validate skips them if the
+       ring still overflows. *)
+    let result =
+      run_logged ~workload ~scheme_name:scheme ~epc ~input
+        ~log_capacity:(1 lsl 20)
+    in
+    if result.events_truncated then
+      Printf.printf
+        "note: event ring overflowed (%d events kept); event-derived checks \
+         skipped\n"
+        (List.length result.events);
+    match Sim.Validate.check result with
+    | [] ->
+      Printf.printf "%s/%s: all invariants hold (%d cycles, %d events)\n"
+        result.workload result.scheme result.cycles
+        (List.length result.events)
+    | violations ->
+      Printf.eprintf "%s/%s: %d invariant violation(s)\n%s\n" result.workload
+        result.scheme
+        (List.length violations)
+        (Sim.Validate.report violations);
+      exit 1
+  in
+  let term =
+    Term.(const action $ workload_arg $ scheme_pos_arg $ epc_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Run a workload under a scheme and check every simulator invariant \
+          (cycle accounting, event-log discipline, counter identities)")
+    term
+
+(* ---------- export ---------- *)
+
+let export_cmd =
+  let format_arg =
+    let doc = "Output format: $(b,chrome-trace), $(b,jsonl) or $(b,csv)." in
+    let fmt_conv =
+      Arg.enum [ ("chrome-trace", `Chrome); ("jsonl", `Jsonl); ("csv", `Csv) ]
+    in
+    Arg.(value & opt fmt_conv `Chrome & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let out_arg =
+    let doc = "Write to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let scheme_opt_arg =
+    let doc = "Preloading scheme (as for $(b,run))." in
+    Arg.(value & opt string "baseline" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let action workload scheme epc input format out =
+    let log_capacity =
+      match format with `Chrome -> 1 lsl 20 | `Jsonl | `Csv -> 0
+    in
+    let result =
+      run_logged ~workload ~scheme_name:scheme ~epc ~input ~log_capacity
+    in
+    let payload =
+      match format with
+      | `Chrome -> Sim.Trace_export.chrome_trace result ^ "\n"
+      | `Jsonl -> Sim.Trace_export.jsonl_row result ^ "\n"
+      | `Csv ->
+        Sim.Trace_export.csv_header ^ "\n" ^ Sim.Trace_export.csv_row result ^ "\n"
+    in
+    match out with
+    | None -> print_string payload
+    | Some path ->
+      let oc = open_out path in
+      output_string oc payload;
+      close_out oc;
+      Printf.eprintf "wrote %s (%d bytes)\n" path (String.length payload)
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ scheme_opt_arg $ epc_arg $ input_arg
+      $ format_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Run a workload and export the run as a Perfetto-loadable Chrome \
+          trace, a JSONL record or a CSV row")
+    term
+
 (* ---------- experiment ---------- *)
 
 let experiment_cmd =
@@ -409,5 +521,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; compare_cmd; profile_cmd; stats_cmd; record_cmd;
-            replay_cmd; experiment_cmd; list_cmd;
+            replay_cmd; validate_cmd; export_cmd; experiment_cmd; list_cmd;
           ]))

@@ -49,6 +49,13 @@ let create ?(costs = Cost_model.paper) ?(log = Event.null_log) ~epc_pages
   }
 
 let set_on_fault t f = t.on_fault <- f
+
+let add_on_fault t f =
+  let prev = t.on_fault in
+  t.on_fault <-
+    (fun enc ctx ->
+      prev enc ctx;
+      f enc ctx)
 let set_on_preload_complete t f = t.on_preload_complete <- f
 let set_on_preload_hit t f = t.on_preload_hit <- f
 let set_on_scan t f = t.on_scan <- f
@@ -187,7 +194,8 @@ let rec pump t ~now ~preload_bound =
       && t.protected_vpage >= 0
     in
     if (not (Page_table.present t.pt vpage)) && not no_victim then
-      ignore (start_load t ~at ~vpage ~kind:Load_channel.Preload_dfp);
+      ignore (start_load t ~at ~vpage ~kind:Load_channel.Preload_dfp)
+    else t.metrics.preloads_skipped <- t.metrics.preloads_skipped + 1;
     pump t ~now ~preload_bound
 
 let sync t ~now = pump t ~now ~preload_bound:max_int
@@ -236,7 +244,8 @@ let fault_path t ~now ~thread vpage =
           t.metrics.cyc_load_wait + (free_at - t_handler_start);
         pump t ~now:free_at ~preload_bound:now;
         (* ...take over any queued preload of the same page... *)
-        ignore (Load_channel.remove_queued t.channel vpage);
+        if Load_channel.remove_queued t.channel vpage then
+          t.metrics.preloads_taken_over <- t.metrics.preloads_taken_over + 1;
         (* ...and perform the demand load. *)
         let l = start_load t ~at:free_at ~vpage ~kind:Load_channel.Demand in
         t.metrics.cyc_load_wait <-
@@ -280,7 +289,12 @@ let sip_access ?(thread = 0) t ~now vpage =
     t.metrics.sip_notifies <- t.metrics.sip_notifies + 1;
     t.metrics.cyc_notify <- t.metrics.cyc_notify + c.Cost_model.t_notify;
     let t_notified = t_checked + c.Cost_model.t_notify in
-    record t (Event.Sip_notify { at = t_checked; vpage });
+    (* Stamped at the end of the notify span: the event marks the kernel
+       thread *receiving* the notification, which is also when it may
+       start acting on the channel.  Stamping it at [t_checked] (the old
+       behaviour) let the log interleave against the loads the kernel
+       thread starts only after pickup. *)
+    record t (Event.Sip_notify { at = t_notified; vpage });
     (* The kernel thread owns the channel next; freeze speculation. *)
     pump t ~now:t_notified ~preload_bound:t_checked;
     let loaded_at =
@@ -299,7 +313,8 @@ let sip_access ?(thread = 0) t ~now vpage =
           t.metrics.cyc_sip_wait <-
             t.metrics.cyc_sip_wait + (free_at - t_notified);
           pump t ~now:free_at ~preload_bound:t_checked;
-          ignore (Load_channel.remove_queued t.channel vpage);
+          if Load_channel.remove_queued t.channel vpage then
+            t.metrics.preloads_taken_over <- t.metrics.preloads_taken_over + 1;
           let l = start_load t ~at:free_at ~vpage ~kind:Load_channel.Preload_sip in
           t.metrics.cyc_sip_wait <-
             t.metrics.cyc_sip_wait + (l.finishes - free_at);

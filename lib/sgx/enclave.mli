@@ -54,6 +54,11 @@ val set_on_fault : t -> (t -> fault_ctx -> unit) -> unit
     (timestamp [handled_at]).  The callback may queue preloads and abort
     pending ones; this is where DFP lives. *)
 
+val add_on_fault : t -> (t -> fault_ctx -> unit) -> unit
+(** Chain an additional fault observer after the currently installed one
+    without displacing it — used by measurement plumbing (e.g. latency
+    histograms) that must coexist with a scheme's [set_on_fault]. *)
+
 val set_on_preload_complete : t -> (t -> int -> unit) -> unit
 (** Called when a DFP preload finishes loading (the paper's
     [PreloadCounter] increment point). *)

@@ -66,12 +66,16 @@ let pp fmt = function
   | Sip_notify { at; vpage } -> Format.fprintf fmt "%10d sip-notify p%d" at vpage
   | Scan { at } -> Format.fprintf fmt "%10d clock-scan" at
 
-type log = Null | Ring of t Repro_util.Ring.t
+type log = Null | Ring of { ring : t Repro_util.Ring.t; mutable recorded : int }
 
-let make_log ~capacity = Ring (Repro_util.Ring.create capacity)
+let make_log ~capacity = Ring { ring = Repro_util.Ring.create capacity; recorded = 0 }
 
 let record log event =
-  match log with Null -> () | Ring r -> Repro_util.Ring.push r event
+  match log with
+  | Null -> ()
+  | Ring r ->
+    r.recorded <- r.recorded + 1;
+    Repro_util.Ring.push r.ring event
 
 let events = function
   | Null -> []
@@ -82,6 +86,12 @@ let events = function
        keeping insertion order among equal timestamps. *)
     List.stable_sort
       (fun a b -> compare (at a) (at b))
-      (Repro_util.Ring.to_list r)
+      (Repro_util.Ring.to_list r.ring)
+
+let recorded = function Null -> 0 | Ring r -> r.recorded
+
+let truncated = function
+  | Null -> false
+  | Ring r -> r.recorded > Repro_util.Ring.length r.ring
 
 let null_log = Null

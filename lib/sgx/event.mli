@@ -36,5 +36,13 @@ val record : log -> t -> unit
 val events : log -> t list
 (** Chronological (oldest first), up to the ring capacity. *)
 
+val recorded : log -> int
+(** Total events ever recorded, including any the ring has since
+    dropped.  0 for the null log. *)
+
+val truncated : log -> bool
+(** Whether the ring overflowed and dropped its oldest events.  Event
+    counts can then no longer be cross-checked against metric counters. *)
+
 val null_log : log
 (** Discards everything; the default. *)

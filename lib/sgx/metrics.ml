@@ -15,6 +15,8 @@ type t = {
   mutable preloads_issued : int;
   mutable preloads_completed : int;
   mutable preloads_aborted : int;
+  mutable preloads_taken_over : int;
+  mutable preloads_skipped : int;
   mutable preload_hits : int;
   mutable preload_evicted_unused : int;
   mutable evictions : int;
@@ -41,6 +43,8 @@ let create () =
     preloads_issued = 0;
     preloads_completed = 0;
     preloads_aborted = 0;
+    preloads_taken_over = 0;
+    preloads_skipped = 0;
     preload_hits = 0;
     preload_evicted_unused = 0;
     evictions = 0;
@@ -65,11 +69,12 @@ let pp fmt t =
   Format.fprintf fmt
     "@[<v>cycles: total=%d compute=%d access=%d aex=%d eresume=%d handler=%d \
      load-wait=%d check=%d notify=%d sip-wait=%d@ events: accesses=%d faults=%d \
-     in-flight=%d already-present=%d preloads=%d/%d aborted=%d hits=%d \
-     wasted-evict=%d evictions=%d sip-checks=%d notifies=%d scans=%d@]"
+     in-flight=%d already-present=%d preloads=%d/%d aborted=%d taken-over=%d \
+     skipped=%d hits=%d wasted-evict=%d evictions=%d sip-checks=%d notifies=%d \
+     scans=%d@]"
     (total_cycles t) t.cyc_compute t.cyc_access t.cyc_aex t.cyc_eresume
     t.cyc_os_handler t.cyc_load_wait t.cyc_bitmap_check t.cyc_notify
     t.cyc_sip_wait t.accesses t.faults t.faults_in_flight
     t.faults_already_present t.preloads_completed t.preloads_issued
-    t.preloads_aborted t.preload_hits t.preload_evicted_unused t.evictions
-    t.sip_checks t.sip_notifies t.scans
+    t.preloads_aborted t.preloads_taken_over t.preloads_skipped t.preload_hits
+    t.preload_evicted_unused t.evictions t.sip_checks t.sip_notifies t.scans

@@ -30,6 +30,14 @@ type t = {
   mutable preloads_issued : int;
   mutable preloads_completed : int;
   mutable preloads_aborted : int;  (** Queued preloads dropped by aborts. *)
+  mutable preloads_taken_over : int;
+      (** Queued preloads whose page faulted (or SIP-missed) first: the
+          demand path removed them from the queue and loaded the page
+          itself. *)
+  mutable preloads_skipped : int;
+      (** Queued preloads dropped at start time by the kernel thread's
+          re-check: the page was already resident, or a single-frame EPC
+          had no victim. *)
   mutable preload_hits : int;
       (** Preloaded pages later observed accessed by the CLOCK scan. *)
   mutable preload_evicted_unused : int;

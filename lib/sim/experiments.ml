@@ -46,6 +46,13 @@ let model_of_name name =
 let runner_config settings =
   { Runner.default_config with epc_pages = settings.epc_pages }
 
+(* Every experiment run passes through the validator: no reproduction
+   figure is printed from a run whose own invariants do not hold. *)
+let run_checked ?config ?input_label ~scheme trace =
+  let r = Runner.run ?config ?input_label ~scheme trace in
+  Validate.assert_valid r;
+  r
+
 let trace_of settings name ~input =
   (model_of_name name) ~epc_pages:settings.epc_pages ~input
 
@@ -61,7 +68,7 @@ let plan_for ?threshold settings name =
 let run_one settings ~scheme ?input name =
   let input = Option.value input ~default:settings.ref_input in
   let trace = trace_of settings name ~input in
-  Runner.run ~config:(runner_config settings)
+  run_checked ~config:(runner_config settings)
     ~input_label:(Input.to_string input) ~scheme trace
 
 let row_of ~baseline (r : Runner.result) =
@@ -124,8 +131,8 @@ let intro_trace settings =
 let intro_runs settings =
   let trace = intro_trace settings in
   let config = runner_config settings in
-  ( Runner.run ~config ~scheme:Scheme.Baseline trace,
-    Runner.run ~config ~scheme:Scheme.Native trace )
+  ( run_checked ~config ~scheme:Scheme.Baseline trace,
+    run_checked ~config ~scheme:Scheme.Native trace )
 
 let intro_slowdown settings =
   let base, native = intro_runs settings in
@@ -160,8 +167,8 @@ let didactic_trace () =
 let fig2_timelines settings =
   let config = { (runner_config settings) with Runner.log_capacity = 128 } in
   let trace = didactic_trace () in
-  let base = Runner.run ~config ~scheme:Scheme.Baseline trace in
-  let dfp = Runner.run ~config ~scheme:Scheme.dfp_default trace in
+  let base = run_checked ~config ~scheme:Scheme.Baseline trace in
+  let dfp = run_checked ~config ~scheme:Scheme.dfp_default trace in
   (base.events, dfp.events)
 
 let print_fig2 settings =
@@ -237,8 +244,8 @@ let instrument_site0_plan =
 let fig4_costs settings =
   let config = runner_config settings in
   let trace = single_fault_trace () in
-  let base = Runner.run ~config ~scheme:Scheme.Baseline trace in
-  let sip = Runner.run ~config ~scheme:(Scheme.Sip instrument_site0_plan) trace in
+  let base = run_checked ~config ~scheme:Scheme.Baseline trace in
+  let sip = run_checked ~config ~scheme:(Scheme.Sip instrument_site0_plan) trace in
   (base.cycles, sip.cycles)
 
 let print_fig4 settings =
@@ -686,13 +693,13 @@ let descending_trace settings =
 let ablation_backward_rows settings =
   let trace = descending_trace settings in
   let config = runner_config settings in
-  let baseline = Runner.run ~config ~scheme:Scheme.Baseline trace in
+  let baseline = run_checked ~config ~scheme:Scheme.Baseline trace in
   List.map
     (fun (label, detect_backward) ->
       let scheme =
         Scheme.Dfp { Dfp.default_config with detect_backward }
       in
-      let r = Runner.run ~config ~scheme trace in
+      let r = run_checked ~config ~scheme trace in
       { (row_of ~baseline r) with scheme = label })
     [ ("DFP (backward on)", true); ("DFP (backward off)", false) ]
 
@@ -738,8 +745,8 @@ let ablation_scan_rows settings =
       let costs = { Sgxsim.Cost_model.paper with clock_scan_period = period } in
       let config = { (runner_config settings) with Runner.costs } in
       let trace = trace_of settings "roms" ~input:settings.ref_input in
-      let baseline = Runner.run ~config ~scheme:Scheme.Baseline trace in
-      let r = Runner.run ~config ~scheme:Scheme.dfp_stop trace in
+      let baseline = run_checked ~config ~scheme:Scheme.Baseline trace in
+      let r = run_checked ~config ~scheme:Scheme.dfp_stop trace in
       (period, Runner.normalized_time ~baseline r, r.dfp_stopped))
     periods
 
@@ -774,11 +781,11 @@ let ablation_threads_rows settings =
       ~input:settings.ref_input
   in
   let config = runner_config settings in
-  let baseline = Runner.run ~config ~scheme:Scheme.Baseline trace in
+  let baseline = run_checked ~config ~scheme:Scheme.Baseline trace in
   List.map
     (fun (label, per_thread) ->
       let scheme = Scheme.Dfp { Dfp.default_config with per_thread } in
-      let r = Runner.run ~config ~scheme trace in
+      let r = run_checked ~config ~scheme trace in
       { (row_of ~baseline r) with scheme = label })
     [ ("DFP (per-thread lists)", true); ("DFP (one shared list)", false) ]
 
@@ -803,7 +810,7 @@ let ablation_share_rows settings =
     if settings.quick then [ full; full / 2 ] else [ full; full / 2; full / 4 ]
   in
   let run_at epc scheme =
-    Runner.run
+    run_checked
       ~config:{ (runner_config settings) with Runner.epc_pages = epc }
       ~scheme trace
   in

@@ -38,6 +38,28 @@ let breakdown_table (r : Runner.result) =
   row "total" r.cycles;
   t
 
+let fault_latency_table (r : Runner.result) =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("resolution", Table.Left); ("faults", Table.Right);
+          ("mean cyc", Table.Right); ("latency histogram", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (kind, hist) ->
+      Table.add_row t
+        [
+          Runner.resolution_name kind;
+          Table.cell_int (Repro_util.Histogram.count hist);
+          (if Repro_util.Histogram.count hist = 0 then "-"
+           else Table.cell_int (int_of_float (Repro_util.Histogram.mean hist)));
+          Format.asprintf "%a" Repro_util.Histogram.pp hist;
+        ])
+    r.fault_latency;
+  t
+
 let comparison_row ~baseline r =
   ( r.Runner.scheme,
     Runner.normalized_time ~baseline r,

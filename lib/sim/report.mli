@@ -6,6 +6,10 @@ val summary : Runner.result -> string
 val breakdown_table : Runner.result -> Repro_util.Table.t
 (** Cycle accounting by category (compute / access / AEX / loads / ...). *)
 
+val fault_latency_table : Runner.result -> Repro_util.Table.t
+(** Raise-to-handled latency per fault resolution kind: count, mean,
+    sparkline histogram.  Rows with zero faults show a dash. *)
+
 val comparison_row :
   baseline:Runner.result -> Runner.result -> string * float * float
 (** [(scheme, normalized_time, improvement)] against the baseline run. *)

@@ -5,19 +5,31 @@ module Event = Sgxsim.Event
 module Trace = Workload.Trace
 module Access = Workload.Access
 module Scheme = Preload.Scheme
+module Histogram = Repro_util.Histogram
 
 type config = { epc_pages : int; costs : Cost_model.t; log_capacity : int }
 
 let default_config =
   { epc_pages = 2048; costs = Cost_model.paper; log_capacity = 0 }
 
+let resolution_name = function
+  | Enclave.Already_present -> "already-present"
+  | Enclave.Waited_in_flight -> "waited-in-flight"
+  | Enclave.Demand_load -> "demand-load"
+
 type result = {
   workload : string;
   input : string;
   scheme : string;
   cycles : int;
+  final_now : int;
+  costs : Cost_model.t;
   metrics : Metrics.t;
   events : Event.t list;
+  events_truncated : bool;
+  pending_preloads : int;
+  in_flight_preloads : int;
+  fault_latency : (Enclave.fault_resolution * Histogram.t) list;
   dfp_stopped : bool;
   instrumentation_points : int;
 }
@@ -55,6 +67,28 @@ let run ?(config = default_config) ?(input_label = "") ~scheme trace =
       None
     | Scheme.Baseline | Scheme.Native | Scheme.Sip _ -> None
   in
+  (* Fault-resolution latency (raise -> execution resumed), one histogram
+     per resolution kind.  Chained after the scheme's own on_fault so the
+     measurement never displaces DFP. *)
+  let latency_hi =
+    float_of_int
+      (2
+      * (costs.Cost_model.t_aex + costs.Cost_model.t_evict
+       + costs.Cost_model.t_load + costs.Cost_model.t_eresume))
+  in
+  let hist_for _ = Histogram.create ~lo:0.0 ~hi:(Float.max latency_hi 1.0) ~buckets:32 in
+  let fault_latency =
+    List.map
+      (fun kind -> (kind, hist_for kind))
+      [ Enclave.Already_present; Enclave.Waited_in_flight; Enclave.Demand_load ]
+  in
+  (* The hook fires between the handler's return and the ERESUME, whose
+     fixed cost is still part of what the faulting thread waits for. *)
+  Enclave.add_on_fault enclave (fun _ (ctx : Enclave.fault_ctx) ->
+      Histogram.add
+        (List.assoc ctx.resolution fault_latency)
+        (float_of_int
+           (ctx.handled_at - ctx.raised_at + costs.Cost_model.t_eresume)));
   let sip_site =
     match Scheme.sip_plan scheme with
     | Some plan -> Preload.Sip_instrumenter.site_predicate plan
@@ -78,8 +112,17 @@ let run ?(config = default_config) ?(input_label = "") ~scheme trace =
     input = input_label;
     scheme = Scheme.name scheme;
     cycles = Metrics.total_cycles metrics;
+    final_now = !now;
+    costs;
     metrics;
     events = Enclave.events enclave;
+    events_truncated = Event.truncated log;
+    pending_preloads = List.length (Enclave.pending_preloads enclave);
+    in_flight_preloads =
+      (match Enclave.in_flight enclave with
+      | Some l when l.kind = Sgxsim.Load_channel.Preload_dfp -> 1
+      | Some _ | None -> 0);
+    fault_latency;
     dfp_stopped = (match dfp with Some d -> Preload.Dfp.stopped d | None -> false);
     instrumentation_points =
       (match Scheme.sip_plan scheme with

@@ -15,13 +15,28 @@ type config = {
 
 val default_config : config
 
+val resolution_name : Sgxsim.Enclave.fault_resolution -> string
+(** Stable label ("already-present" / "waited-in-flight" /
+    "demand-load") used by reports and exports. *)
+
 type result = {
   workload : string;
   input : string;
   scheme : string;
-  cycles : int;  (** Total simulated execution time. *)
+  cycles : int;  (** Total simulated execution time ([Metrics.total_cycles]). *)
+  final_now : int;
+      (** The simulated clock when the replay finished.  Must equal
+          [cycles]; [Validate] enforces the identity. *)
+  costs : Sgxsim.Cost_model.t;  (** Cost model the run actually used. *)
   metrics : Sgxsim.Metrics.t;
   events : Sgxsim.Event.t list;  (** Empty unless logging was enabled. *)
+  events_truncated : bool;
+      (** The event ring overflowed: [events] is only the tail, so event
+          counts cannot be cross-checked against metric counters. *)
+  pending_preloads : int;  (** Preloads still queued at end of run. *)
+  in_flight_preloads : int;  (** DFP preloads mid-load at end of run (0/1). *)
+  fault_latency : (Sgxsim.Enclave.fault_resolution * Repro_util.Histogram.t) list;
+      (** Raise-to-handled latency histogram per fault resolution kind. *)
   dfp_stopped : bool;  (** Whether the §4.2 safety valve fired. *)
   instrumentation_points : int;  (** 0 for non-SIP schemes. *)
 }

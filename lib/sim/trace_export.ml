@@ -1,0 +1,251 @@
+module Event = Sgxsim.Event
+module Metrics = Sgxsim.Metrics
+module Load_channel = Sgxsim.Load_channel
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emission                                               *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = Printf.sprintf "\"%s\"" (escape s)
+
+let obj fields =
+  Printf.sprintf "{%s}"
+    (String.concat ","
+       (List.map (fun (k, value) -> Printf.sprintf "%s:%s" (str k) value) fields))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON (Perfetto / chrome://tracing loadable)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Track (thread) ids within the single simulated-enclave process. *)
+let tid_app = 1
+let tid_channel = 2
+let tid_scan = 3
+let tid_queue = 4
+
+let span ~name ~cat ~tid ~ts ~dur args =
+  ( ts,
+    obj
+      ([
+         ("name", str name); ("cat", str cat); ("ph", str "X");
+         ("ts", string_of_int ts); ("dur", string_of_int dur);
+         ("pid", "1"); ("tid", string_of_int tid);
+       ]
+      @ if args = [] then [] else [ ("args", obj args) ]) )
+
+let instant ~name ~cat ~tid ~ts args =
+  ( ts,
+    obj
+      ([
+         ("name", str name); ("cat", str cat); ("ph", str "i");
+         ("s", str "t"); ("ts", string_of_int ts);
+         ("pid", "1"); ("tid", string_of_int tid);
+       ]
+      @ if args = [] then [] else [ ("args", obj args) ]) )
+
+let metadata ~name ~tid args =
+  obj
+    [
+      ("name", str name); ("ph", str "M"); ("pid", "1");
+      ("tid", string_of_int tid); ("args", obj args);
+    ]
+
+let kind_str = function
+  | Load_channel.Demand -> "demand"
+  | Load_channel.Preload_dfp -> "dfp"
+  | Load_channel.Preload_sip -> "sip"
+
+(* Walk the chronological event list pairing span endpoints:
+   Fault -> Eresume on the app track, Load_start -> Load_done on the
+   channel track, absent Sip_check -> Sip_notify on the app track.
+   Unpaired endpoints (a truncated log, a load still in flight) degrade
+   to instants rather than being dropped. *)
+let trace_events events =
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let fault : (int * int) option ref = ref None in
+  let load : (int * int * Load_channel.kind) option ref = ref None in
+  let sip_checks : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Fault { at; vpage } -> fault := Some (vpage, at)
+      | Event.Aex_done { at; vpage } ->
+        emit
+          (instant ~name:"aex-done" ~cat:"fault" ~tid:tid_app ~ts:at
+             [ ("vpage", string_of_int vpage) ])
+      | Event.Eresume { at; vpage } -> (
+        match !fault with
+        | Some (v0, t0) when v0 = vpage ->
+          fault := None;
+          emit
+            (span
+               ~name:(Printf.sprintf "fault p%d" vpage)
+               ~cat:"fault" ~tid:tid_app ~ts:t0 ~dur:(at - t0)
+               [ ("vpage", string_of_int vpage) ])
+        | Some _ | None ->
+          emit
+            (instant ~name:"eresume" ~cat:"fault" ~tid:tid_app ~ts:at
+               [ ("vpage", string_of_int vpage) ]))
+      | Event.Load_start { at; vpage; kind } -> load := Some (vpage, at, kind)
+      | Event.Load_done { at; vpage; kind } -> (
+        match !load with
+        | Some (v0, t0, k0) when v0 = vpage && k0 = kind ->
+          load := None;
+          emit
+            (span
+               ~name:(Printf.sprintf "load p%d (%s)" vpage (kind_str kind))
+               ~cat:"load" ~tid:tid_channel ~ts:t0 ~dur:(at - t0)
+               [ ("vpage", string_of_int vpage); ("kind", str (kind_str kind)) ])
+        | Some _ | None ->
+          emit
+            (instant ~name:"load-done" ~cat:"load" ~tid:tid_channel ~ts:at
+               [ ("vpage", string_of_int vpage) ]))
+      | Event.Sip_check { at; vpage; present } ->
+        if present then
+          emit
+            (instant ~name:"sip-check hit" ~cat:"sip" ~tid:tid_app ~ts:at
+               [ ("vpage", string_of_int vpage) ])
+        else Hashtbl.replace sip_checks vpage at
+      | Event.Sip_notify { at; vpage } -> (
+        match Hashtbl.find_opt sip_checks vpage with
+        | Some t0 ->
+          Hashtbl.remove sip_checks vpage;
+          emit
+            (span
+               ~name:(Printf.sprintf "sip-notify p%d" vpage)
+               ~cat:"sip" ~tid:tid_app ~ts:t0 ~dur:(at - t0)
+               [ ("vpage", string_of_int vpage) ])
+        | None ->
+          emit
+            (instant ~name:"sip-notify" ~cat:"sip" ~tid:tid_app ~ts:at
+               [ ("vpage", string_of_int vpage) ]))
+      | Event.Evict { at; vpage } ->
+        emit
+          (instant ~name:"evict" ~cat:"epc" ~tid:tid_scan ~ts:at
+             [ ("vpage", string_of_int vpage) ])
+      | Event.Scan { at } ->
+        emit (instant ~name:"clock-scan" ~cat:"epc" ~tid:tid_scan ~ts:at [])
+      | Event.Preload_queued { at; vpage } ->
+        emit
+          (instant ~name:"preload-queued" ~cat:"preload" ~tid:tid_queue ~ts:at
+             [ ("vpage", string_of_int vpage) ])
+      | Event.Preload_aborted { at; count } ->
+        emit
+          (instant ~name:"preload-aborted" ~cat:"preload" ~tid:tid_queue ~ts:at
+             [ ("count", string_of_int count) ])
+      | Event.Access { at; vpage } ->
+        emit
+          (instant ~name:"access" ~cat:"app" ~tid:tid_app ~ts:at
+             [ ("vpage", string_of_int vpage) ]))
+    events;
+  (* Spans are emitted when their end event is seen but stamped with
+     their start time, so re-sort: viewers and the export test expect
+     timestamp order. *)
+  List.map snd
+    (List.stable_sort
+       (fun (ts_a, _) (ts_b, _) -> compare ts_a ts_b)
+       (List.rev !out))
+
+let chrome_trace (r : Runner.result) =
+  let process_label =
+    Printf.sprintf "%s/%s%s" r.workload r.scheme
+      (if r.input = "" then "" else " (" ^ r.input ^ ")")
+  in
+  let header =
+    metadata ~name:"process_name" ~tid:tid_app [ ("name", str process_label) ]
+    :: List.map
+         (fun (tid, name) ->
+           metadata ~name:"thread_name" ~tid [ ("name", str name) ])
+         [
+           (tid_app, "app thread"); (tid_channel, "load channel");
+           (tid_scan, "service scan"); (tid_queue, "preload queue");
+         ]
+  in
+  Printf.sprintf "{%s:%s,%s:[\n%s\n]}" (str "displayTimeUnit") (str "ns")
+    (str "traceEvents")
+    (String.concat ",\n" (header @ trace_events r.events))
+
+(* ------------------------------------------------------------------ *)
+(* Result rows: JSONL / CSV                                            *)
+(* ------------------------------------------------------------------ *)
+
+let row_fields (r : Runner.result) =
+  let m = r.metrics in
+  [
+    ("workload", str r.workload);
+    ("input", str r.input);
+    ("scheme", str r.scheme);
+    ("cycles", string_of_int r.cycles);
+    ("final_now", string_of_int r.final_now);
+    ("cyc_compute", string_of_int m.cyc_compute);
+    ("cyc_access", string_of_int m.cyc_access);
+    ("cyc_aex", string_of_int m.cyc_aex);
+    ("cyc_eresume", string_of_int m.cyc_eresume);
+    ("cyc_os_handler", string_of_int m.cyc_os_handler);
+    ("cyc_load_wait", string_of_int m.cyc_load_wait);
+    ("cyc_bitmap_check", string_of_int m.cyc_bitmap_check);
+    ("cyc_notify", string_of_int m.cyc_notify);
+    ("cyc_sip_wait", string_of_int m.cyc_sip_wait);
+    ("accesses", string_of_int m.accesses);
+    ("faults", string_of_int m.faults);
+    ("faults_in_flight", string_of_int m.faults_in_flight);
+    ("faults_already_present", string_of_int m.faults_already_present);
+    ("total_faults", string_of_int (Metrics.total_faults m));
+    ("preloads_issued", string_of_int m.preloads_issued);
+    ("preloads_completed", string_of_int m.preloads_completed);
+    ("preloads_aborted", string_of_int m.preloads_aborted);
+    ("preloads_taken_over", string_of_int m.preloads_taken_over);
+    ("preloads_skipped", string_of_int m.preloads_skipped);
+    ("preload_hits", string_of_int m.preload_hits);
+    ("preload_evicted_unused", string_of_int m.preload_evicted_unused);
+    ("evictions", string_of_int m.evictions);
+    ("sip_checks", string_of_int m.sip_checks);
+    ("sip_notifies", string_of_int m.sip_notifies);
+    ("scans", string_of_int m.scans);
+    ("dfp_stopped", if r.dfp_stopped then "true" else "false");
+    ("instrumentation_points", string_of_int r.instrumentation_points);
+  ]
+
+let jsonl_row r = obj (row_fields r)
+
+let csv_header =
+  (* Field order is fixed by [row_fields]; build the header from a dummy
+     evaluation would need a result, so keep the literal in sync via the
+     test that zips header and row widths. *)
+  String.concat ","
+    [
+      "workload"; "input"; "scheme"; "cycles"; "final_now"; "cyc_compute";
+      "cyc_access"; "cyc_aex"; "cyc_eresume"; "cyc_os_handler"; "cyc_load_wait";
+      "cyc_bitmap_check"; "cyc_notify"; "cyc_sip_wait"; "accesses"; "faults";
+      "faults_in_flight"; "faults_already_present"; "total_faults";
+      "preloads_issued"; "preloads_completed"; "preloads_aborted";
+      "preloads_taken_over"; "preloads_skipped"; "preload_hits";
+      "preload_evicted_unused"; "evictions"; "sip_checks"; "sip_notifies";
+      "scans"; "dfp_stopped"; "instrumentation_points";
+    ]
+
+let csv_cell value =
+  (* JSON string values arrive quoted; CSV wants them bare (workload and
+     scheme names contain no commas or quotes). *)
+  let n = String.length value in
+  if n >= 2 && value.[0] = '"' && value.[n - 1] = '"' then String.sub value 1 (n - 2)
+  else value
+
+let csv_row r = String.concat "," (List.map (fun (_, x) -> csv_cell x) (row_fields r))

@@ -1,0 +1,268 @@
+module Event = Sgxsim.Event
+module Metrics = Sgxsim.Metrics
+module Cost_model = Sgxsim.Cost_model
+module Load_channel = Sgxsim.Load_channel
+
+type violation = { check : string; detail : string }
+
+let v check fmt = Printf.ksprintf (fun detail -> { check; detail }) fmt
+
+let report violations =
+  String.concat "\n"
+    (List.map (fun x -> Printf.sprintf "[%s] %s" x.check x.detail) violations)
+
+(* ------------------------------------------------------------------ *)
+(* Event-log invariants                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The log presents one global chronological sequence; per-track
+   discipline (channel, fault spans, SIP spans) is checked by walking it
+   with a small state machine per track. *)
+
+let check_monotone events =
+  let rec walk acc = function
+    | a :: (b :: _ as rest) ->
+      let acc =
+        if Event.at a > Event.at b then
+          v "monotone-timestamps" "event at t=%d precedes event at t=%d"
+            (Event.at a) (Event.at b)
+          :: acc
+        else acc
+      in
+      walk acc rest
+    | _ -> List.rev acc
+  in
+  walk [] events
+
+(* The load channel is exclusive and non-preemptible: Load_start and
+   Load_done must alternate, agree on page and kind, and a done can never
+   precede its start. *)
+let check_channel events =
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  let in_flight = ref None in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Load_start { at; vpage; kind } -> (
+        match !in_flight with
+        | Some (v0, _, at0) ->
+          add
+            (v "channel-exclusive"
+               "load of p%d started at t=%d while p%d (started t=%d) had no \
+                load-done"
+               vpage at v0 at0)
+        | None -> in_flight := Some (vpage, kind, at))
+      | Event.Load_done { at; vpage; kind } -> (
+        match !in_flight with
+        | None ->
+          add (v "channel-exclusive" "load-done of p%d at t=%d without a load-start" vpage at)
+        | Some (v0, k0, at0) ->
+          if v0 <> vpage || k0 <> kind then
+            add
+              (v "channel-exclusive"
+                 "load-done of p%d at t=%d does not match in-flight p%d" vpage
+                 at v0)
+          else if at < at0 then
+            add
+              (v "channel-exclusive" "load of p%d completed at t=%d before it started at t=%d"
+                 vpage at at0);
+          in_flight := None)
+      | _ -> ())
+    events;
+  (* A load still in flight when the log ends is legal (the run stopped
+     mid-span); only ordering violations count. *)
+  List.rev !violations
+
+(* Faults are serviced synchronously in a single-threaded replay, so the
+   Fault / Aex_done / Eresume triple of one fault never interleaves with
+   another's.  AEX has a fixed architectural cost, so Aex_done is exactly
+   t_aex after the fault trapped. *)
+let check_fault_spans ~costs events =
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  let state = ref `Idle in
+  List.iter
+    (fun e ->
+      match (e, !state) with
+      | Event.Fault { at; vpage }, `Idle -> state := `Faulted (vpage, at)
+      | Event.Fault { at; vpage }, (`Faulted (v0, _) | `Handled (v0, _)) ->
+        add (v "fault-span" "fault on p%d at t=%d inside the span of p%d's fault" vpage at v0);
+        state := `Faulted (vpage, at)
+      | Event.Aex_done { at; vpage }, `Faulted (v0, at0) ->
+        if vpage <> v0 then
+          add (v "fault-span" "aex-done for p%d at t=%d but p%d faulted" vpage at v0);
+        if at <> at0 + costs.Cost_model.t_aex then
+          add
+            (v "fault-span"
+               "aex-done for p%d at t=%d, expected fault time %d + t_aex %d"
+               vpage at at0 costs.Cost_model.t_aex);
+        state := `Handled (v0, at0)
+      | Event.Aex_done { at; vpage }, _ ->
+        add (v "fault-span" "aex-done for p%d at t=%d without a pending fault" vpage at)
+      | Event.Eresume { at; vpage }, `Handled (v0, at0) ->
+        if vpage <> v0 then
+          add (v "fault-span" "eresume for p%d at t=%d but p%d faulted" vpage at v0);
+        if at < at0 then
+          add (v "fault-span" "eresume for p%d at t=%d before its fault at t=%d" vpage at at0);
+        state := `Idle
+      | Event.Eresume { at; vpage }, _ ->
+        add (v "fault-span" "eresume for p%d at t=%d without a handled fault" vpage at)
+      | _ -> ())
+    events;
+  (match !state with
+  | `Idle -> ()
+  | `Faulted (v0, at0) | `Handled (v0, at0) ->
+    add (v "fault-span" "fault on p%d at t=%d has no eresume" v0 at0));
+  List.rev !violations
+
+(* A SIP notification is stamped when the kernel thread receives it —
+   exactly t_notify after the absent bitmap check that triggered it.
+   (This is the invariant the pre-fix [Sip_notify] stamp violated: it
+   carried the check time instead.) *)
+let check_sip_spans ~costs events =
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  let pending : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Sip_check { at; vpage; present } ->
+        if present then Hashtbl.remove pending vpage
+        else Hashtbl.replace pending vpage at
+      | Event.Sip_notify { at; vpage } -> (
+        match Hashtbl.find_opt pending vpage with
+        | None ->
+          add
+            (v "sip-notify-span"
+               "sip-notify for p%d at t=%d without a preceding absent check"
+               vpage at)
+        | Some checked_at ->
+          if at <> checked_at + costs.Cost_model.t_notify then
+            add
+              (v "sip-notify-span"
+                 "sip-notify for p%d stamped t=%d; the notify span of the \
+                  check at t=%d ends at t=%d"
+                 vpage at checked_at
+                 (checked_at + costs.Cost_model.t_notify));
+          Hashtbl.remove pending vpage)
+      | _ -> ())
+    events;
+  List.rev !violations
+
+let check_events ~costs events =
+  check_monotone events
+  @ check_channel events
+  @ check_fault_spans ~costs events
+  @ check_sip_spans ~costs events
+
+(* ------------------------------------------------------------------ *)
+(* Whole-run invariants                                                *)
+(* ------------------------------------------------------------------ *)
+
+let count pred events = List.length (List.filter pred events)
+
+let check_accounting (r : Runner.result) =
+  let m = r.metrics in
+  let sum_categories =
+    m.cyc_compute + m.cyc_access + m.cyc_aex + m.cyc_eresume + m.cyc_os_handler
+    + m.cyc_load_wait + m.cyc_bitmap_check + m.cyc_notify + m.cyc_sip_wait
+  in
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  if Metrics.total_cycles m <> sum_categories then
+    add
+      (v "cycle-identity" "total_cycles %d <> sum of the nine categories %d"
+         (Metrics.total_cycles m) sum_categories);
+  if r.final_now <> Metrics.total_cycles m then
+    add
+      (v "cycle-identity" "final simulated now %d <> total accounted cycles %d"
+         r.final_now (Metrics.total_cycles m));
+  if r.cycles <> Metrics.total_cycles m then
+    add (v "cycle-identity" "result.cycles %d <> total_cycles %d" r.cycles
+           (Metrics.total_cycles m));
+  if
+    Metrics.total_faults m
+    <> m.faults + m.faults_in_flight + m.faults_already_present
+  then
+    add
+      (v "counter-identity"
+         "total_faults %d <> demand %d + in-flight %d + already-present %d"
+         (Metrics.total_faults m) m.faults m.faults_in_flight
+         m.faults_already_present);
+  (* Every issued preload ends in exactly one disposition. *)
+  let accounted =
+    m.preloads_completed + m.preloads_aborted + m.preloads_taken_over
+    + m.preloads_skipped + r.pending_preloads + r.in_flight_preloads
+  in
+  if m.preloads_issued <> accounted then
+    add
+      (v "preload-identity"
+         "issued %d <> completed %d + aborted %d + taken-over %d + skipped %d \
+          + queued %d + in-flight %d"
+         m.preloads_issued m.preloads_completed m.preloads_aborted
+         m.preloads_taken_over m.preloads_skipped r.pending_preloads
+         r.in_flight_preloads);
+  if m.accesses < Metrics.total_faults m then
+    add
+      (v "counter-identity" "accesses %d < total faults %d" m.accesses
+         (Metrics.total_faults m));
+  List.rev !violations
+
+let check_event_counters (r : Runner.result) =
+  let m = r.metrics in
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  let expect name expected actual =
+    if expected <> actual then
+      add (v "event-counter" "%s: metrics say %d, log has %d" name expected actual)
+  in
+  let events = r.events in
+  expect "faults" (Metrics.total_faults m)
+    (count (function Event.Fault _ -> true | _ -> false) events);
+  expect "eresumes" (Metrics.total_faults m)
+    (count (function Event.Eresume _ -> true | _ -> false) events);
+  expect "preloads issued" m.preloads_issued
+    (count (function Event.Preload_queued _ -> true | _ -> false) events);
+  expect "preloads aborted" m.preloads_aborted
+    (List.fold_left
+       (fun acc e ->
+         match e with Event.Preload_aborted { count; _ } -> acc + count | _ -> acc)
+       0 events);
+  expect "sip checks" m.sip_checks
+    (count (function Event.Sip_check _ -> true | _ -> false) events);
+  expect "sip notifies" m.sip_notifies
+    (count (function Event.Sip_notify _ -> true | _ -> false) events);
+  expect "evictions" m.evictions
+    (count (function Event.Evict _ -> true | _ -> false) events);
+  expect "scans" m.scans
+    (count (function Event.Scan _ -> true | _ -> false) events);
+  let starts = count (function Event.Load_start _ -> true | _ -> false) events in
+  let dones = count (function Event.Load_done _ -> true | _ -> false) events in
+  if starts - dones <> 0 && starts - dones <> 1 then
+    add
+      (v "event-counter" "load-starts %d vs load-dones %d: at most one span may be open"
+         starts dones);
+  List.rev !violations
+
+let check (r : Runner.result) =
+  check_accounting r
+  @
+  (* Event-derived checks need the whole history: skip them when logging
+     was off or the ring dropped its oldest events. *)
+  if r.events = [] || r.events_truncated then []
+  else check_event_counters r @ check_events ~costs:r.costs r.events
+
+exception Invalid of violation list
+
+let assert_valid r =
+  match check r with
+  | [] -> ()
+  | violations ->
+    raise (Invalid violations)
+
+let () =
+  Printexc.register_printer (function
+    | Invalid violations ->
+      Some (Printf.sprintf "Validate.Invalid:\n%s" (report violations))
+    | _ -> None)

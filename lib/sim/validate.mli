@@ -1,0 +1,44 @@
+(** Self-validation of simulated runs.
+
+    The simulator's claim to fidelity rests on its event log and cycle
+    accounting, so every invariant that must hold of a finished run is
+    checkable here:
+
+    - {b cycle identity}: the final simulated clock, [result.cycles], and
+      [Metrics.total_cycles] all equal the sum of the nine per-category
+      cycle counters — no cost is charged to metrics without advancing
+      time, and vice versa;
+    - {b counter identities}: [total_faults] decomposes into its three
+      resolutions, and every issued preload ends in exactly one
+      disposition (completed / aborted / taken over by a demand load /
+      skipped at start / still queued / still in flight);
+    - {b event-log discipline} (when a complete log was recorded):
+      timestamps are monotone; the exclusive load channel's start/done
+      events alternate and agree; each fault's AEX→ERESUME span is well
+      formed with [Aex_done] exactly [t_aex] after the trap; each SIP
+      notification is stamped exactly [t_notify] after the absent bitmap
+      check that triggered it;
+    - {b counter/event agreement}: metric counters match the number of
+      logged events of each kind.
+
+    Experiments run every result through {!assert_valid}; the [validate]
+    CLI subcommand exposes the same checks interactively. *)
+
+type violation = { check : string; detail : string }
+
+val report : violation list -> string
+(** One line per violation: "[check] detail". *)
+
+val check_events :
+  costs:Sgxsim.Cost_model.t -> Sgxsim.Event.t list -> violation list
+(** Event-log discipline checks alone, on a chronological event list.
+    Usable against synthetic or corrupted logs in tests. *)
+
+val check : Runner.result -> violation list
+(** All applicable checks for one finished run.  Event-derived checks are
+    skipped when the run logged nothing or the log ring overflowed. *)
+
+exception Invalid of violation list
+
+val assert_valid : Runner.result -> unit
+(** @raise Invalid when {!check} reports anything. *)

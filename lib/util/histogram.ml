@@ -47,6 +47,21 @@ let bucket_range t i =
   let lo = t.lo +. (float_of_int i *. t.width) in
   (lo, lo +. t.width)
 
+let mean t =
+  if t.total = 0 then Float.nan
+  else begin
+    (* Bucket-midpoint approximation; under/overflow observations are
+       pinned to the histogram's edges. *)
+    let sum = ref (float_of_int t.underflow *. t.lo) in
+    sum := !sum +. (float_of_int t.overflow *. t.hi);
+    Array.iteri
+      (fun i c ->
+        let lo, hi = bucket_range t i in
+        sum := !sum +. (float_of_int c *. ((lo +. hi) /. 2.0)))
+      t.counts;
+    !sum /. float_of_int t.total
+  end
+
 let fraction_below t x =
   if t.total = 0 then 0.0
   else begin

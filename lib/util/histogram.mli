@@ -24,6 +24,10 @@ val overflow : t -> int
 val bucket_range : t -> int -> float * float
 (** Inclusive-exclusive bounds of bucket [i]. *)
 
+val mean : t -> float
+(** Bucket-midpoint approximation of the sample mean; under/overflow
+    observations count at [lo] / [hi].  [nan] on an empty histogram. *)
+
 val fraction_below : t -> float -> float
 (** [fraction_below t x] approximates P(obs < x) from bucket boundaries
     (whole buckets only; [x] is rounded down to a boundary). *)

@@ -59,6 +59,11 @@ let merge a b =
 let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if Float.is_nan p then invalid_arg "Stats.percentile: nan percentile";
+  (* A nan observation would poison the interpolation silently (and sort
+     to an arbitrary position); reject it loudly instead. *)
+  if Array.exists Float.is_nan xs then
+    invalid_arg "Stats.percentile: nan observation";
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   if n = 1 then sorted.(0)

@@ -33,9 +33,11 @@ val merge : t -> t -> t
     streams (parallel Welford merge). *)
 
 val percentile : float array -> float -> float
-(** [percentile xs p] is the [p]-th percentile ([0. <= p <= 100.]) of [xs]
-    by linear interpolation.  Sorts a copy; [xs] is unchanged.
-    @raise Invalid_argument on an empty array. *)
+(** [percentile xs p] is the [p]-th percentile of [xs] by linear
+    interpolation; [p] outside [0., 100.] is clamped.  Sorts a copy; [xs]
+    is unchanged.
+    @raise Invalid_argument on an empty array, a nan [p], or a nan
+    observation. *)
 
 val geometric_mean : float list -> float
 (** Geometric mean of positive values, the aggregation SPEC-style suites

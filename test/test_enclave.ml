@@ -354,6 +354,69 @@ let test_sip_waits_for_inflight () =
   checki "sip wait recorded" (load - (10 + bmc + notify))
     (Enclave.metrics e).cyc_sip_wait
 
+let test_sip_notify_stamped_at_pickup () =
+  (* Regression: the Sip_notify event used to carry the bitmap-check
+     time.  The notification is only in the kernel thread's hands
+     [t_notify] cycles after the check, and the event must say so. *)
+  let e =
+    Enclave.create ~log:(Event.make_log ~capacity:64) ~epc_pages:4
+      ~elrange_pages:16 ()
+  in
+  ignore (Enclave.sip_access e ~now:0 3);
+  let check_at = ref (-1) and notify_at = ref (-1) in
+  List.iter
+    (function
+      | Event.Sip_check { at; present = false; _ } -> check_at := at
+      | Event.Sip_notify { at; _ } -> notify_at := at
+      | _ -> ())
+    (Enclave.events e);
+  checki "check when the bitmap read completes" bmc !check_at;
+  checki "notify stamped at kernel-thread pickup, not at the check"
+    (bmc + notify) !notify_at
+
+let test_preload_taken_over_counted () =
+  let e = make () in
+  ignore (Enclave.request_preload e ~now:0 1);
+  ignore (Enclave.request_preload e ~now:0 2);
+  (* Page 1 is in flight, page 2 still queued: the demand fault takes
+     over the queued entry. *)
+  ignore (Enclave.access e ~now:5 2);
+  Enclave.sync e ~now:(10 * load);
+  let m = Enclave.metrics e in
+  checki "queued entry taken over" 1 m.preloads_taken_over;
+  checki "only page 1's preload completed" 1 m.preloads_completed
+
+let test_sip_takeover_counted () =
+  let e = make () in
+  ignore (Enclave.request_preload e ~now:0 1);
+  ignore (Enclave.request_preload e ~now:0 2);
+  ignore (Enclave.sip_access e ~now:5 2);
+  Enclave.sync e ~now:(10 * load);
+  checki "SIP load takes over the queued entry" 1
+    (Enclave.metrics e).preloads_taken_over
+
+let test_preload_skipped_counted () =
+  (* The single-frame scenario: preloads queued inside the handler find
+     the only frame pinned when they reach the channel and are dropped.
+     Those drops must be accounted, not silent. *)
+  let e = make ~epc:1 ~elrange:16 () in
+  Enclave.set_on_fault e (fun enc ctx ->
+      ignore (Enclave.request_preload enc ~now:ctx.handled_at (ctx.fault_vpage + 1));
+      ignore (Enclave.request_preload enc ~now:ctx.handled_at (ctx.fault_vpage + 2)));
+  let now = ref 0 in
+  for p = 0 to 9 do
+    now := Enclave.access e ~now:!now p
+  done;
+  Enclave.sync e ~now:!now;
+  let m = Enclave.metrics e in
+  checkb "some preloads were skipped" true (m.preloads_skipped > 0);
+  let pending = List.length (Enclave.pending_preloads e) in
+  let in_flight = match Enclave.in_flight e with Some _ -> 1 | None -> 0 in
+  checki "every issued preload has exactly one disposition"
+    m.preloads_issued
+    (m.preloads_completed + m.preloads_aborted + m.preloads_taken_over
+   + m.preloads_skipped + pending + in_flight)
+
 let test_sip_eviction_when_full () =
   let e = make ~epc:1 () in
   ignore (Enclave.sip_access e ~now:0 0);
@@ -493,19 +556,17 @@ let enclave_qcheck =
         let _, n1 = run_ops ops in
         let _, n2 = run_ops ops in
         n1 = n2);
-    QCheck2.Test.make ~name:"preloads issued >= completed + aborted - pending"
-      ~count:150
+    QCheck2.Test.make
+      ~name:"every issued preload has exactly one disposition" ~count:150
       QCheck2.Gen.(list_size (int_range 1 120) op_gen)
       (fun ops ->
         let e, _ = run_ops ops in
         let m = Enclave.metrics e in
         let pending = List.length (Enclave.pending_preloads e) in
         let in_flight = match Enclave.in_flight e with Some _ -> 1 | None -> 0 in
-        (* Some demand faults take over queued pages, so issued can
-           exceed the sum; it can never be below it. *)
         m.preloads_issued
-        >= m.preloads_completed + m.preloads_aborted + pending + in_flight
-           - m.faults);
+        = m.preloads_completed + m.preloads_aborted + m.preloads_taken_over
+          + m.preloads_skipped + pending + in_flight);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -535,6 +596,9 @@ let () =
           tc "demand takes over queued page" test_demand_takes_over_queued_page;
           tc "abort pending" test_abort_pending;
           tc "abort where" test_abort_where;
+          tc "takeover counted" test_preload_taken_over_counted;
+          tc "sip takeover counted" test_sip_takeover_counted;
+          tc "skipped counted" test_preload_skipped_counted;
           tc "faulting page pinned" test_faulting_page_pinned_against_preload_eviction;
           tc "single-frame EPC stays safe" test_single_frame_epc_stays_safe;
         ] );
@@ -557,6 +621,7 @@ let () =
           tc "miss cost" test_sip_miss_cost;
           tc "cheaper than fault" test_sip_cheaper_than_fault;
           tc "waits for in-flight" test_sip_waits_for_inflight;
+          tc "notify stamped at pickup" test_sip_notify_stamped_at_pickup;
           tc "eviction when full" test_sip_eviction_when_full;
         ] );
       ( "bitmap",

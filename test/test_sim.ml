@@ -113,6 +113,67 @@ let test_small_ws_barely_faults () =
   checkb "cold faults only" true (faults * 50 < accesses)
 
 (* ------------------------------------------------------------------ *)
+(* Self-validation: every scheme on a mixed workload                   *)
+(* ------------------------------------------------------------------ *)
+
+let all_schemes () =
+  let plan = plan_for "mixed-blood" in
+  [
+    Scheme.Baseline; Scheme.Native; Scheme.dfp_default; Scheme.dfp_stop;
+    Scheme.Sip plan;
+    Scheme.Hybrid (Preload.Dfp.with_stop Preload.Dfp.default_config, plan);
+    Scheme.Next_line 4; Scheme.Stride 4; Scheme.Markov (8 * epc, 4);
+  ]
+
+let test_every_scheme_validates () =
+  (* The tentpole cross-check: for every scheme, the final simulated
+     clock equals the accounted cycles, every counter identity holds,
+     and the recorded event log obeys its discipline. *)
+  let config = { config with Runner.log_capacity = 1 lsl 18 } in
+  List.iter
+    (fun scheme ->
+      let r = Runner.run ~config ~scheme (trace "mixed-blood") in
+      checki
+        (r.scheme ^ ": final now = total cycles")
+        (Metrics.total_cycles r.metrics) r.final_now;
+      checkb (r.scheme ^ ": log complete") false r.events_truncated;
+      Alcotest.(check string)
+        (r.scheme ^ ": no violations")
+        ""
+        (Sim.Validate.report (Sim.Validate.check r)))
+    (all_schemes ())
+
+let test_fault_latency_histograms () =
+  let r = run "mixed-blood" Scheme.dfp_default in
+  let count kind =
+    Repro_util.Histogram.count (List.assoc kind r.fault_latency)
+  in
+  let m = r.metrics in
+  checki "demand-load histogram counts demand faults" m.faults
+    (count Sgxsim.Enclave.Demand_load);
+  checki "in-flight histogram" m.faults_in_flight
+    (count Sgxsim.Enclave.Waited_in_flight);
+  checki "already-present histogram" m.faults_already_present
+    (count Sgxsim.Enclave.Already_present);
+  (* Demand faults cost at least AEX + load + ERESUME, so none can land
+     below that bound. *)
+  let h = List.assoc Sgxsim.Enclave.Demand_load r.fault_latency in
+  let c = Sgxsim.Cost_model.paper in
+  Alcotest.(check (float 1e-9))
+    "no demand fault faster than the architectural floor" 0.0
+    (Repro_util.Histogram.fraction_below h
+       (float_of_int (c.t_aex + c.t_load + c.t_eresume)));
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+    at 0
+  in
+  let rendered = Repro_util.Table.render (Report.fault_latency_table r) in
+  checkb "table names every resolution" true
+    (List.for_all (contains rendered)
+       [ "demand-load"; "waited-in-flight"; "already-present" ])
+
+(* ------------------------------------------------------------------ *)
 (* Report helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -371,6 +432,11 @@ let () =
           slow "hybrid beats both on mixed" test_hybrid_beats_both_on_mixed;
           tc "normalized + improvement = 1" test_normalized_and_improvement;
           tc "small WS barely faults" test_small_ws_barely_faults;
+        ] );
+      ( "validation",
+        [
+          slow "every scheme validates on mixed-blood" test_every_scheme_validates;
+          tc "fault latency histograms" test_fault_latency_histograms;
         ] );
       ( "report",
         [

@@ -157,6 +157,38 @@ let test_stats_merge_with_empty () =
   checki "count" 2 (Stats.count m);
   checkf "mean" 1.5 (Stats.mean m)
 
+let test_stats_empty_min_max_nan () =
+  (* An empty accumulator has no extrema; pin the documented nan. *)
+  let s = Stats.create () in
+  checkb "min is nan" true (Float.is_nan (Stats.min s));
+  checkb "max is nan" true (Float.is_nan (Stats.max s))
+
+let test_stats_merge_empty_no_nan_poisoning () =
+  (* The empty side's nan min/max must not leak into the merge, in
+     either argument order, and merging two empties stays empty. *)
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add_many b [ 3.0; 7.0 ];
+  let m1 = Stats.merge a b and m2 = Stats.merge b a in
+  checkf "min (empty left)" 3.0 (Stats.min m1);
+  checkf "max (empty left)" 7.0 (Stats.max m1);
+  checkf "min (empty right)" 3.0 (Stats.min m2);
+  checkf "max (empty right)" 7.0 (Stats.max m2);
+  checkf "mean unpoisoned" 5.0 (Stats.mean m1);
+  let e = Stats.merge (Stats.create ()) (Stats.create ()) in
+  checki "both empty: count" 0 (Stats.count e);
+  checkf "both empty: mean" 0.0 (Stats.mean e)
+
+let test_stats_merge_leaves_inputs_unchanged () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add_many a [ 1.0 ];
+  Stats.add_many b [ 9.0 ];
+  let m = Stats.merge a b in
+  Stats.add m 100.0;
+  checki "a untouched" 1 (Stats.count a);
+  checki "b untouched" 1 (Stats.count b);
+  checkf "a mean" 1.0 (Stats.mean a);
+  checkf "b max" 9.0 (Stats.max b)
+
 let test_stats_percentile () =
   let xs = [| 15.0; 20.0; 35.0; 40.0; 50.0 |] in
   checkf "p0 = min" 15.0 (Stats.percentile xs 0.0);
@@ -167,6 +199,21 @@ let test_stats_percentile () =
 let test_stats_percentile_empty () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
     (fun () -> ignore (Stats.percentile [||] 50.0))
+
+let test_stats_percentile_clamps () =
+  let xs = [| 15.0; 20.0; 35.0 |] in
+  checkf "below 0 clamps to min" 15.0 (Stats.percentile xs (-10.0));
+  checkf "above 100 clamps to max" 35.0 (Stats.percentile xs 1000.0)
+
+let test_stats_percentile_rejects_nan () =
+  (* nan would silently mis-sort (compare treats it inconsistently);
+     reject it loudly instead. *)
+  Alcotest.check_raises "nan percentile"
+    (Invalid_argument "Stats.percentile: nan percentile") (fun () ->
+      ignore (Stats.percentile [| 1.0; 2.0 |] Float.nan));
+  Alcotest.check_raises "nan observation"
+    (Invalid_argument "Stats.percentile: nan observation") (fun () ->
+      ignore (Stats.percentile [| 1.0; Float.nan; 2.0 |] 50.0))
 
 let test_stats_geometric_mean () =
   checkf "of equal" 3.0 (Stats.geometric_mean [ 3.0; 3.0; 3.0 ]);
@@ -216,6 +263,17 @@ let test_histogram_ranges () =
   let lo, hi = Histogram.bucket_range h 2 in
   checkf "lo" 4.0 lo;
   checkf "hi" 6.0 hi
+
+let test_histogram_mean () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  checkb "empty mean is nan" true (Float.is_nan (Histogram.mean h));
+  (* 1.0 and 1.5 land in bucket [0,2) (midpoint 1), 5.0 in [4,6)
+     (midpoint 5): midpoint approximation gives (1+1+5)/3. *)
+  List.iter (Histogram.add h) [ 1.0; 1.5; 5.0 ];
+  checkf "midpoint mean" (7.0 /. 3.0) (Histogram.mean h);
+  (* Overflow pins to hi, underflow to lo. *)
+  Histogram.add h 99.0;
+  checkf "overflow at hi" ((7.0 +. 10.0) /. 4.0) (Histogram.mean h)
 
 let test_histogram_fraction_below () =
   let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
@@ -450,8 +508,13 @@ let () =
           tc "known values" test_stats_known_values;
           tc "merge equals combined" test_stats_merge_equals_combined;
           tc "merge with empty" test_stats_merge_with_empty;
+          tc "empty min/max are nan" test_stats_empty_min_max_nan;
+          tc "merge with empty: no nan poisoning" test_stats_merge_empty_no_nan_poisoning;
+          tc "merge leaves inputs unchanged" test_stats_merge_leaves_inputs_unchanged;
           tc "percentile" test_stats_percentile;
           tc "percentile empty" test_stats_percentile_empty;
+          tc "percentile clamps" test_stats_percentile_clamps;
+          tc "percentile rejects nan" test_stats_percentile_rejects_nan;
           tc "geometric mean" test_stats_geometric_mean;
         ]
         @ props stats_qcheck );
@@ -459,6 +522,7 @@ let () =
         [
           tc "bucketing" test_histogram_bucketing;
           tc "ranges" test_histogram_ranges;
+          tc "mean" test_histogram_mean;
           tc "fraction below" test_histogram_fraction_below;
           tc "bad args" test_histogram_bad_args;
         ] );
