@@ -115,6 +115,19 @@ let print_ops () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E-runtime: end-to-end simulator throughput (macro-benchmark)        *)
+(* ------------------------------------------------------------------ *)
+
+let run_runtime settings =
+  let report = Sim.Macro_bench.run ~clock:Unix.gettimeofday settings in
+  Sim.Macro_bench.print report;
+  let path = "BENCH_runtime.json" in
+  let oc = open_out path in
+  output_string oc (Sim.Macro_bench.to_json report);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -124,6 +137,10 @@ let print_list () =
     (fun (id, descr) -> Printf.printf "  %-14s %s\n" id descr)
     Sim.Experiments.all;
   print_endline "  ops            Bechamel micro-benchmarks";
+  print_endline
+    "  runtime        macro-benchmark: wall-clock throughput per scheme on \
+     the queue-stress trace (writes BENCH_runtime.json)";
+  print_endline "  runtime-smoke  the same at CI-sized settings";
   print_endline "  all            everything above"
 
 let () =
@@ -143,11 +160,14 @@ let () =
         Sim.Experiments.run id settings;
         print_newline ())
       Sim.Experiments.all;
-    print_ops ()
+    print_ops ();
+    run_runtime Sim.Macro_bench.full
   | ids ->
     List.iter
       (fun id ->
         if id = "ops" then print_ops ()
+        else if id = "runtime" then run_runtime Sim.Macro_bench.full
+        else if id = "runtime-smoke" then run_runtime Sim.Macro_bench.smoke
         else if List.mem id experiment_ids then begin
           Sim.Experiments.run id settings;
           print_newline ()

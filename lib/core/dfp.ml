@@ -44,11 +44,14 @@ let predictor_for t thread =
 
 (* Refresh a stream's pending window against what is actually still
    queued, then queue the new predictions and record which ones the
-   enclave accepted. *)
+   enclave accepted.  Membership is the enclave's per-vpage queue index
+   (O(1) per page) — materializing the whole queue list and running
+   [List.mem] against it per prediction made every fault O(queue). *)
 let issue_preloads enclave ~now stream predict =
-  let still_queued = Enclave.pending_preloads enclave in
   let old_pending =
-    List.filter (fun p -> List.mem p still_queued) stream.Stream_predictor.pending
+    List.filter
+      (fun p -> Enclave.preload_queued enclave p)
+      stream.Stream_predictor.pending
   in
   let queued =
     List.filter (fun p -> Enclave.request_preload enclave ~now p) predict
@@ -62,24 +65,31 @@ let on_fault t enclave (ctx : Enclave.fault_ctx) =
     match Stream_predictor.on_fault predictor ctx.fault_vpage with
     | Extend { stream; predict } -> issue_preloads enclave ~now stream predict
     | Restart_within { stream = _; abort } ->
-      ignore
-        (Enclave.abort_pending_preloads_where enclave ~now (fun p ->
-             List.mem p abort))
+      ignore (Enclave.abort_pending_preloads_pages enclave ~now abort)
     | New_stream { stream = _; replaced } -> (
       match replaced with
       | Some dead ->
         let abort = dead.Stream_predictor.pending in
         if abort <> [] then
-          ignore
-            (Enclave.abort_pending_preloads_where enclave ~now (fun p ->
-                 List.mem p abort))
+          ignore (Enclave.abort_pending_preloads_pages enclave ~now abort)
       | None -> ())
   end
 
+(* The §4.2 stop decision, audited against the paper's semantics:
+   [completed] is the PreloadCounter — pages actually brought into EPC
+   (issued-but-aborted/taken-over/skipped requests never count against
+   accuracy); [acc] is the AccPreloadCounter harvested by the service
+   scan.  Both are cumulative over the whole run — the paper's counters
+   are never reset and the stop is one-way — and the margin absorbs the
+   harvest lag (preloads completed but not yet scanned). *)
+let should_stop config ~acc ~completed =
+  config.stop_enabled && acc + config.stop_margin < completed / 2
+
 let check_stop t enclave ~now =
   if
-    t.config.stop_enabled && (not t.stopped)
-    && t.acc_preload_counter + t.config.stop_margin < t.preload_counter / 2
+    (not t.stopped)
+    && should_stop t.config ~acc:t.acc_preload_counter
+         ~completed:t.preload_counter
   then begin
     t.stopped <- true;
     ignore (Enclave.abort_pending_preloads enclave ~now)

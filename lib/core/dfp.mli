@@ -12,7 +12,20 @@
       [PreloadCounter] of all completed preloads; when
       [acc + stop_margin < total/2] the preloading thread stops itself
       for good (§4.2's empirical formula, with the margin scaled to the
-      simulated EPC size). *)
+      simulated EPC size).
+
+    DFP-Stop semantics, audited against §4.2 and locked by unit tests:
+
+    - [PreloadCounter] counts {e completed} preloads — pages actually
+      brought into EPC.  Issued requests that were aborted, taken over by
+      a demand fault, or skipped at start time never count against
+      accuracy (they cost nothing on the channel, so charging them would
+      stop DFP too early on abort-heavy workloads).
+    - Both counters are {e cumulative}: never reset, no sliding window.
+      A long accurate phase therefore buys later inaccuracy headroom, and
+      the stop, once fired, is one-way.
+    - The comparison runs on every service-thread scan; [stop_margin]
+      also absorbs the harvest lag of hits not yet observed by the scan. *)
 
 type config = {
   stream_list_length : int;  (** Fig. 6 knob; paper default 30. *)
@@ -34,6 +47,11 @@ val default_config : config
 
 val with_stop : config -> config
 (** Same configuration with the §4.2 safety valve enabled. *)
+
+val should_stop : config -> acc:int -> completed:int -> bool
+(** The pure §4.2 stop decision:
+    [stop_enabled && acc + stop_margin < completed / 2].  Exposed so the
+    threshold semantics are locked by direct tests. *)
 
 type t
 

@@ -36,7 +36,7 @@ let create ?(costs = Cost_model.paper) ?(log = Event.null_log) ~epc_pages
     costs;
     pt = Page_table.create ~pages:elrange_pages;
     epc = Clock_evictor.create ~capacity:epc_pages;
-    channel = Load_channel.create ();
+    channel = Load_channel.create ~pages:elrange_pages;
     metrics = Metrics.create ();
     bitmap = Bitset.create elrange_pages;
     log;
@@ -331,10 +331,14 @@ let compute t ~now cycles =
 
 let request_preload t ~now vpage =
   sync t ~now;
-  if vpage < 0 || vpage >= Page_table.pages t.pt then
+  t.metrics.preloads_requested <- t.metrics.preloads_requested + 1;
+  if vpage < 0 || vpage >= Page_table.pages t.pt then begin
     (* Predictors may run past the end of ELRANGE; the driver range-checks
-       and skips such requests. *)
+       and skips such requests.  Counted so predictor over-runs are
+       distinguishable from never-predicted pages. *)
+    t.metrics.preloads_rejected_range <- t.metrics.preloads_rejected_range + 1;
     false
+  end
   else
   let in_flight_same =
     match Load_channel.in_flight t.channel with
@@ -344,7 +348,10 @@ let request_preload t ~now vpage =
   if
     Page_table.present t.pt vpage || in_flight_same
     || Load_channel.queued_mem t.channel vpage
-  then false
+  then begin
+    t.metrics.preloads_rejected_dup <- t.metrics.preloads_rejected_dup + 1;
+    false
+  end
   else begin
     Load_channel.queue_preload t.channel ~vpage ~at:now;
     t.metrics.preloads_issued <- t.metrics.preloads_issued + 1;
@@ -370,6 +377,15 @@ let abort_pending_preloads_where t ~now pred =
   end;
   n
 
+let abort_pending_preloads_pages t ~now pages =
+  sync t ~now;
+  let n = Load_channel.abort_queued_pages t.channel pages in
+  if n > 0 then begin
+    t.metrics.preloads_aborted <- t.metrics.preloads_aborted + n;
+    record t (Event.Preload_aborted { at = now; count = n })
+  end;
+  n
+
 let costs t = t.costs
 let metrics t = t.metrics
 let elrange_pages t = Page_table.pages t.pt
@@ -378,6 +394,8 @@ let resident_count t = Page_table.resident_count t.pt
 let page_present t vpage = Page_table.present t.pt vpage
 let bitmap_present t vpage = Bitset.mem t.bitmap vpage
 let pending_preloads t = Load_channel.queued t.channel
+let pending_preload_count t = Load_channel.queue_length t.channel
+let preload_queued t vpage = Load_channel.queued_mem t.channel vpage
 let in_flight t = Load_channel.in_flight t.channel
 let events t = Event.events t.log
 let set_log t log = t.log <- log

@@ -105,7 +105,13 @@ val abort_pending_preloads : t -> now:int -> int
 (** Drop all queued (not yet started) preloads; returns the count. *)
 
 val abort_pending_preloads_where : t -> now:int -> (int -> bool) -> int
-(** Drop queued preloads matching the predicate (per-stream abort). *)
+(** Drop queued preloads matching the predicate.  O(queue); prefer
+    {!abort_pending_preloads_pages} when the pages are known. *)
+
+val abort_pending_preloads_pages : t -> now:int -> int list -> int
+(** Drop the listed pages from the preload queue (pages not queued are
+    ignored); returns the number dropped.  O(k) in the list length — the
+    per-stream abort path. *)
 
 (** {1 Inspection} *)
 
@@ -119,6 +125,15 @@ val bitmap_present : t -> int -> bool
 (** What SIP's shared bitmap says (kept in sync by load/evict). *)
 
 val pending_preloads : t -> int list
+(** Materializes the queue; O(queue) — inspection/testing only.  Hot paths
+    use {!preload_queued} / {!pending_preload_count}. *)
+
+val pending_preload_count : t -> int
+(** Number of queued (not yet started) preloads; O(1). *)
+
+val preload_queued : t -> int -> bool
+(** Whether a page is waiting in the preload queue; O(1). *)
+
 val in_flight : t -> Load_channel.inflight option
 val events : t -> Event.t list
 val set_log : t -> Event.log -> unit

@@ -1,15 +1,41 @@
+module Bitset = Repro_util.Bitset
+module Deque = Repro_util.Deque
+
 type kind = Demand | Preload_dfp | Preload_sip
 
 type inflight = { vpage : int; kind : kind; started : int; finishes : int }
 
+(* One pending-FIFO slot.  [seq] makes lazy deletion sound: a removal only
+   clears the per-page live sequence number, leaving the slot in place; a
+   slot whose [seq] no longer matches [live_seq.(vpage)] is stale and is
+   discarded the next time the head is inspected.  Re-queueing a removed
+   page allocates a fresh [seq], so the stale older slot can never shadow
+   the new tail position — FIFO order is exactly the list semantics. *)
+type entry = { e_vpage : int; e_at : int; e_seq : int }
+
+let stale_slot = { e_vpage = -1; e_at = 0; e_seq = -1 }
+
 type t = {
   mutable current : inflight option;
-  mutable queue : (int * int) list; (* (vpage, queued_at), FIFO: head is next *)
-  mutable rev_tail : (int * int) list; (* amortised FIFO second half *)
+  q : entry Deque.t;
+  live_seq : int array; (* per vpage: seq of its live slot, -1 if none *)
+  queued : Bitset.t; (* membership mirror of live_seq >= 0: O(1) queued_mem *)
+  mutable live : int;
+  mutable next_seq : int;
   mutable free_at : int;
 }
 
-let create () = { current = None; queue = []; rev_tail = []; free_at = 0 }
+let create ~pages =
+  if pages <= 0 then invalid_arg "Load_channel.create: pages must be positive";
+  {
+    current = None;
+    q = Deque.create ~dummy:stale_slot ();
+    live_seq = Array.make pages (-1);
+    queued = Bitset.create pages;
+    live = 0;
+    next_seq = 0;
+    free_at = 0;
+  }
 
 let in_flight t = t.current
 
@@ -41,45 +67,88 @@ let take_completed t ~now =
     Some l
   | Some _ | None -> None
 
-let normalize t =
-  if t.queue = [] then begin
-    t.queue <- List.rev t.rev_tail;
-    t.rev_tail <- []
-  end
+let is_live t (e : entry) = t.live_seq.(e.e_vpage) = e.e_seq
 
-let queue_preload t ~vpage ~at = t.rev_tail <- (vpage, at) :: t.rev_tail
-
-let next_queued t =
-  normalize t;
-  match t.queue with [] -> None | x :: _ -> Some x
-
-let pop_queued t =
-  normalize t;
-  match t.queue with
-  | [] -> None
-  | x :: rest ->
-    t.queue <- rest;
-    Some x
-
-let queued t = List.map fst t.queue @ List.rev_map fst t.rev_tail
-
-let queue_length t = List.length t.queue + List.length t.rev_tail
-
-let abort_queued t =
-  let n = queue_length t in
-  t.queue <- [];
-  t.rev_tail <- [];
-  n
-
-let abort_queued_where t pred =
-  let keep (vpage, _) = not (pred vpage) in
-  let before = queue_length t in
-  t.queue <- List.filter keep t.queue;
-  t.rev_tail <- List.filter keep t.rev_tail;
-  before - queue_length t
-
-let remove_queued t vpage = abort_queued_where t (fun p -> p = vpage) > 0
+(* Discard stale (lazily-deleted) slots at the head.  Each slot is dropped
+   at most once, so the scan is O(1) amortized over the queue's life. *)
+let rec drop_stale t =
+  match Deque.peek_front t.q with
+  | Some e when not (is_live t e) ->
+    ignore (Deque.pop_front t.q);
+    drop_stale t
+  | Some _ | None -> ()
 
 let queued_mem t vpage =
-  List.exists (fun (p, _) -> p = vpage) t.queue
-  || List.exists (fun (p, _) -> p = vpage) t.rev_tail
+  vpage >= 0 && vpage < Array.length t.live_seq && Bitset.mem t.queued vpage
+
+let queue_preload t ~vpage ~at =
+  if vpage < 0 || vpage >= Array.length t.live_seq then
+    invalid_arg
+      (Printf.sprintf "Load_channel.queue_preload: page %d out of range" vpage);
+  if queued_mem t vpage then
+    invalid_arg
+      (Printf.sprintf "Load_channel.queue_preload: page %d already queued" vpage);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Deque.push_back t.q { e_vpage = vpage; e_at = at; e_seq = seq };
+  t.live_seq.(vpage) <- seq;
+  Bitset.set t.queued vpage;
+  t.live <- t.live + 1
+
+let next_queued t =
+  drop_stale t;
+  match Deque.peek_front t.q with
+  | Some e -> Some (e.e_vpage, e.e_at)
+  | None -> None
+
+let unlink t vpage =
+  t.live_seq.(vpage) <- -1;
+  Bitset.clear t.queued vpage;
+  t.live <- t.live - 1
+
+let pop_queued t =
+  drop_stale t;
+  match Deque.pop_front t.q with
+  | Some e ->
+    unlink t e.e_vpage;
+    Some (e.e_vpage, e.e_at)
+  | None -> None
+
+let queued t =
+  List.rev
+    (Deque.fold
+       (fun acc e -> if is_live t e then e.e_vpage :: acc else acc)
+       [] t.q)
+
+let queue_length t = t.live
+
+let abort_queued t =
+  let n = t.live in
+  Deque.iter (fun e -> if is_live t e then unlink t e.e_vpage) t.q;
+  Deque.clear t.q;
+  n
+
+let remove_queued t vpage =
+  if queued_mem t vpage then begin
+    (* Lazy deletion: the slot stays in the deque and is skipped once it
+       reaches the head. *)
+    unlink t vpage;
+    true
+  end
+  else false
+
+let abort_queued_pages t pages =
+  List.fold_left
+    (fun n vpage -> if remove_queued t vpage then n + 1 else n)
+    0 pages
+
+let abort_queued_where t pred =
+  let n = ref 0 in
+  Deque.iter
+    (fun e ->
+      if is_live t e && pred e.e_vpage then begin
+        unlink t e.e_vpage;
+        incr n
+      end)
+    t.q;
+  !n

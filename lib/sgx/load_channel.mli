@@ -8,7 +8,16 @@
 
     This module is pure bookkeeping over absolute cycle timestamps; the
     {!Enclave} facade decides when loads start and what happens on
-    completion. *)
+    completion.
+
+    The pending-preload FIFO is an indexed deque: a ring-buffer deque of
+    [(vpage, queued_at)] slots plus a per-page membership bitset and live
+    sequence-number array.  Removals are lazy (the slot is invalidated in
+    place and discarded when it reaches the head), so [queued_mem],
+    [remove_queued], [pop_queued] and [next_queued] are O(1) amortized and
+    [abort_queued_pages] is O(k) in the aborted set — the whole
+    speculative-load path costs constant time per access regardless of
+    queue depth. *)
 
 type kind =
   | Demand  (** Load servicing an actual fault. *)
@@ -19,7 +28,9 @@ type inflight = { vpage : int; kind : kind; started : int; finishes : int }
 
 type t
 
-val create : unit -> t
+val create : pages:int -> t
+(** A channel serving an ELRANGE of [pages] virtual pages (the membership
+    index is per-page).  @raise Invalid_argument if [pages <= 0]. *)
 
 val in_flight : t -> inflight option
 
@@ -41,8 +52,10 @@ val take_completed : t -> now:int -> inflight option
 
 val queue_preload : t -> vpage:int -> at:int -> unit
 (** Append a page to the pending-preload FIFO, stamped with its enqueue
-    time (a queued load cannot start before it was requested).  Duplicate
-    suppression is the caller's job. *)
+    time (a queued load cannot start before it was requested).
+    @raise Invalid_argument if the page is already queued (callers check
+    {!queued_mem} first — a duplicate would corrupt the membership index)
+    or outside [\[0, pages)]. *)
 
 val next_queued : t -> (int * int) option
 (** Head of the pending FIFO as [(vpage, queued_at)], not removed. *)
@@ -61,7 +74,13 @@ val abort_queued : t -> int
 
 val abort_queued_where : t -> (int -> bool) -> int
 (** Drop pending preloads whose vpage satisfies the predicate; returns the
-    number dropped.  Used for per-stream aborts. *)
+    number dropped.  O(queue); prefer {!abort_queued_pages} when the pages
+    are known. *)
+
+val abort_queued_pages : t -> int list -> int
+(** Drop the listed pages from the pending FIFO (pages not queued are
+    ignored); returns the number dropped.  O(k) in the list length — the
+    per-stream abort path. *)
 
 val remove_queued : t -> int -> bool
 (** Drop one specific pending page (demand load took over); [false] if it

@@ -12,6 +12,9 @@ type t = {
   mutable faults : int;
   mutable faults_in_flight : int;
   mutable faults_already_present : int;
+  mutable preloads_requested : int;
+  mutable preloads_rejected_range : int;
+  mutable preloads_rejected_dup : int;
   mutable preloads_issued : int;
   mutable preloads_completed : int;
   mutable preloads_aborted : int;
@@ -40,6 +43,9 @@ let create () =
     faults = 0;
     faults_in_flight = 0;
     faults_already_present = 0;
+    preloads_requested = 0;
+    preloads_rejected_range = 0;
+    preloads_rejected_dup = 0;
     preloads_issued = 0;
     preloads_completed = 0;
     preloads_aborted = 0;
@@ -69,12 +75,14 @@ let pp fmt t =
   Format.fprintf fmt
     "@[<v>cycles: total=%d compute=%d access=%d aex=%d eresume=%d handler=%d \
      load-wait=%d check=%d notify=%d sip-wait=%d@ events: accesses=%d faults=%d \
-     in-flight=%d already-present=%d preloads=%d/%d aborted=%d taken-over=%d \
+     in-flight=%d already-present=%d preloads=%d/%d requested=%d \
+     rejected-range=%d rejected-dup=%d aborted=%d taken-over=%d \
      skipped=%d hits=%d wasted-evict=%d evictions=%d sip-checks=%d notifies=%d \
      scans=%d@]"
     (total_cycles t) t.cyc_compute t.cyc_access t.cyc_aex t.cyc_eresume
     t.cyc_os_handler t.cyc_load_wait t.cyc_bitmap_check t.cyc_notify
     t.cyc_sip_wait t.accesses t.faults t.faults_in_flight
     t.faults_already_present t.preloads_completed t.preloads_issued
+    t.preloads_requested t.preloads_rejected_range t.preloads_rejected_dup
     t.preloads_aborted t.preloads_taken_over t.preloads_skipped t.preload_hits
     t.preload_evicted_unused t.evictions t.sip_checks t.sip_notifies t.scans

@@ -27,6 +27,15 @@ type t = {
   mutable faults_already_present : int;
       (** Faults resolved by the handler finding the page preloaded
           during the AEX window. *)
+  mutable preloads_requested : int;
+      (** Every [request_preload] call a scheme made, accepted or not:
+          [requested = issued + rejected_range + rejected_dup]. *)
+  mutable preloads_rejected_range : int;
+      (** Requests refused because the predicted page lies outside
+          ELRANGE — predictor over-runs, previously dropped silently. *)
+  mutable preloads_rejected_dup : int;
+      (** Requests refused because the page was already present, in
+          flight, or queued. *)
   mutable preloads_issued : int;
   mutable preloads_completed : int;
   mutable preloads_aborted : int;  (** Queued preloads dropped by aborts. *)

@@ -1,0 +1,197 @@
+(* End-to-end runtime macro-benchmark: how fast does the simulator
+   itself run?
+
+   The paper's experiments care about simulated cycles; this harness
+   cares about wall-clock seconds per simulated cycle, because the
+   per-access cost of the speculative-load path bounds how large a trace
+   the repository can afford to replay.  The workload is deliberately the
+   queue-heavy worst case: many threads, each advancing many concurrent
+   sequential streams, with compute gaps too small to drain the load
+   channel — so the pending-preload queue stays hundreds of entries deep
+   and any O(queue) work per access shows up as wall-clock time. *)
+
+module Pattern = Workload.Pattern
+module Trace = Workload.Trace
+module Scheme = Preload.Scheme
+
+type settings = {
+  label : string;
+  events : int;
+  epc_pages : int;
+  threads : int;
+  streams_per_thread : int;
+  compute : int;  (** Mean compute cycles between accesses. *)
+  seed : int;
+}
+
+let full =
+  {
+    label = "full";
+    events = 1_000_000;
+    epc_pages = 2048;
+    threads = 32;
+    streams_per_thread = 30;
+    compute = 2_000;
+    seed = 4242;
+  }
+
+let smoke =
+  {
+    label = "smoke";
+    events = 50_000;
+    epc_pages = 1024;
+    threads = 4;
+    streams_per_thread = 16;
+    compute = 2_000;
+    seed = 4242;
+  }
+
+(* Pages each stream sweeps so the whole trace covers [events] accesses
+   with every access touching a fresh page (events_per_page = 1): the
+   streams never revisit, so the predictor keeps every stream alive and
+   the preload windows of threads * streams_per_thread streams compete
+   for the channel simultaneously. *)
+let stream_pages s = (s.events / (s.threads * s.streams_per_thread)) + 1
+
+let footprint_pages s = s.threads * s.streams_per_thread * stream_pages s
+
+let queue_stress s =
+  let pages = stream_pages s in
+  let thread_pattern t =
+    let streams =
+      List.init s.streams_per_thread (fun i ->
+          (((t * s.streams_per_thread) + i) * pages, pages))
+    in
+    Pattern.multi_stream ~site:t ~streams ~events_per_page:1 ~compute:s.compute
+      ~jitter:0.1
+  in
+  let pattern =
+    Pattern.take s.events
+      (Pattern.parallel (List.init s.threads (fun t -> (t, thread_pattern t))))
+  in
+  Trace.make
+    ~name:(Printf.sprintf "queue-stress-%s" s.label)
+    ~elrange_pages:(footprint_pages s) ~footprint_pages:(footprint_pages s)
+    ~seed:s.seed
+    ~sites:(List.init s.threads (fun t -> (t, Printf.sprintf "thread%d" t)))
+    pattern
+
+let schemes =
+  [
+    Scheme.Baseline;
+    Scheme.dfp_default;
+    Scheme.dfp_stop;
+    Scheme.Next_line 4;
+    Scheme.Stride 4;
+  ]
+
+type row = {
+  scheme : string;
+  sim_cycles : int;
+  wall_seconds : float;
+  cycles_per_second : float;
+  events_per_second : float;
+  faults : int;
+  preloads_issued : int;
+  pending_at_end : int;
+}
+
+type report = { settings : settings; elrange_pages : int; rows : row list }
+
+let run ?(clock = Sys.time) s =
+  let trace = queue_stress s in
+  let config =
+    { Runner.default_config with epc_pages = s.epc_pages; log_capacity = 0 }
+  in
+  let rows =
+    List.map
+      (fun scheme ->
+        let t0 = clock () in
+        let r = Runner.run ~config ~scheme trace in
+        let t1 = clock () in
+        (* The timed region is the replay alone; validation is unpaid but
+           keeps the timing honest — a broken run must not post a time. *)
+        (match Validate.check r with
+        | [] -> ()
+        | vs -> failwith (Validate.report vs));
+        let wall = Float.max (t1 -. t0) 1e-9 in
+        {
+          scheme = r.Runner.scheme;
+          sim_cycles = r.Runner.cycles;
+          wall_seconds = wall;
+          cycles_per_second = float_of_int r.Runner.cycles /. wall;
+          events_per_second = float_of_int s.events /. wall;
+          faults = r.Runner.metrics.Sgxsim.Metrics.faults;
+          preloads_issued = r.Runner.metrics.Sgxsim.Metrics.preloads_issued;
+          pending_at_end = r.Runner.pending_preloads;
+        })
+      schemes
+  in
+  { settings = s; elrange_pages = footprint_pages s; rows }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let num f =
+  (* %.17g round-trips every float and stays valid JSON (no nan/inf can
+     occur here: wall is clamped positive, counters are finite). *)
+  Printf.sprintf "%.17g" f
+
+let to_json r =
+  let s = r.settings in
+  let str v = Printf.sprintf "\"%s\"" v in
+  let obj fields =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) fields)
+    ^ "}"
+  in
+  let settings_json =
+    obj
+      [
+        ("label", str s.label); ("events", string_of_int s.events);
+        ("epc_pages", string_of_int s.epc_pages);
+        ("threads", string_of_int s.threads);
+        ("streams_per_thread", string_of_int s.streams_per_thread);
+        ("compute_cycles", string_of_int s.compute);
+        ("seed", string_of_int s.seed);
+        ("elrange_pages", string_of_int r.elrange_pages);
+      ]
+  in
+  let row_json row =
+    obj
+      [
+        ("scheme", str row.scheme);
+        ("sim_cycles", string_of_int row.sim_cycles);
+        ("wall_seconds", num row.wall_seconds);
+        ("sim_cycles_per_wall_second", num row.cycles_per_second);
+        ("events_per_wall_second", num row.events_per_second);
+        ("faults", string_of_int row.faults);
+        ("preloads_issued", string_of_int row.preloads_issued);
+        ("pending_preloads_at_end", string_of_int row.pending_at_end);
+      ]
+  in
+  obj
+    [
+      ("schema", str "sgx-preload/bench-runtime/v1");
+      ("settings", settings_json);
+      ("rows", "[" ^ String.concat ", " (List.map row_json r.rows) ^ "]");
+    ]
+  ^ "\n"
+
+let print r =
+  Printf.printf
+    "## E-runtime — simulator throughput on queue-stress (%s: %d events, %d \
+     threads x %d streams)\n\n"
+    r.settings.label r.settings.events r.settings.threads
+    r.settings.streams_per_thread;
+  Printf.printf "  %-14s %14s %9s %16s %12s %9s\n" "scheme" "sim Mcyc"
+    "wall s" "sim cyc/wall s" "events/s" "faults";
+  List.iter
+    (fun row ->
+      Printf.printf "  %-14s %14.1f %9.3f %16.3e %12.0f %9d\n" row.scheme
+        (float_of_int row.sim_cycles /. 1e6)
+        row.wall_seconds row.cycles_per_second row.events_per_second row.faults)
+    r.rows;
+  print_newline ()

@@ -1,0 +1,65 @@
+(** End-to-end runtime macro-benchmark (wall-clock, not simulated time).
+
+    Times one full simulation per scheme on a synthetic {e queue-stress}
+    trace — many threads each advancing many concurrent sequential
+    streams with compute gaps too small to drain the load channel, so the
+    pending-preload queue stays hundreds of entries deep.  Any O(queue)
+    work on the per-access path dominates wall-clock here, which is what
+    makes the numbers a regression tripwire for the speculative-load
+    path's complexity.
+
+    Results are informational (they measure the build machine, not the
+    paper); CI uploads the JSON as an artifact rather than asserting on
+    it.  The JSON schema is documented in README.md
+    ("sgx-preload/bench-runtime/v1"). *)
+
+type settings = {
+  label : string;  (** Tag recorded in the report ("full" / "smoke"). *)
+  events : int;  (** Total accesses replayed per scheme. *)
+  epc_pages : int;
+  threads : int;
+  streams_per_thread : int;
+  compute : int;  (** Mean compute cycles between accesses. *)
+  seed : int;
+}
+
+val full : settings
+(** 1M accesses, 8 threads x 30 streams — the reference configuration;
+    the acceptance numbers in BENCH_runtime.json use this. *)
+
+val smoke : settings
+(** 50k accesses — CI-sized. *)
+
+val queue_stress : settings -> Workload.Trace.t
+(** The deterministic stress trace for these settings (exposed for
+    tests). *)
+
+val footprint_pages : settings -> int
+(** Distinct pages the stress trace touches (= its ELRANGE). *)
+
+type row = {
+  scheme : string;
+  sim_cycles : int;  (** Simulated cycles of the run (deterministic). *)
+  wall_seconds : float;
+  cycles_per_second : float;  (** sim_cycles / wall_seconds. *)
+  events_per_second : float;
+  faults : int;
+  preloads_issued : int;
+  pending_at_end : int;
+}
+
+type report = { settings : settings; elrange_pages : int; rows : row list }
+
+val run : ?clock:(unit -> float) -> settings -> report
+(** Replay the stress trace once per scheme (Baseline, DFP, DFP-stop,
+    next-line, stride), timing each replay with [clock] (default
+    [Sys.time]; pass a wall clock for real measurements).  Every run is
+    passed through {!Validate.check} after its timed region; a violation
+    raises [Failure] rather than reporting a time for a broken run. *)
+
+val to_json : report -> string
+(** The report as one JSON document (schema
+    ["sgx-preload/bench-runtime/v1"]), newline-terminated. *)
+
+val print : report -> unit
+(** Human-readable table on stdout. *)

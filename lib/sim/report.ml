@@ -44,17 +44,26 @@ let fault_latency_table (r : Runner.result) =
       ~headers:
         [
           ("resolution", Table.Left); ("faults", Table.Right);
-          ("mean cyc", Table.Right); ("latency histogram", Table.Left);
+          ("mean cyc", Table.Right); ("overflow", Table.Right);
+          ("max cyc", Table.Right); ("latency histogram", Table.Left);
         ]
   in
   List.iter
     (fun (kind, hist) ->
+      let n = Repro_util.Histogram.count hist in
       Table.add_row t
         [
           Runner.resolution_name kind;
-          Table.cell_int (Repro_util.Histogram.count hist);
-          (if Repro_util.Histogram.count hist = 0 then "-"
+          Table.cell_int n;
+          (if n = 0 then "-"
            else Table.cell_int (int_of_float (Repro_util.Histogram.mean hist)));
+          (* Latencies past the histogram's range land in the explicit
+             overflow bucket; the exact maximum shows how far past. *)
+          Table.cell_int (Repro_util.Histogram.overflow hist);
+          (if n = 0 then "-"
+           else
+             Table.cell_int
+               (int_of_float (Repro_util.Histogram.max_observed hist)));
           Format.asprintf "%a" Repro_util.Histogram.pp hist;
         ])
     r.fault_latency;

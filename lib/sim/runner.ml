@@ -117,7 +117,7 @@ let run ?(config = default_config) ?(input_label = "") ~scheme trace =
     metrics;
     events = Enclave.events enclave;
     events_truncated = Event.truncated log;
-    pending_preloads = List.length (Enclave.pending_preloads enclave);
+    pending_preloads = Enclave.pending_preload_count enclave;
     in_flight_preloads =
       (match Enclave.in_flight enclave with
       | Some l when l.kind = Sgxsim.Load_channel.Preload_dfp -> 1

@@ -190,7 +190,18 @@ let check_accounting (r : Runner.result) =
          "total_faults %d <> demand %d + in-flight %d + already-present %d"
          (Metrics.total_faults m) m.faults m.faults_in_flight
          m.faults_already_present);
-  (* Every issued preload ends in exactly one disposition. *)
+  (* Every preload request is either rejected (out of ELRANGE, or a
+     duplicate of a present/in-flight/queued page) or issued... *)
+  if
+    m.preloads_requested
+    <> m.preloads_issued + m.preloads_rejected_range + m.preloads_rejected_dup
+  then
+    add
+      (v "preload-identity"
+         "requested %d <> issued %d + rejected-range %d + rejected-dup %d"
+         m.preloads_requested m.preloads_issued m.preloads_rejected_range
+         m.preloads_rejected_dup);
+  (* ...and every issued preload ends in exactly one disposition. *)
   let accounted =
     m.preloads_completed + m.preloads_aborted + m.preloads_taken_over
     + m.preloads_skipped + r.pending_preloads + r.in_flight_preloads

@@ -1,0 +1,34 @@
+(** Growable ring-buffer deque: O(1) [push_back]/[pop_front], O(n) scans.
+
+    This is the index structure behind the load channel's pending-preload
+    FIFO: entries are appended at the tail, started from the head, and
+    logically deleted in place (the channel layers lazy deletion on top,
+    so removals never shift elements).
+
+    [dummy] is a throwaway element used to fill unused slots (a plain
+    ['a array] backs the deque); it is never returned. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** Fresh empty deque.  [capacity] (default 8) is the initial allocation;
+    the buffer doubles as needed. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+(** Append at the tail; amortized O(1). *)
+
+val peek_front : 'a t -> 'a option
+val pop_front : 'a t -> 'a option
+
+val clear : 'a t -> unit
+(** Drop every element (slots are reset to [dummy]). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+(** Front-to-back. *)

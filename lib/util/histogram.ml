@@ -6,6 +6,8 @@ type t = {
   mutable underflow : int;
   mutable overflow : int;
   mutable total : int;
+  mutable max_seen : float;
+  mutable min_seen : float;
 }
 
 let create ~lo ~hi ~buckets =
@@ -19,10 +21,14 @@ let create ~lo ~hi ~buckets =
     underflow = 0;
     overflow = 0;
     total = 0;
+    max_seen = Float.neg_infinity;
+    min_seen = Float.infinity;
   }
 
 let add t x =
   t.total <- t.total + 1;
+  if x > t.max_seen then t.max_seen <- x;
+  if x < t.min_seen then t.min_seen <- x;
   if x < t.lo then t.underflow <- t.underflow + 1
   else if x >= t.hi then t.overflow <- t.overflow + 1
   else begin
@@ -40,6 +46,9 @@ let bucket_count t i =
 
 let underflow t = t.underflow
 let overflow t = t.overflow
+
+let max_observed t = if t.total = 0 then Float.nan else t.max_seen
+let min_observed t = if t.total = 0 then Float.nan else t.min_seen
 
 let bucket_range t i =
   if i < 0 || i >= Array.length t.counts then

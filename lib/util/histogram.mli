@@ -20,6 +20,14 @@ val bucket_count : t -> int -> int
 
 val underflow : t -> int
 val overflow : t -> int
+(** Observations at or above [hi].  They are counted, not clamped into
+    the top bucket; pair with {!max_observed} to see how far past the
+    range the distribution's tail reaches. *)
+
+val max_observed : t -> float
+val min_observed : t -> float
+(** Exact extrema of every observation ever added, including
+    under/overflow (the buckets only bound them).  [nan] when empty. *)
 
 val bucket_range : t -> int -> float * float
 (** Inclusive-exclusive bounds of bucket [i]. *)

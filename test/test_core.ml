@@ -441,6 +441,74 @@ let test_dfp_stop_stays_off_on_streams () =
   Enclave.sync e ~now:!now;
   checkb "accurate preloading keeps running" false (Dfp.stopped dfp)
 
+(* §4.2 semantics locks: the stop decision in isolation, what the
+   counters actually count, and the one-way/cumulative behaviour. *)
+
+let test_dfp_should_stop_boundary () =
+  let cfg = { (Dfp.with_stop Dfp.default_config) with stop_margin = 10 } in
+  (* Strict inequality: acc + margin = completed/2 does not fire. *)
+  checkb "at boundary holds" false (Dfp.should_stop cfg ~acc:40 ~completed:100);
+  checkb "one below fires" true (Dfp.should_stop cfg ~acc:39 ~completed:100);
+  (* completed/2 is integer floor: 101/2 = 50, same threshold as 100. *)
+  checkb "odd completed floors" false (Dfp.should_stop cfg ~acc:40 ~completed:101);
+  checkb "floor crossed at 102" true (Dfp.should_stop cfg ~acc:40 ~completed:102);
+  (* Early in the run the margin alone keeps DFP alive. *)
+  checkb "margin covers cold start" false (Dfp.should_stop cfg ~acc:0 ~completed:20);
+  (* Disabled config never stops, however bad the accuracy. *)
+  checkb "disabled never fires" false
+    (Dfp.should_stop Dfp.default_config ~acc:0 ~completed:1_000_000)
+
+let test_dfp_counters_track_completed_not_issued () =
+  (* Abort-heavy run: random adjacent fault pairs open streams whose
+     windows are mostly aborted when the stream list recycles.  The
+     PreloadCounter must equal preloads_completed — NOT preloads_issued —
+     and the AccPreloadCounter must equal the harvested preload_hits. *)
+  let e = Enclave.create ~epc_pages:16 ~elrange_pages:4096 () in
+  let dfp = Dfp.attach e Dfp.default_config in
+  let prng = Repro_util.Prng.create 23 in
+  let now = ref 0 in
+  for _ = 1 to 300 do
+    let base = Repro_util.Prng.int prng 4000 in
+    now := Enclave.compute e ~now:!now 50_000;
+    now := Enclave.access e ~now:!now base;
+    now := Enclave.compute e ~now:!now 50_000;
+    now := Enclave.access e ~now:!now (base + 1)
+  done;
+  Enclave.sync e ~now:!now;
+  let m = Enclave.metrics e in
+  let acc, total = Dfp.counters dfp in
+  checkb "run is abort-heavy" true (m.preloads_issued > m.preloads_completed);
+  checki "PreloadCounter = completed" m.preloads_completed total;
+  checki "AccPreloadCounter = hits" m.preload_hits acc
+
+let test_dfp_stop_is_one_way () =
+  (* Once fired, the stop survives a later perfectly accurate phase: the
+     counters are cumulative, never reset, and no preloads are issued
+     after the valve closes. *)
+  let e = Enclave.create ~epc_pages:16 ~elrange_pages:8192 () in
+  let dfp = Dfp.attach e { (Dfp.with_stop Dfp.default_config) with stop_margin = 5 } in
+  let prng = Repro_util.Prng.create 17 in
+  let now = ref 0 in
+  for _ = 1 to 400 do
+    let base = Repro_util.Prng.int prng 4000 in
+    now := Enclave.compute e ~now:!now 50_000;
+    now := Enclave.access e ~now:!now base;
+    now := Enclave.compute e ~now:!now 50_000;
+    now := Enclave.access e ~now:!now (base + 1)
+  done;
+  Enclave.sync e ~now:!now;
+  checkb "valve fired on garbage" true (Dfp.stopped dfp);
+  let issued_at_stop = (Enclave.metrics e).preloads_issued in
+  (* Long sequential phase that plain DFP would eat with preloads. *)
+  for p = 4096 to 6096 do
+    now := Enclave.compute e ~now:!now 50_000;
+    now := Enclave.access e ~now:!now p
+  done;
+  Enclave.sync e ~now:!now;
+  checkb "still stopped after accurate phase" true (Dfp.stopped dfp);
+  checki "no preloads issued after stop" issued_at_stop
+    (Enclave.metrics e).preloads_issued
+
 let test_dfp_steady_state_bound () =
   (* With ample compute between pages, DFP's steady state on an endless
      scan is exactly 1 fault per LOADLENGTH+1 pages (§4.1). *)
@@ -675,6 +743,10 @@ let () =
           tc "preloads on stream" test_dfp_preloads_on_stream;
           tc "stop fires on garbage" test_dfp_stop_fires_on_garbage;
           tc "stop stays off on streams" test_dfp_stop_stays_off_on_streams;
+          tc "stop boundary semantics" test_dfp_should_stop_boundary;
+          tc "counters track completed not issued"
+            test_dfp_counters_track_completed_not_issued;
+          tc "stop is one-way" test_dfp_stop_is_one_way;
           tc "config helpers" test_dfp_config_helpers;
           tc "steady-state bound" test_dfp_steady_state_bound;
           tc "per-thread lists" test_dfp_per_thread_lists;

@@ -99,6 +99,30 @@ let test_preload_dedup () =
   checkb "out of ELRANGE refused" false (Enclave.request_preload e ~now:200_000 64);
   checkb "negative refused" false (Enclave.request_preload e ~now:200_000 (-1))
 
+let test_preload_rejections_counted () =
+  (* Every request lands in exactly one disposition counter:
+     requested = issued + rejected_range + rejected_dup. *)
+  let e = make () in
+  ignore (Enclave.access e ~now:0 3);
+  ignore (Enclave.request_preload e ~now:200_000 3);
+  (* dup: present *)
+  ignore (Enclave.request_preload e ~now:200_000 4);
+  (* issued *)
+  ignore (Enclave.request_preload e ~now:200_000 4);
+  (* dup: queued *)
+  ignore (Enclave.request_preload e ~now:200_000 64);
+  (* range *)
+  ignore (Enclave.request_preload e ~now:200_000 (-1));
+  (* range *)
+  let m = Enclave.metrics e in
+  checki "requested" 5 m.preloads_requested;
+  checki "issued" 1 m.preloads_issued;
+  checki "rejected out-of-ELRANGE" 2 m.preloads_rejected_range;
+  checki "rejected duplicate" 2 m.preloads_rejected_dup;
+  checki "disposition identity"
+    m.preloads_requested
+    (m.preloads_issued + m.preloads_rejected_range + m.preloads_rejected_dup)
+
 let test_preload_of_inflight_refused () =
   let e = make () in
   ignore (Enclave.request_preload e ~now:0 9);
@@ -588,6 +612,7 @@ let () =
         [
           tc "completes asynchronously" test_preload_completes_asynchronously;
           tc "dedup" test_preload_dedup;
+          tc "rejections counted" test_preload_rejections_counted;
           tc "in-flight refused" test_preload_of_inflight_refused;
           tc "fault waits for in-flight preload" test_fault_waits_for_inflight_preload;
           tc "fault finds page preloaded" test_fault_finds_page_already_preloaded;

@@ -189,7 +189,7 @@ let clock_qcheck =
 (* ------------------------------------------------------------------ *)
 
 let test_channel_lifecycle () =
-  let ch = Load_channel.create () in
+  let ch = Load_channel.create ~pages:4096 in
   checkb "initially idle" false (Load_channel.is_busy ch ~now:0);
   let l = Load_channel.begin_load ch ~vpage:5 ~kind:Load_channel.Demand ~now:100 ~duration:44_000 in
   checki "finishes" 44_100 l.finishes;
@@ -202,7 +202,7 @@ let test_channel_lifecycle () =
   checkb "idle after" false (Load_channel.is_busy ch ~now:44_100)
 
 let test_channel_busy_rejects_load () =
-  let ch = Load_channel.create () in
+  let ch = Load_channel.create ~pages:4096 in
   ignore (Load_channel.begin_load ch ~vpage:1 ~kind:Load_channel.Demand ~now:0 ~duration:10);
   Alcotest.check_raises "busy" (Invalid_argument "Load_channel.begin_load: channel busy")
     (fun () ->
@@ -211,7 +211,7 @@ let test_channel_busy_rejects_load () =
            ~duration:10))
 
 let test_channel_queue_fifo () =
-  let ch = Load_channel.create () in
+  let ch = Load_channel.create ~pages:4096 in
   Load_channel.queue_preload ch ~vpage:1 ~at:10;
   Load_channel.queue_preload ch ~vpage:2 ~at:20;
   Load_channel.queue_preload ch ~vpage:3 ~at:30;
@@ -223,7 +223,7 @@ let test_channel_queue_fifo () =
     (Load_channel.next_queued ch)
 
 let test_channel_abort () =
-  let ch = Load_channel.create () in
+  let ch = Load_channel.create ~pages:4096 in
   List.iter (fun v -> Load_channel.queue_preload ch ~vpage:v ~at:0) [ 1; 2; 3; 4 ];
   checki "selective abort" 2 (Load_channel.abort_queued_where ch (fun v -> v mod 2 = 0));
   Alcotest.(check (list int)) "left" [ 1; 3 ] (Load_channel.queued ch);
@@ -231,14 +231,14 @@ let test_channel_abort () =
   checki "empty" 0 (Load_channel.queue_length ch)
 
 let test_channel_abort_spares_inflight () =
-  let ch = Load_channel.create () in
+  let ch = Load_channel.create ~pages:4096 in
   ignore (Load_channel.begin_load ch ~vpage:9 ~kind:Load_channel.Preload_dfp ~now:0 ~duration:100);
   Load_channel.queue_preload ch ~vpage:10 ~at:0;
   checki "only queued dropped" 1 (Load_channel.abort_queued ch);
   checkb "in-flight survives" true (Load_channel.in_flight ch <> None)
 
 let test_channel_remove_queued () =
-  let ch = Load_channel.create () in
+  let ch = Load_channel.create ~pages:4096 in
   Load_channel.queue_preload ch ~vpage:7 ~at:0;
   checkb "mem" true (Load_channel.queued_mem ch 7);
   checkb "removed" true (Load_channel.remove_queued ch 7);
@@ -246,19 +246,173 @@ let test_channel_remove_queued () =
   checkb "absent remove" false (Load_channel.remove_queued ch 7)
 
 let test_channel_free_at_tracks_last_load () =
-  let ch = Load_channel.create () in
+  let ch = Load_channel.create ~pages:4096 in
   checki "initially 0" 0 (Load_channel.free_at ch);
   ignore (Load_channel.begin_load ch ~vpage:1 ~kind:Load_channel.Demand ~now:50 ~duration:100);
   checki "after load" 150 (Load_channel.free_at ch);
   ignore (Load_channel.take_completed ch ~now:150);
   checki "persists after completion" 150 (Load_channel.free_at ch)
 
+let test_channel_duplicate_queue_rejected () =
+  let ch = Load_channel.create ~pages:64 in
+  Load_channel.queue_preload ch ~vpage:3 ~at:0;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Load_channel.queue_preload: page 3 already queued")
+    (fun () -> Load_channel.queue_preload ch ~vpage:3 ~at:5);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Load_channel.queue_preload: page 64 out of range")
+    (fun () -> Load_channel.queue_preload ch ~vpage:64 ~at:0);
+  checki "still one entry" 1 (Load_channel.queue_length ch)
+
+let test_channel_fifo_across_interleavings () =
+  (* remove_queued (demand take-over), abort_queued_where and pop must
+     leave the survivors in exact insertion order. *)
+  let ch = Load_channel.create ~pages:64 in
+  List.iter (fun v -> Load_channel.queue_preload ch ~vpage:v ~at:v) [ 1; 2; 3; 4; 5; 6 ];
+  checkb "take-over of 2" true (Load_channel.remove_queued ch 2);
+  checki "abort odd pages > 4" 1 (Load_channel.abort_queued_where ch (fun v -> v > 4 && v mod 2 = 1));
+  Alcotest.(check (list int)) "order" [ 1; 3; 4; 6 ] (Load_channel.queued ch);
+  (* Pop walks over the lazily-deleted slots without disturbing order. *)
+  Alcotest.(check (option (pair int int))) "head" (Some (1, 1)) (Load_channel.pop_queued ch);
+  checkb "take-over of 4 mid-queue" true (Load_channel.remove_queued ch 4);
+  Alcotest.(check (option (pair int int))) "next head" (Some (3, 3)) (Load_channel.next_queued ch);
+  Alcotest.(check (list int)) "remaining" [ 3; 6 ] (Load_channel.queued ch);
+  checki "live length" 2 (Load_channel.queue_length ch)
+
+let test_channel_requeue_after_removal_goes_to_tail () =
+  (* A removed page that is queued again must load *after* pages queued
+     in between — its stale slot near the head must not resurrect it. *)
+  let ch = Load_channel.create ~pages:64 in
+  List.iter (fun v -> Load_channel.queue_preload ch ~vpage:v ~at:0) [ 7; 8 ];
+  checkb "removed" true (Load_channel.remove_queued ch 7);
+  Load_channel.queue_preload ch ~vpage:9 ~at:1;
+  Load_channel.queue_preload ch ~vpage:7 ~at:2;
+  Alcotest.(check (list int)) "tail position" [ 8; 9; 7 ] (Load_channel.queued ch);
+  Alcotest.(check (option (pair int int))) "head is 8" (Some (8, 0)) (Load_channel.pop_queued ch);
+  Alcotest.(check (option (pair int int))) "then 9" (Some (9, 1)) (Load_channel.pop_queued ch);
+  Alcotest.(check (option (pair int int)))
+    "re-queued 7 carries its new timestamp" (Some (7, 2)) (Load_channel.pop_queued ch);
+  Alcotest.(check (option (pair int int))) "empty" None (Load_channel.pop_queued ch)
+
+let test_channel_abort_pages () =
+  let ch = Load_channel.create ~pages:64 in
+  List.iter (fun v -> Load_channel.queue_preload ch ~vpage:v ~at:0) [ 1; 2; 3; 4 ];
+  (* Unqueued and out-of-range pages are ignored, not errors. *)
+  checki "two dropped" 2 (Load_channel.abort_queued_pages ch [ 2; 4; 40; -1; 2 ]);
+  Alcotest.(check (list int)) "survivors in order" [ 1; 3 ] (Load_channel.queued ch)
+
+(* The reference model: the pre-deque list-backed queue (exact old
+   semantics — removals splice the list, duplicates are the caller's
+   job).  The differential test drives both implementations with the
+   same random operation stream and checks full observational equality
+   after every step. *)
+module Ref_queue = struct
+  type t = { mutable q : (int * int) list }
+
+  let create () = { q = [] }
+  let queue m ~vpage ~at = m.q <- m.q @ [ (vpage, at) ]
+  let mem m v = List.exists (fun (p, _) -> p = v) m.q
+
+  let pop m =
+    match m.q with
+    | [] -> None
+    | x :: rest ->
+      m.q <- rest;
+      Some x
+
+  let next m = match m.q with [] -> None | x :: _ -> Some x
+
+  let remove m v =
+    let before = List.length m.q in
+    m.q <- List.filter (fun (p, _) -> p <> v) m.q;
+    List.length m.q < before
+
+  let abort m =
+    let n = List.length m.q in
+    m.q <- [];
+    n
+
+  let abort_where m pred =
+    let before = List.length m.q in
+    m.q <- List.filter (fun (p, _) -> not (pred p)) m.q;
+    before - List.length m.q
+
+  let queued m = List.map fst m.q
+  let length m = List.length m.q
+end
+
+let test_channel_differential_random () =
+  let pages = 48 in
+  let prng = Repro_util.Prng.create 20260806 in
+  let ch = Load_channel.create ~pages in
+  let rf = Ref_queue.create () in
+  let agree step =
+    let ctx msg = Printf.sprintf "step %d: %s" step msg in
+    Alcotest.(check (list int)) (ctx "queued") (Ref_queue.queued rf) (Load_channel.queued ch);
+    checki (ctx "length") (Ref_queue.length rf) (Load_channel.queue_length ch);
+    for _ = 1 to 4 do
+      let v = Repro_util.Prng.int prng pages in
+      checkb (ctx "mem") (Ref_queue.mem rf v) (Load_channel.queued_mem ch v)
+    done
+  in
+  for step = 1 to 3000 do
+    (match Repro_util.Prng.int prng 100 with
+    | k when k < 45 ->
+      (* Queue a fresh page (duplicate suppression is the caller's job,
+         exactly as Enclave.request_preload checks queued_mem first). *)
+      let v = Repro_util.Prng.int prng pages in
+      if not (Load_channel.queued_mem ch v) then begin
+        let at = step in
+        Load_channel.queue_preload ch ~vpage:v ~at;
+        Ref_queue.queue rf ~vpage:v ~at
+      end
+    | k when k < 65 ->
+      Alcotest.(check (option (pair int int)))
+        (Printf.sprintf "step %d: pop" step)
+        (Ref_queue.pop rf) (Load_channel.pop_queued ch)
+    | k when k < 75 ->
+      Alcotest.(check (option (pair int int)))
+        (Printf.sprintf "step %d: next" step)
+        (Ref_queue.next rf) (Load_channel.next_queued ch)
+    | k when k < 90 ->
+      let v = Repro_util.Prng.int prng pages in
+      checkb
+        (Printf.sprintf "step %d: remove p%d" step v)
+        (Ref_queue.remove rf v) (Load_channel.remove_queued ch v)
+    | k when k < 94 ->
+      let m = 2 + Repro_util.Prng.int prng 3 in
+      let r = Repro_util.Prng.int prng m in
+      let pred p = p mod m = r in
+      checki
+        (Printf.sprintf "step %d: abort_where" step)
+        (Ref_queue.abort_where rf pred)
+        (Load_channel.abort_queued_where ch pred)
+    | k when k < 98 ->
+      let batch = List.init 3 (fun _ -> Repro_util.Prng.int prng pages) in
+      (* The list form removes page-by-page; mirror that on the model so
+         duplicate batch entries count identically. *)
+      let expect =
+        List.fold_left (fun n v -> if Ref_queue.remove rf v then n + 1 else n) 0 batch
+      in
+      checki
+        (Printf.sprintf "step %d: abort_pages" step)
+        expect
+        (Load_channel.abort_queued_pages ch batch)
+    | _ ->
+      checki (Printf.sprintf "step %d: abort" step) (Ref_queue.abort rf)
+        (Load_channel.abort_queued ch));
+    agree step
+  done
+
 let channel_qcheck =
   [
     QCheck2.Test.make ~name:"queue preserves FIFO order" ~count:300
       QCheck2.Gen.(list small_nat)
       (fun pages ->
-        let ch = Load_channel.create () in
+        (* Distinct pages: the indexed queue rejects duplicates by
+           contract (callers check queued_mem first). *)
+        let pages = List.sort_uniq compare pages in
+        let ch = Load_channel.create ~pages:4096 in
         List.iter (fun v -> Load_channel.queue_preload ch ~vpage:v ~at:0) pages;
         Load_channel.queued ch = pages);
   ]
@@ -356,6 +510,12 @@ let () =
           tc "abort spares in-flight" test_channel_abort_spares_inflight;
           tc "remove queued" test_channel_remove_queued;
           tc "free_at tracks last load" test_channel_free_at_tracks_last_load;
+          tc "duplicate queue rejected" test_channel_duplicate_queue_rejected;
+          tc "fifo across interleavings" test_channel_fifo_across_interleavings;
+          tc "re-queue after removal goes to tail"
+            test_channel_requeue_after_removal_goes_to_tail;
+          tc "abort pages" test_channel_abort_pages;
+          tc "differential vs list model" test_channel_differential_random;
         ]
         @ props channel_qcheck );
       ( "metrics_event",

@@ -285,6 +285,85 @@ let test_histogram_bad_args () =
     (Invalid_argument "Histogram.create: buckets must be positive") (fun () ->
       ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:0))
 
+let test_histogram_observed_extremes () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  checkb "empty max is nan" true (Float.is_nan (Histogram.max_observed h));
+  checkb "empty min is nan" true (Float.is_nan (Histogram.min_observed h));
+  List.iter (Histogram.add h) [ 3.0; 7.5 ];
+  checkf "max in range" 7.5 (Histogram.max_observed h);
+  checkf "min in range" 3.0 (Histogram.min_observed h);
+  (* Overflow/underflow samples are clamped into the edge buckets for
+     counting, but the observed extremes keep the exact values — the
+     whole point of the overflow surfacing. *)
+  Histogram.add h 1234.5;
+  Histogram.add h (-2.0);
+  checkf "overflow max exact" 1234.5 (Histogram.max_observed h);
+  checkf "underflow min exact" (-2.0) (Histogram.min_observed h);
+  checki "overflow counted" 1 (Histogram.overflow h);
+  checki "underflow counted" 1 (Histogram.underflow h)
+
+(* ------------------------------------------------------------------ *)
+(* Deque                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Deque = Repro_util.Deque
+
+let test_deque_basics () =
+  let d = Deque.create ~dummy:0 () in
+  checkb "empty" true (Deque.is_empty d);
+  check Alcotest.(option int) "peek empty" None (Deque.peek_front d);
+  check Alcotest.(option int) "pop empty" None (Deque.pop_front d);
+  List.iter (Deque.push_back d) [ 1; 2; 3 ];
+  checki "length" 3 (Deque.length d);
+  check Alcotest.(option int) "peek" (Some 1) (Deque.peek_front d);
+  check Alcotest.(list int) "to_list" [ 1; 2; 3 ] (Deque.to_list d);
+  check Alcotest.(option int) "pop" (Some 1) (Deque.pop_front d);
+  check Alcotest.(list int) "after pop" [ 2; 3 ] (Deque.to_list d);
+  Deque.clear d;
+  checkb "cleared" true (Deque.is_empty d)
+
+let test_deque_growth_wraps () =
+  (* Interleave pushes and pops so head walks around the ring, then grow
+     past the initial capacity while wrapped. *)
+  let d = Deque.create ~capacity:4 ~dummy:(-1) () in
+  for i = 0 to 2 do
+    Deque.push_back d i
+  done;
+  check Alcotest.(option int) "pop 0" (Some 0) (Deque.pop_front d);
+  check Alcotest.(option int) "pop 1" (Some 1) (Deque.pop_front d);
+  for i = 3 to 12 do
+    Deque.push_back d i
+  done;
+  checki "length" 11 (Deque.length d);
+  check Alcotest.(list int) "order across growth" (List.init 11 (fun i -> i + 2))
+    (Deque.to_list d);
+  checki "fold sum" (List.fold_left ( + ) 0 (List.init 11 (fun i -> i + 2)))
+    (Deque.fold ( + ) 0 d)
+
+let deque_qcheck =
+  [
+    QCheck2.Test.make ~name:"deque behaves like a FIFO list" ~count:300
+      QCheck2.Gen.(list (option small_int))
+      (fun ops ->
+        (* [Some x] = push x, [None] = pop; compare against a list model. *)
+        let d = Deque.create ~capacity:1 ~dummy:(-1) () in
+        let model = ref [] in
+        List.for_all
+          (fun op ->
+            (match op with
+            | Some x ->
+              Deque.push_back d x;
+              model := !model @ [ x ]
+            | None -> (
+              let got = Deque.pop_front d in
+              match (!model, got) with
+              | x :: rest, Some y when x = y -> model := rest
+              | [], None -> ()
+              | _ -> model := [ max_int ]));
+            Deque.to_list d = !model && Deque.length d = List.length !model)
+          ops);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Ring                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -525,7 +604,14 @@ let () =
           tc "mean" test_histogram_mean;
           tc "fraction below" test_histogram_fraction_below;
           tc "bad args" test_histogram_bad_args;
+          tc "observed extremes" test_histogram_observed_extremes;
         ] );
+      ( "deque",
+        [
+          tc "basics" test_deque_basics;
+          tc "growth wraps" test_deque_growth_wraps;
+        ]
+        @ props deque_qcheck );
       ( "ring",
         [
           tc "basics" test_ring_basics;
