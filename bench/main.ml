@@ -118,8 +118,8 @@ let print_ops () =
 (* E-runtime: end-to-end simulator throughput (macro-benchmark)        *)
 (* ------------------------------------------------------------------ *)
 
-let run_runtime settings =
-  let report = Sim.Macro_bench.run ~clock:Unix.gettimeofday settings in
+let run_runtime ~jobs settings =
+  let report = Sim.Macro_bench.run ~clock:Unix.gettimeofday ~jobs settings in
   Sim.Macro_bench.print report;
   let path = "BENCH_runtime.json" in
   let oc = open_out path in
@@ -141,11 +141,42 @@ let print_list () =
     "  runtime        macro-benchmark: wall-clock throughput per scheme on \
      the queue-stress trace (writes BENCH_runtime.json)";
   print_endline "  runtime-smoke  the same at CI-sized settings";
-  print_endline "  all            everything above"
+  print_endline "  all            everything above";
+  print_endline "";
+  print_endline
+    "options: -j N   fan experiment cells / runtime replays out across N \
+     forked workers (output is byte-identical; default 1)"
+
+(* Strip a leading/interspersed [-j N] (or [-jN]) from the argument list;
+   everything else is an experiment id as before. *)
+let parse_jobs args =
+  let rec go jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | "-j" :: n :: rest | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> go j acc rest
+      | Some _ | None ->
+        Printf.eprintf "-j expects a positive integer, got %S\n" n;
+        exit 1)
+    | [ ("-j" | "--jobs") ] ->
+      Printf.eprintf "-j expects a worker count\n";
+      exit 1
+    | arg :: rest
+      when String.length arg > 2 && String.sub arg 0 2 = "-j"
+           && int_of_string_opt (String.sub arg 2 (String.length arg - 2))
+              <> None -> (
+      match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
+      | Some j when j >= 1 -> go j acc rest
+      | _ ->
+        Printf.eprintf "-j expects a positive integer, got %S\n" arg;
+        exit 1)
+    | arg :: rest -> go jobs (arg :: acc) rest
+  in
+  go 1 [] args
 
 let () =
-  let settings = Sim.Experiments.default in
-  let args = List.tl (Array.to_list Sys.argv) in
+  let jobs, args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  let settings = { Sim.Experiments.default with jobs } in
   match args with
   | [ "list" ] -> print_list ()
   | [] | [ "all" ] ->
@@ -161,13 +192,13 @@ let () =
         print_newline ())
       Sim.Experiments.all;
     print_ops ();
-    run_runtime Sim.Macro_bench.full
+    run_runtime ~jobs Sim.Macro_bench.full
   | ids ->
     List.iter
       (fun id ->
         if id = "ops" then print_ops ()
-        else if id = "runtime" then run_runtime Sim.Macro_bench.full
-        else if id = "runtime-smoke" then run_runtime Sim.Macro_bench.smoke
+        else if id = "runtime" then run_runtime ~jobs Sim.Macro_bench.full
+        else if id = "runtime-smoke" then run_runtime ~jobs Sim.Macro_bench.smoke
         else if List.mem id experiment_ids then begin
           Sim.Experiments.run id settings;
           print_newline ()

@@ -7,31 +7,22 @@ module Scheme = Preload.Scheme
 module Input = Workload.Input
 module Experiments = Sim.Experiments
 
-let list_workloads () =
-  List.map (fun (n, _, _) -> n) Workload.Spec.all
-  @ List.map fst Workload.Vision.all
+(* The workload catalog lives in Experiments so the [list] output, the
+   error messages below and what [run] accepts can never drift apart
+   (this listing used to omit the parallel and synthetic families). *)
+let list_workloads () = Experiments.workload_names ()
+let model_of_name = Experiments.find_model
 
-let model_of_name name =
-  match Workload.Spec.by_name name with
-  | Some m -> Some m
-  | None -> (
-    match Workload.Vision.by_name name with
-    | Some m -> Some m
-    | None -> (
-      match Workload.Parallel_apps.by_name name with
-      | Some m -> Some m
-      | None -> Workload.Synthetic.by_name name))
+let unknown_workload name =
+  Printf.eprintf "unknown workload %S; known workloads:\n  %s\n" name
+    (String.concat "\n  " (list_workloads ()));
+  exit 1
 
 (* ---------- shared argument converters ---------- *)
 
 let input_conv =
   let parse s =
-    if s = "train" then Ok Input.Train
-    else if String.length s > 3 && String.sub s 0 3 = "ref" then
-      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
-      | Some i -> Ok (Input.Ref i)
-      | None -> Error (`Msg "expected train or ref<N>")
-    else Error (`Msg "expected train or ref<N>")
+    match Input.of_string s with Ok i -> Ok i | Error m -> Error (`Msg m)
   in
   Arg.conv (parse, fun fmt i -> Format.pp_print_string fmt (Input.to_string i))
 
@@ -116,9 +107,7 @@ let run_cmd =
   in
   let action workload scheme epc input breakdown events plan_file =
     match model_of_name workload with
-    | None ->
-      Printf.eprintf "unknown workload %S; try `sgx_preload list`\n" workload;
-      exit 1
+    | None -> unknown_workload workload
     | Some model ->
       let scheme =
         match (plan_file, String.lowercase_ascii scheme) with
@@ -165,9 +154,7 @@ let run_cmd =
 let compare_cmd =
   let action workload epc input =
     match model_of_name workload with
-    | None ->
-      Printf.eprintf "unknown workload %S\n" workload;
-      exit 1
+    | None -> unknown_workload workload
     | Some model ->
       let trace = model ~epc_pages:epc ~input in
       let config = { Sim.Runner.default_config with epc_pages = epc } in
@@ -219,9 +206,7 @@ let profile_cmd =
   in
   let action workload epc input threshold save =
     match model_of_name workload with
-    | None ->
-      Printf.eprintf "unknown workload %S\n" workload;
-      exit 1
+    | None -> unknown_workload workload
     | Some model ->
       let trace = model ~epc_pages:epc ~input in
       let profile =
@@ -283,9 +268,7 @@ let profile_cmd =
 let stats_cmd =
   let action workload epc input =
     match model_of_name workload with
-    | None ->
-      Printf.eprintf "unknown workload %S\n" workload;
-      exit 1
+    | None -> unknown_workload workload
     | Some model ->
       let trace = model ~epc_pages:epc ~input in
       let s = Workload.Trace_stats.analyse trace in
@@ -313,9 +296,7 @@ let output_arg =
 let record_cmd =
   let action workload epc input output =
     match model_of_name workload with
-    | None ->
-      Printf.eprintf "unknown workload %S\n" workload;
-      exit 1
+    | None -> unknown_workload workload
     | Some model ->
       let trace = model ~epc_pages:epc ~input in
       Workload.Trace_io.save_trace trace ~path:output;
@@ -355,9 +336,7 @@ let scheme_pos_arg =
 
 let run_logged ~workload ~scheme_name ~epc ~input ~log_capacity =
   match model_of_name workload with
-  | None ->
-    Printf.eprintf "unknown workload %S; try `sgx_preload list`\n" workload;
-    exit 1
+  | None -> unknown_workload workload
   | Some model ->
     let scheme = scheme_of_string ~epc ~workload scheme_name in
     let trace = model ~epc_pages:epc ~input in
@@ -465,10 +444,19 @@ let experiment_cmd =
     let doc = "Use the trimmed quick settings." in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let action ids epc input quick_flag =
+  let jobs_arg =
+    let doc =
+      "Fan each experiment's cells out across $(docv) forked worker \
+       processes (1 = run in-process).  Results merge deterministically, \
+       so the output is byte-identical at any value."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let action ids epc input quick_flag jobs =
     let settings =
       if quick_flag then Experiments.quick else settings_of ~epc ~input
     in
+    let settings = { settings with Experiments.jobs } in
     let ids = if ids = [] then List.map fst Experiments.all else ids in
     List.iter
       (fun id ->
@@ -476,7 +464,10 @@ let experiment_cmd =
         print_newline ())
       ids
   in
-  let term = Term.(const action $ ids_arg $ epc_arg $ input_arg $ quick_arg) in
+  let term =
+    Term.(
+      const action $ ids_arg $ epc_arg $ input_arg $ quick_arg $ jobs_arg)
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures by id")
     term
@@ -487,18 +478,8 @@ let list_cmd =
   let action () =
     print_endline "workloads:";
     List.iter
-      (fun (name, category, _) ->
-        Printf.printf "  %-16s %s\n" name (Workload.Spec.category_name category))
-      Workload.Spec.all;
-    List.iter
-      (fun (name, _) -> Printf.printf "  %-16s vision (SD-VBS)\n" name)
-      Workload.Vision.all;
-    List.iter
-      (fun (name, _) -> Printf.printf "  %-16s multi-threaded (extension)\n" name)
-      Workload.Parallel_apps.all;
-    List.iter
-      (fun (name, _) -> Printf.printf "  %-16s synthetic boundary case\n" name)
-      Workload.Synthetic.all;
+      (fun (name, family) -> Printf.printf "  %-16s %s\n" name family)
+      Experiments.workload_families;
     print_newline ();
     print_endline "experiments:";
     List.iter
@@ -510,7 +491,6 @@ let list_cmd =
     Term.(const action $ const ())
 
 let () =
-  ignore list_workloads;
   let doc =
     "Simulated reproduction of 'Regaining Lost Seconds: Efficient Page \
      Preloading for SGX Enclaves' (Middleware '20)"

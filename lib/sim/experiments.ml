@@ -10,10 +10,15 @@ module Profiler = Preload.Sip_profiler
 module Instrumenter = Preload.Sip_instrumenter
 module Metrics = Sgxsim.Metrics
 
-type settings = { epc_pages : int; ref_input : Input.t; quick : bool }
+type settings = {
+  epc_pages : int;
+  ref_input : Input.t;
+  quick : bool;
+  jobs : int;
+}
 
-let default = { epc_pages = 2048; ref_input = Input.Ref 0; quick = false }
-let quick = { epc_pages = 1024; ref_input = Input.Ref 0; quick = true }
+let default = { epc_pages = 2048; ref_input = Input.Ref 0; quick = false; jobs = 1 }
+let quick = { epc_pages = 1024; ref_input = Input.Ref 0; quick = true; jobs = 1 }
 
 type improvement_row = {
   workload : string;
@@ -28,20 +33,34 @@ type improvement_row = {
 (* Shared plumbing                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let model_of_name name =
+let find_model name =
   match Spec.by_name name with
-  | Some m -> m
+  | Some m -> Some m
   | None -> (
     match Vision.by_name name with
-    | Some m -> m
+    | Some m -> Some m
     | None -> (
       match Workload.Parallel_apps.by_name name with
-      | Some m -> m
-      | None -> (
-        match Workload.Synthetic.by_name name with
-        | Some m -> m
-        | None ->
-          invalid_arg (Printf.sprintf "Experiments: unknown workload %S" name))))
+      | Some m -> Some m
+      | None -> Workload.Synthetic.by_name name))
+
+let model_of_name name =
+  match find_model name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Experiments: unknown workload %S" name)
+
+(* Every family [find_model] resolves, with its display label — the one
+   catalog the CLI's [list] and error messages draw from, so the listing
+   can never understate what [run] accepts again. *)
+let workload_families =
+  List.map (fun (n, c, _) -> (n, Spec.category_name c)) Spec.all
+  @ List.map (fun (n, _) -> (n, "vision (SD-VBS)")) Vision.all
+  @ List.map
+      (fun (n, _) -> (n, "multi-threaded (extension)"))
+      Workload.Parallel_apps.all
+  @ List.map (fun (n, _) -> (n, "synthetic boundary case")) Workload.Synthetic.all
+
+let workload_names () = List.map fst workload_families
 
 let runner_config settings =
   { Runner.default_config with epc_pages = settings.epc_pages }
@@ -82,6 +101,21 @@ let row_of ~baseline (r : Runner.result) =
   }
 
 let hybrid_scheme plan = Scheme.Hybrid (Dfp.with_stop Dfp.default_config, plan)
+
+(* The explicit job-list representation of a table: every cell is a
+   labelled pure closure (ultimately over [run_checked]) producing a
+   marshalable value, and [cells] fans the list out across
+   [settings.jobs] forked workers, merging results in submission order.
+   Tables are therefore byte-identical at any [-j]; cells must not
+   print (the pool's contract, see {!Job_pool}). *)
+let cells settings ~table ~label ~f xs =
+  Job_pool.run ~jobs:settings.jobs
+    (List.map
+       (fun x ->
+         Job_pool.job
+           ~label:(Printf.sprintf "%s/%s" table (label x))
+           (fun () -> f x))
+       xs)
 
 let improvement_table ?(paper = []) rows =
   let t =
@@ -131,8 +165,15 @@ let intro_trace settings =
 let intro_runs settings =
   let trace = intro_trace settings in
   let config = runner_config settings in
-  ( run_checked ~config ~scheme:Scheme.Baseline trace,
-    run_checked ~config ~scheme:Scheme.Native trace )
+  match
+    cells settings ~table:"intro" ~label:Fun.id
+      ~f:(fun tag ->
+        let scheme = if tag = "enclave" then Scheme.Baseline else Scheme.Native in
+        run_checked ~config ~scheme trace)
+      [ "enclave"; "native" ]
+  with
+  | [ base; native ] -> (base, native)
+  | _ -> assert false
 
 let intro_slowdown settings =
   let base, native = intro_runs settings in
@@ -167,9 +208,15 @@ let didactic_trace () =
 let fig2_timelines settings =
   let config = { (runner_config settings) with Runner.log_capacity = 128 } in
   let trace = didactic_trace () in
-  let base = run_checked ~config ~scheme:Scheme.Baseline trace in
-  let dfp = run_checked ~config ~scheme:Scheme.dfp_default trace in
-  (base.events, dfp.events)
+  match
+    cells settings ~table:"fig2" ~label:Fun.id
+      ~f:(fun tag ->
+        let scheme = if tag = "baseline" then Scheme.Baseline else Scheme.dfp_default in
+        (run_checked ~config ~scheme trace).events)
+      [ "baseline"; "dfp" ]
+  with
+  | [ base_events; dfp_events ] -> (base_events, dfp_events)
+  | _ -> assert false
 
 let print_fig2 settings =
   Printf.printf "## E-fig2 — Fig. 2: time sequence of loading pages 1-4\n\n";
@@ -264,8 +311,9 @@ let print_fig4 settings =
 (* ------------------------------------------------------------------ *)
 
 let table1_rows settings =
-  List.map
-    (fun (name, category, _) ->
+  cells settings ~table:"table1"
+    ~label:(fun (name, _, _) -> name)
+    ~f:(fun (name, category, _) ->
       let trace = trace_of settings name ~input:settings.ref_input in
       let profile =
         Profiler.profile
@@ -282,8 +330,9 @@ let table1_rows settings =
     Spec.all
 
 let table1_miss_ratios settings =
-  List.map
-    (fun (name, _, _) ->
+  cells settings ~table:"table1-miss"
+    ~label:(fun (name, _, _) -> name)
+    ~f:(fun (name, _, _) ->
       let trace = trace_of settings name ~input:settings.ref_input in
       ( name,
         Workload.Trace_stats.miss_ratio trace ~epc_pages:settings.epc_pages ))
@@ -322,19 +371,38 @@ let fig6_sweep settings =
     if settings.quick then [ 2; 5; 30 ] else [ 1; 2; 3; 5; 10; 20; 30; 45; 60 ]
   in
   let benchmarks = [ "lbm"; "bwaves" ] in
-  let baselines =
-    List.map (fun b -> (b, run_one settings ~scheme:Scheme.Baseline b)) benchmarks
+  let grid =
+    List.map (fun b -> (b, None)) benchmarks
+    @ List.concat_map
+        (fun len -> List.map (fun b -> (b, Some len)) benchmarks)
+        lengths
   in
+  let runs =
+    cells settings ~table:"fig6"
+      ~label:(fun (b, len) ->
+        match len with
+        | None -> b ^ "/baseline"
+        | Some l -> Printf.sprintf "%s/len=%d" b l)
+      ~f:(fun (b, len) ->
+        let scheme =
+          match len with
+          | None -> Scheme.Baseline
+          | Some len ->
+            Scheme.Dfp { Dfp.default_config with stream_list_length = len }
+        in
+        run_one settings ~scheme b)
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
   List.map
     (fun len ->
       ( len,
         List.map
           (fun b ->
-            let scheme =
-              Scheme.Dfp { Dfp.default_config with stream_list_length = len }
-            in
-            let r = run_one settings ~scheme b in
-            (b, Runner.normalized_time ~baseline:(List.assoc b baselines) r))
+            let baseline = List.assoc (b, None) table in
+            ( b,
+              Runner.normalized_time ~baseline
+                (List.assoc (b, Some len) table) ))
           benchmarks ))
     lengths
 
@@ -382,15 +450,37 @@ let fig7_sweep settings =
         "omnetpp"; "xz";
       ]
   in
+  let grid =
+    List.concat_map
+      (fun b -> (b, None) :: List.map (fun len -> (b, Some len)) lengths)
+      benchmarks
+  in
+  let runs =
+    cells settings ~table:"fig7"
+      ~label:(fun (b, len) ->
+        match len with
+        | None -> b ^ "/baseline"
+        | Some l -> Printf.sprintf "%s/L=%d" b l)
+      ~f:(fun (b, len) ->
+        let scheme =
+          match len with
+          | None -> Scheme.Baseline
+          | Some load_length ->
+            Scheme.Dfp { Dfp.default_config with load_length }
+        in
+        run_one settings ~scheme b)
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
   List.map
     (fun b ->
-      let baseline = run_one settings ~scheme:Scheme.Baseline b in
+      let baseline = List.assoc (b, None) table in
       ( b,
         List.map
           (fun len ->
-            let scheme = Scheme.Dfp { Dfp.default_config with load_length = len } in
-            let r = run_one settings ~scheme b in
-            (len, Runner.normalized_time ~baseline r))
+            ( len,
+              Runner.normalized_time ~baseline
+                (List.assoc (b, Some len) table) ))
           lengths ))
     benchmarks
 
@@ -428,12 +518,31 @@ let fig8_rows settings =
         "deepsjeng"; "omnetpp"; "xz";
       ]
   in
+  let grid =
+    List.concat_map
+      (fun b -> [ (b, "baseline"); (b, "dfp"); (b, "dfp-stop") ])
+      benchmarks
+  in
+  let runs =
+    cells settings ~table:"fig8"
+      ~label:(fun (b, tag) -> Printf.sprintf "%s/%s" b tag)
+      ~f:(fun (b, tag) ->
+        let scheme =
+          match tag with
+          | "baseline" -> Scheme.Baseline
+          | "dfp" -> Scheme.dfp_default
+          | _ -> Scheme.dfp_stop
+        in
+        run_one settings ~scheme b)
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
   List.concat_map
     (fun b ->
-      let baseline = run_one settings ~scheme:Scheme.Baseline b in
+      let baseline = List.assoc (b, "baseline") table in
       List.map
-        (fun scheme -> row_of ~baseline (run_one settings ~scheme b))
-        [ Scheme.dfp_default; Scheme.dfp_stop ])
+        (fun tag -> row_of ~baseline (List.assoc (b, tag) table))
+        [ "dfp"; "dfp-stop" ])
     benchmarks
 
 let fig8_paper =
@@ -494,12 +603,17 @@ let fig9_sweep settings =
   (* As in the paper's Fig. 9, both the profile and the measurement use
      the train input. *)
   let baseline = run_one settings ~scheme:Scheme.Baseline ~input:Input.Train "deepsjeng" in
-  List.map
-    (fun threshold ->
-      let plan = plan_for ~threshold settings "deepsjeng" in
-      let r = run_one settings ~scheme:(Scheme.Sip plan) ~input:Input.Train "deepsjeng" in
-      (threshold, Runner.normalized_time ~baseline r))
-    thresholds
+  List.combine thresholds
+    (cells settings ~table:"fig9"
+       ~label:(fun threshold -> Printf.sprintf "t=%g" threshold)
+       ~f:(fun threshold ->
+         let plan = plan_for ~threshold settings "deepsjeng" in
+         let r =
+           run_one settings ~scheme:(Scheme.Sip plan) ~input:Input.Train
+             "deepsjeng"
+         in
+         Runner.normalized_time ~baseline r)
+       thresholds)
 
 let print_fig9 settings =
   Printf.printf
@@ -529,8 +643,8 @@ let sip_benchmarks settings =
   else [ "microbenchmark"; "lbm"; "mcf"; "mcf.2006"; "deepsjeng"; "xz" ]
 
 let fig10_rows settings =
-  List.map
-    (fun b ->
+  cells settings ~table:"fig10" ~label:Fun.id
+    ~f:(fun b ->
       let baseline = run_one settings ~scheme:Scheme.Baseline b in
       let plan = plan_for settings b in
       let r = run_one settings ~scheme:(Scheme.Sip plan) b in
@@ -559,14 +673,27 @@ let print_fig10 settings =
 (* ------------------------------------------------------------------ *)
 
 let fig11_rows settings =
-  List.concat_map
-    (fun name ->
-      let baseline = run_one settings ~scheme:Scheme.Baseline name in
-      let plan = plan_for settings name in
-      List.map
-        (fun scheme -> row_of ~baseline (run_one settings ~scheme name))
-        [ Scheme.dfp_default; Scheme.Sip plan ])
-    [ "SIFT"; "MSER" ]
+  let names = [ "SIFT"; "MSER" ] in
+  let prep =
+    List.combine names
+      (cells settings ~table:"fig11-prep" ~label:Fun.id
+         ~f:(fun name ->
+           ( run_one settings ~scheme:Scheme.Baseline name,
+             plan_for settings name ))
+         names)
+  in
+  let grid =
+    List.concat_map (fun name -> [ (name, "dfp"); (name, "sip") ]) names
+  in
+  cells settings ~table:"fig11"
+    ~label:(fun (name, tag) -> Printf.sprintf "%s/%s" name tag)
+    ~f:(fun (name, tag) ->
+      let baseline, plan = List.assoc name prep in
+      let scheme =
+        if tag = "dfp" then Scheme.dfp_default else Scheme.Sip plan
+      in
+      row_of ~baseline (run_one settings ~scheme name))
+    grid
 
 let fig11_paper =
   [ (("SIFT", "DFP"), "+9.5%"); (("MSER", "SIP"), "+3.0%") ]
@@ -581,14 +708,31 @@ let print_fig11 settings =
 (* ------------------------------------------------------------------ *)
 
 let fig12_rows settings =
-  List.concat_map
-    (fun b ->
-      let baseline = run_one settings ~scheme:Scheme.Baseline b in
-      let plan = plan_for settings b in
-      List.map
-        (fun scheme -> row_of ~baseline (run_one settings ~scheme b))
-        [ Scheme.Sip plan; Scheme.dfp_default; hybrid_scheme plan ])
-    (sip_benchmarks settings)
+  let benchmarks = sip_benchmarks settings in
+  let prep =
+    List.combine benchmarks
+      (cells settings ~table:"fig12-prep" ~label:Fun.id
+         ~f:(fun b ->
+           (run_one settings ~scheme:Scheme.Baseline b, plan_for settings b))
+         benchmarks)
+  in
+  let grid =
+    List.concat_map
+      (fun b -> [ (b, "sip"); (b, "dfp"); (b, "hybrid") ])
+      benchmarks
+  in
+  cells settings ~table:"fig12"
+    ~label:(fun (b, tag) -> Printf.sprintf "%s/%s" b tag)
+    ~f:(fun (b, tag) ->
+      let baseline, plan = List.assoc b prep in
+      let scheme =
+        match tag with
+        | "sip" -> Scheme.Sip plan
+        | "dfp" -> Scheme.dfp_default
+        | _ -> hybrid_scheme plan
+      in
+      row_of ~baseline (run_one settings ~scheme b))
+    grid
 
 let print_fig12 settings =
   Printf.printf "## E-fig12 — Fig. 12: SIP, DFP and the combined scheme\n\n";
@@ -602,11 +746,24 @@ let print_fig12 settings =
 (* ------------------------------------------------------------------ *)
 
 let fig13_rows settings =
-  let baseline = run_one settings ~scheme:Scheme.Baseline "mixed-blood" in
   let plan = plan_for settings "mixed-blood" in
-  List.map
-    (fun scheme -> row_of ~baseline (run_one settings ~scheme "mixed-blood"))
-    [ Scheme.Sip plan; Scheme.dfp_default; hybrid_scheme plan ]
+  let runs =
+    cells settings ~table:"fig13"
+      ~label:(fun tag -> "mixed-blood/" ^ tag)
+      ~f:(fun tag ->
+        let scheme =
+          match tag with
+          | "baseline" -> Scheme.Baseline
+          | "sip" -> Scheme.Sip plan
+          | "dfp" -> Scheme.dfp_default
+          | _ -> hybrid_scheme plan
+        in
+        run_one settings ~scheme "mixed-blood")
+      [ "baseline"; "sip"; "dfp"; "hybrid" ]
+  in
+  match runs with
+  | baseline :: rest -> List.map (row_of ~baseline) rest
+  | [] -> assert false
 
 let fig13_paper =
   [
@@ -633,8 +790,8 @@ let table2_paper =
   ]
 
 let table2_rows settings =
-  List.map
-    (fun (name, paper) ->
+  cells settings ~table:"table2" ~label:fst
+    ~f:(fun (name, paper) ->
       let plan = plan_for settings name in
       (name, Instrumenter.instrumentation_points plan, paper))
     table2_paper
@@ -661,15 +818,37 @@ let ablation_predictor_rows settings =
   let benchmarks =
     if settings.quick then [ "lbm" ] else [ "lbm"; "bwaves"; "roms"; "deepsjeng" ]
   in
+  let schemes =
+    [
+      ("dfp", Scheme.dfp_default); ("next-line", Scheme.Next_line 4);
+      ("stride", Scheme.Stride 4);
+      ("markov", Scheme.Markov (8 * settings.epc_pages, 4));
+    ]
+  in
+  let grid =
+    List.concat_map
+      (fun b -> (b, "baseline") :: List.map (fun (tag, _) -> (b, tag)) schemes)
+      benchmarks
+  in
+  let runs =
+    cells settings ~table:"abl-predictor"
+      ~label:(fun (b, tag) -> Printf.sprintf "%s/%s" b tag)
+      ~f:(fun (b, tag) ->
+        let scheme =
+          match List.assoc_opt tag schemes with
+          | Some s -> s
+          | None -> Scheme.Baseline
+        in
+        run_one settings ~scheme b)
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
   List.concat_map
     (fun b ->
-      let baseline = run_one settings ~scheme:Scheme.Baseline b in
+      let baseline = List.assoc (b, "baseline") table in
       List.map
-        (fun scheme -> row_of ~baseline (run_one settings ~scheme b))
-        [
-          Scheme.dfp_default; Scheme.Next_line 4; Scheme.Stride 4;
-          Scheme.Markov (8 * settings.epc_pages, 4);
-        ])
+        (fun (tag, _) -> row_of ~baseline (List.assoc (b, tag) table))
+        schemes)
     benchmarks
 
 let print_ablation_predictor settings =
@@ -693,15 +872,27 @@ let descending_trace settings =
 let ablation_backward_rows settings =
   let trace = descending_trace settings in
   let config = runner_config settings in
-  let baseline = run_checked ~config ~scheme:Scheme.Baseline trace in
-  List.map
-    (fun (label, detect_backward) ->
-      let scheme =
-        Scheme.Dfp { Dfp.default_config with detect_backward }
-      in
-      let r = run_checked ~config ~scheme trace in
-      { (row_of ~baseline r) with scheme = label })
-    [ ("DFP (backward on)", true); ("DFP (backward off)", false) ]
+  let variants =
+    [ ("DFP (backward on)", Some true); ("DFP (backward off)", Some false) ]
+  in
+  let runs =
+    cells settings ~table:"abl-backward" ~label:fst
+      ~f:(fun (_, detect_backward) ->
+        let scheme =
+          match detect_backward with
+          | None -> Scheme.Baseline
+          | Some detect_backward ->
+            Scheme.Dfp { Dfp.default_config with detect_backward }
+        in
+        run_checked ~config ~scheme trace)
+      (("baseline", None) :: variants)
+  in
+  match runs with
+  | baseline :: rest ->
+    List.map2
+      (fun (label, _) r -> { (row_of ~baseline r) with scheme = label })
+      variants rest
+  | [] -> assert false
 
 let print_ablation_backward settings =
   Printf.printf "## E-abl-backward — descending streams need direction detection\n\n";
@@ -712,11 +903,25 @@ let ablation_epc_rows settings =
   let sizes =
     if settings.quick then [ 1024; 2048 ] else [ 512; 1024; 2048; 4096 ]
   in
+  let grid =
+    List.concat_map (fun epc -> [ (epc, "baseline"); (epc, "dfp") ]) sizes
+  in
+  let runs =
+    cells settings ~table:"abl-epc"
+      ~label:(fun (epc, tag) -> Printf.sprintf "epc=%d/%s" epc tag)
+      ~f:(fun (epc, tag) ->
+        let s = { settings with epc_pages = epc } in
+        let scheme =
+          if tag = "baseline" then Scheme.Baseline else Scheme.dfp_default
+        in
+        run_one s ~scheme "microbenchmark")
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
   List.map
     (fun epc ->
-      let s = { settings with epc_pages = epc } in
-      let baseline = run_one s ~scheme:Scheme.Baseline "microbenchmark" in
-      let dfp = run_one s ~scheme:Scheme.dfp_default "microbenchmark" in
+      let baseline = List.assoc (epc, "baseline") table in
+      let dfp = List.assoc (epc, "dfp") table in
       (epc, Runner.improvement ~baseline dfp))
     sizes
 
@@ -740,14 +945,30 @@ let ablation_scan_rows settings =
     if settings.quick then [ 2_000_000 ]
     else [ 250_000; 1_000_000; 2_000_000; 8_000_000; 32_000_000 ]
   in
+  let grid =
+    List.concat_map
+      (fun period -> [ (period, "baseline"); (period, "dfp-stop") ])
+      periods
+  in
+  let runs =
+    cells settings ~table:"abl-scan"
+      ~label:(fun (period, tag) -> Printf.sprintf "period=%d/%s" period tag)
+      ~f:(fun (period, tag) ->
+        let costs = { Sgxsim.Cost_model.paper with clock_scan_period = period } in
+        let config = { (runner_config settings) with Runner.costs } in
+        let trace = trace_of settings "roms" ~input:settings.ref_input in
+        let scheme =
+          if tag = "baseline" then Scheme.Baseline else Scheme.dfp_stop
+        in
+        run_checked ~config ~scheme trace)
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
   List.map
     (fun period ->
-      let costs = { Sgxsim.Cost_model.paper with clock_scan_period = period } in
-      let config = { (runner_config settings) with Runner.costs } in
-      let trace = trace_of settings "roms" ~input:settings.ref_input in
-      let baseline = run_checked ~config ~scheme:Scheme.Baseline trace in
-      let r = run_checked ~config ~scheme:Scheme.dfp_stop trace in
-      (period, Runner.normalized_time ~baseline r, r.dfp_stopped))
+      let baseline = List.assoc (period, "baseline") table in
+      let r = List.assoc (period, "dfp-stop") table in
+      (period, Runner.normalized_time ~baseline r, r.Runner.dfp_stopped))
     periods
 
 let print_ablation_scan settings =
@@ -781,13 +1002,26 @@ let ablation_threads_rows settings =
       ~input:settings.ref_input
   in
   let config = runner_config settings in
-  let baseline = run_checked ~config ~scheme:Scheme.Baseline trace in
-  List.map
-    (fun (label, per_thread) ->
-      let scheme = Scheme.Dfp { Dfp.default_config with per_thread } in
-      let r = run_checked ~config ~scheme trace in
-      { (row_of ~baseline r) with scheme = label })
-    [ ("DFP (per-thread lists)", true); ("DFP (one shared list)", false) ]
+  let variants =
+    [ ("DFP (per-thread lists)", Some true); ("DFP (one shared list)", Some false) ]
+  in
+  let runs =
+    cells settings ~table:"abl-threads" ~label:fst
+      ~f:(fun (_, per_thread) ->
+        let scheme =
+          match per_thread with
+          | None -> Scheme.Baseline
+          | Some per_thread -> Scheme.Dfp { Dfp.default_config with per_thread }
+        in
+        run_checked ~config ~scheme trace)
+      (("baseline", None) :: variants)
+  in
+  match runs with
+  | baseline :: rest ->
+    List.map2
+      (fun (label, _) r -> { (row_of ~baseline r) with scheme = label })
+      variants rest
+  | [] -> assert false
 
 let print_ablation_threads settings =
   Printf.printf
@@ -809,18 +1043,32 @@ let ablation_share_rows settings =
   let partitions =
     if settings.quick then [ full; full / 2 ] else [ full; full / 2; full / 4 ]
   in
-  let run_at epc scheme =
-    run_checked
-      ~config:{ (runner_config settings) with Runner.epc_pages = epc }
-      ~scheme trace
+  let grid =
+    List.concat_map (fun epc -> [ (epc, "baseline"); (epc, "dfp") ]) partitions
   in
-  let full_baseline = run_at full Scheme.Baseline in
+  let runs =
+    cells settings ~table:"abl-share"
+      ~label:(fun (epc, tag) -> Printf.sprintf "epc=%d/%s" epc tag)
+      ~f:(fun (epc, tag) ->
+        let scheme =
+          if tag = "baseline" then Scheme.Baseline else Scheme.dfp_default
+        in
+        run_checked
+          ~config:{ (runner_config settings) with Runner.epc_pages = epc }
+          ~scheme trace)
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
+  (* [full] heads [partitions], so its baseline cell doubles as the
+     full-EPC reference run. *)
+  let full_baseline = List.assoc (full, "baseline") table in
   List.map
     (fun epc ->
-      let baseline = run_at epc Scheme.Baseline in
-      let dfp = run_at epc Scheme.dfp_default in
+      let baseline = List.assoc (epc, "baseline") table in
+      let dfp = List.assoc (epc, "dfp") table in
       ( epc,
-        float_of_int baseline.cycles /. float_of_int full_baseline.cycles,
+        float_of_int baseline.Runner.cycles
+        /. float_of_int full_baseline.Runner.cycles,
         Runner.improvement ~baseline dfp ))
     partitions
 
@@ -851,24 +1099,37 @@ let print_ablation_share settings =
 
 let ablation_sip_all_rows settings =
   let benchmarks = if settings.quick then [ "deepsjeng" ] else [ "lbm"; "deepsjeng"; "mcf" ] in
+  let grid =
+    List.concat_map
+      (fun b ->
+        [ (b, "baseline"); (b, "SIP (5% threshold)"); (b, "check everything") ])
+      benchmarks
+  in
+  let runs =
+    cells settings ~table:"abl-sip-all"
+      ~label:(fun (b, tag) -> Printf.sprintf "%s/%s" b tag)
+      ~f:(fun (b, tag) ->
+        match tag with
+        | "baseline" -> run_one settings ~scheme:Scheme.Baseline b
+        | "SIP (5% threshold)" ->
+          run_one settings ~scheme:(Scheme.Sip (plan_for settings b)) b
+        | _ ->
+          (* Threshold 0: every profiled site gets a check — an Eleos-like
+             check-everything runtime (minus its TCB/security cost, which
+             the simulator cannot price). *)
+          run_one settings
+            ~scheme:(Scheme.Sip (plan_for ~threshold:0.0 settings b))
+            b)
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
   List.concat_map
     (fun b ->
-      let baseline = run_one settings ~scheme:Scheme.Baseline b in
-      let selective = plan_for settings b in
-      (* Threshold 0: every profiled site gets a check — an Eleos-like
-         check-everything runtime (minus its TCB/security cost, which the
-         simulator cannot price). *)
-      let everything = plan_for ~threshold:0.0 settings b in
-      [
-        {
-          (row_of ~baseline (run_one settings ~scheme:(Scheme.Sip selective) b)) with
-          scheme = "SIP (5% threshold)";
-        };
-        {
-          (row_of ~baseline (run_one settings ~scheme:(Scheme.Sip everything) b)) with
-          scheme = "check everything";
-        };
-      ])
+      let baseline = List.assoc (b, "baseline") table in
+      List.map
+        (fun tag ->
+          { (row_of ~baseline (List.assoc (b, tag) table)) with scheme = tag })
+        [ "SIP (5% threshold)"; "check everything" ])
     benchmarks
 
 let print_ablation_sip_all settings =
@@ -886,12 +1147,31 @@ let ablation_oram_rows settings =
     if settings.quick then [ "oram" ]
     else [ "oram"; "adversarial-streams"; "best-case" ]
   in
+  let grid =
+    List.concat_map
+      (fun name -> [ (name, "baseline"); (name, "dfp"); (name, "dfp-stop") ])
+      names
+  in
+  let runs =
+    cells settings ~table:"abl-oram"
+      ~label:(fun (name, tag) -> Printf.sprintf "%s/%s" name tag)
+      ~f:(fun (name, tag) ->
+        let scheme =
+          match tag with
+          | "baseline" -> Scheme.Baseline
+          | "dfp" -> Scheme.dfp_default
+          | _ -> Scheme.dfp_stop
+        in
+        run_one settings ~scheme name)
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
   List.concat_map
     (fun name ->
-      let baseline = run_one settings ~scheme:Scheme.Baseline name in
+      let baseline = List.assoc (name, "baseline") table in
       List.map
-        (fun scheme -> row_of ~baseline (run_one settings ~scheme name))
-        [ Scheme.dfp_default; Scheme.dfp_stop ])
+        (fun tag -> row_of ~baseline (List.assoc (name, tag) table))
+        [ "dfp"; "dfp-stop" ])
     names
 
 let print_ablation_oram settings =

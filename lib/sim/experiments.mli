@@ -10,13 +10,31 @@ type settings = {
   epc_pages : int;  (** Simulated usable EPC size. *)
   ref_input : Workload.Input.t;  (** Input for measurement runs. *)
   quick : bool;  (** Trim sweeps (used by tests). *)
+  jobs : int;
+      (** Worker processes per table ({!Job_pool}).  Every experiment's
+          cells fan out across this many forked workers; results merge in
+          submission order, so output is byte-identical at any value. *)
 }
 
 val default : settings
-(** 2048 EPC pages, ref input 0, full sweeps. *)
+(** 2048 EPC pages, ref input 0, full sweeps, serial. *)
 
 val quick : settings
 (** Smaller EPC and trimmed sweeps for fast integration tests. *)
+
+(** {1 Workload catalog} *)
+
+val find_model : string -> Workload.Spec.model option
+(** Resolve a workload name across every family (SPEC models, SD-VBS
+    vision kernels, multi-threaded extensions, synthetic boundary
+    cases). *)
+
+val workload_families : (string * string) list
+(** Every name {!find_model} resolves, paired with its family/category
+    label, in family order — the catalog behind the CLI's [list]. *)
+
+val workload_names : unit -> string list
+(** [List.map fst workload_families]. *)
 
 (** {1 Data access} *)
 

@@ -1,0 +1,138 @@
+type 'a job = { label : string; run : unit -> 'a }
+
+let job ~label run = { label; run }
+
+exception Job_failed of { label : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed { label; reason } ->
+      Some (Printf.sprintf "Job_pool.Job_failed(%s): %s" label reason)
+    | _ -> None)
+
+let default_jobs () =
+  (* getconf is POSIX; on the odd machine without it, serial is the only
+     safe answer. *)
+  try
+    let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, int_of_string_opt (String.trim line)) with
+    | Unix.WEXITED 0, Some n when n >= 1 -> n
+    | _ -> 1
+  with Unix.Unix_error _ | Sys_error _ -> 1
+
+(* What a worker sends back for one job: the payload on success, the
+   printed exception otherwise.  Travels through [Marshal], so [Ok]
+   payloads must be closure-free — enforced at the send site, where a
+   marshal failure is downgraded to [Failed]. *)
+type 'a outcome = Done of 'a | Failed of string
+
+let run_serial js = List.map (fun j -> j.run ()) js
+
+(* One worker process: run the round-robin share [w, w+n, ...] of the
+   job array, streaming [(index, outcome)] records to the parent.  Any
+   exception is captured per job so one bad cell does not take the
+   worker's remaining share down with it. *)
+let worker_loop ~oc ~jobs_arr ~w ~n =
+  let send i (outcome : _ outcome) =
+    (try Marshal.to_channel oc (i, outcome) []
+     with e ->
+       (* The result itself would not marshal (e.g. it captured a
+          closure): report that as the job's failure. *)
+       Marshal.to_channel oc
+         (i, Failed (Printf.sprintf "result not marshalable: %s" (Printexc.to_string e)))
+         []);
+    flush oc
+  in
+  let i = ref w in
+  while !i < Array.length jobs_arr do
+    let outcome =
+      try Done (jobs_arr.(!i).run ()) with e -> Failed (Printexc.to_string e)
+    in
+    send !i outcome;
+    i := !i + n
+  done
+
+let status_reason = function
+  | Unix.WEXITED n -> Printf.sprintf "worker exited with status %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "worker killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "worker stopped by signal %d" n
+
+let run_forked ~n js =
+  let jobs_arr = Array.of_list js in
+  let total = Array.length jobs_arr in
+  (* Anything buffered before the fork would be flushed once per worker. *)
+  flush stdout;
+  flush stderr;
+  let pipes = Array.init n (fun _ -> Unix.pipe ~cloexec:false ()) in
+  let pids =
+    Array.init n (fun w ->
+        match Unix.fork () with
+        | 0 ->
+          (* Child: keep only this worker's write end; the read ends and
+             sibling write ends must close or the parent never sees EOF. *)
+          Array.iteri
+            (fun w' (r, wr) ->
+              Unix.close r;
+              if w' <> w then Unix.close wr)
+            pipes;
+          let oc = Unix.out_channel_of_descr (snd pipes.(w)) in
+          let code =
+            try
+              worker_loop ~oc ~jobs_arr ~w ~n;
+              close_out oc;
+              0
+            with _ -> 1
+          in
+          (* [_exit]: the child must not run the parent's [at_exit]
+             handlers or flush its copies of the parent's buffers. *)
+          Unix._exit code
+        | pid -> pid)
+  in
+  Array.iter (fun (_, w) -> Unix.close w) pipes;
+  let results : _ outcome option array = Array.make total None in
+  Array.iter
+    (fun (r, _) ->
+      let ic = Unix.in_channel_of_descr r in
+      (try
+         while true do
+           let i, (outcome : _ outcome) = Marshal.from_channel ic in
+           results.(i) <- Some outcome
+         done
+       with
+      | End_of_file -> ()
+      | Failure _ ->
+        (* Truncated record: the worker died mid-write.  Its exit status
+           (below) reports the crash; the partial record is dropped. *)
+        ());
+      close_in ic)
+    pipes;
+  let statuses = Array.map (fun pid -> snd (Unix.waitpid [] pid)) pids in
+  (* Surface problems in submission order so a run fails on the same job
+     whatever the worker count. *)
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Some (Done _) -> ()
+      | Some (Failed reason) ->
+        raise (Job_failed { label = jobs_arr.(i).label; reason })
+      | None ->
+        let status = statuses.(i mod n) in
+        let reason =
+          match status with
+          | Unix.WEXITED 0 -> "worker exited without reporting this job"
+          | s -> status_reason s
+        in
+        raise (Job_failed { label = jobs_arr.(i).label; reason }))
+    results;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Done v) -> v
+         | Some (Failed _) | None -> assert false (* raised above *))
+       results)
+
+let run ?(jobs = 1) js =
+  if jobs > 1024 then invalid_arg "Job_pool.run: jobs > 1024";
+  let n = min jobs (List.length js) in
+  if n <= 1 then run_serial js else run_forked ~n js

@@ -1,0 +1,58 @@
+(** A [Unix.fork]-based worker pool for the experiment matrix.
+
+    The paper's evaluation is a grid of independent (workload, input,
+    scheme) simulations; each cell is CPU-bound, deterministic and
+    allocation-heavy, which makes processes (not threads or domains) the
+    right isolation unit: every worker gets its own heap and its own
+    minor-GC clock, and a crash in one cell cannot corrupt another's
+    state.  Stress-SGX and the SGX benchmarking harnesses of Kumar et
+    al. use the same multi-process shape for the same reason.
+
+    Guarantees:
+
+    - {b Determinism.}  Results are merged in submission order, whatever
+      order workers finish in.  Since every job is a pure function of
+      its closure (no shared mutable state survives the fork), running
+      with [jobs = N] returns a list structurally equal to the
+      [jobs = 1] run — the experiment layer turns that into
+      byte-identical tables.
+    - {b Fast path.}  With [jobs <= 1] (or fewer than two jobs) nothing
+      forks: the jobs run inline in the calling process, exceptions
+      propagate unchanged, and behaviour is exactly that of [List.map].
+    - {b Crash containment.}  A job that raises inside a worker is
+      reported to the parent and re-raised as {!Job_failed} carrying the
+      job's label; a worker that dies without reporting (segfault,
+      [kill -9], OOM) is detected from its exit status and the first
+      unaccounted-for job is named.
+
+    Constraints: job results travel through [Marshal] on a pipe, so they
+    must not contain closures or custom blocks; jobs must not print
+    (their stdout is shared with the parent — output belongs to the
+    merge phase, after {!run} returns).  The pool is not reentrant:
+    jobs must not themselves call {!run} with [jobs > 1]. *)
+
+type 'a job = { label : string; run : unit -> 'a }
+
+val job : label:string -> (unit -> 'a) -> 'a job
+
+exception Job_failed of { label : string; reason : string }
+(** A job raised in its worker ([reason] is the printed exception), or
+    its worker died before reporting a result ([reason] describes the
+    exit status). *)
+
+val run : ?jobs:int -> 'a job list -> 'a list
+(** [run ~jobs js] executes every job and returns their results in
+    submission order.  [jobs] (default 1) bounds the number of
+    concurrent worker processes; it is clamped to the number of jobs.
+    Jobs are distributed round-robin: worker [w] of [n] runs jobs
+    [w, w+n, w+2n, ...], so the assignment — like the merge — is
+    independent of scheduling.
+
+    @raise Job_failed on the first failing job in submission order.
+    @raise Invalid_argument if [jobs] exceeds 1024 (a driver bug, not a
+    machine size). *)
+
+val default_jobs : unit -> int
+(** A sensible [-j] default for "use the machine": the number of online
+    processors as reported by [getconf _NPROCESSORS_ONLN], or 1 when
+    that cannot be determined. *)

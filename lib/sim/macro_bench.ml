@@ -98,34 +98,43 @@ type row = {
 
 type report = { settings : settings; elrange_pages : int; rows : row list }
 
-let run ?(clock = Sys.time) s =
+let run ?(clock = Sys.time) ?(jobs = 1) s =
   let trace = queue_stress s in
   let config =
     { Runner.default_config with epc_pages = s.epc_pages; log_capacity = 0 }
   in
+  let measure scheme =
+    let t0 = clock () in
+    let r = Runner.run ~config ~scheme trace in
+    let t1 = clock () in
+    (* The timed region is the replay alone; validation is unpaid but
+       keeps the timing honest — a broken run must not post a time. *)
+    (match Validate.check r with
+    | [] -> ()
+    | vs -> failwith (Validate.report vs));
+    let wall = Float.max (t1 -. t0) 1e-9 in
+    {
+      scheme = r.Runner.scheme;
+      sim_cycles = r.Runner.cycles;
+      wall_seconds = wall;
+      cycles_per_second = float_of_int r.Runner.cycles /. wall;
+      events_per_second = float_of_int s.events /. wall;
+      faults = r.Runner.metrics.Sgxsim.Metrics.faults;
+      preloads_issued = r.Runner.metrics.Sgxsim.Metrics.preloads_issued;
+      pending_at_end = r.Runner.pending_preloads;
+    }
+  in
+  (* One job per scheme: the simulated columns are deterministic at any
+     [jobs]; only the wall-clock columns reflect contention when the
+     five replays share cores. *)
   let rows =
-    List.map
-      (fun scheme ->
-        let t0 = clock () in
-        let r = Runner.run ~config ~scheme trace in
-        let t1 = clock () in
-        (* The timed region is the replay alone; validation is unpaid but
-           keeps the timing honest — a broken run must not post a time. *)
-        (match Validate.check r with
-        | [] -> ()
-        | vs -> failwith (Validate.report vs));
-        let wall = Float.max (t1 -. t0) 1e-9 in
-        {
-          scheme = r.Runner.scheme;
-          sim_cycles = r.Runner.cycles;
-          wall_seconds = wall;
-          cycles_per_second = float_of_int r.Runner.cycles /. wall;
-          events_per_second = float_of_int s.events /. wall;
-          faults = r.Runner.metrics.Sgxsim.Metrics.faults;
-          preloads_issued = r.Runner.metrics.Sgxsim.Metrics.preloads_issued;
-          pending_at_end = r.Runner.pending_preloads;
-        })
-      schemes
+    Job_pool.run ~jobs
+      (List.map
+         (fun scheme ->
+           Job_pool.job
+             ~label:("runtime/" ^ Scheme.name scheme)
+             (fun () -> measure scheme))
+         schemes)
   in
   { settings = s; elrange_pages = footprint_pages s; rows }
 

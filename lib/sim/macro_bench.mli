@@ -50,12 +50,17 @@ type row = {
 
 type report = { settings : settings; elrange_pages : int; rows : row list }
 
-val run : ?clock:(unit -> float) -> settings -> report
+val run : ?clock:(unit -> float) -> ?jobs:int -> settings -> report
 (** Replay the stress trace once per scheme (Baseline, DFP, DFP-stop,
     next-line, stride), timing each replay with [clock] (default
     [Sys.time]; pass a wall clock for real measurements).  Every run is
     passed through {!Validate.check} after its timed region; a violation
-    raises [Failure] rather than reporting a time for a broken run. *)
+    raises [Failure] rather than reporting a time for a broken run.
+
+    [jobs] (default 1) forks the five replays across a {!Job_pool}.  The
+    simulated columns are deterministic at any [jobs]; the wall-clock
+    columns measure whatever contention the fan-out creates, so use
+    [jobs > 1] for throughput, [jobs = 1] for clean per-scheme timing. *)
 
 val to_json : report -> string
 (** The report as one JSON document (schema

@@ -29,6 +29,7 @@ type result = {
   events_truncated : bool;
   pending_preloads : int;
   in_flight_preloads : int;
+  in_flight_kind : Sgxsim.Load_channel.kind option;
   fault_latency : (Enclave.fault_resolution * Histogram.t) list;
   dfp_stopped : bool;
   instrumentation_points : int;
@@ -76,7 +77,14 @@ let run ?(config = default_config) ?(input_label = "") ~scheme trace =
       * (costs.Cost_model.t_aex + costs.Cost_model.t_evict
        + costs.Cost_model.t_load + costs.Cost_model.t_eresume))
   in
-  let hist_for _ = Histogram.create ~lo:0.0 ~hi:(Float.max latency_hi 1.0) ~buckets:32 in
+  (* [auto_expand]: the initial bound covers one drained load plus the
+     fault's own; a fault queued behind a deeper preload window must
+     widen the buckets, not vanish into overflow and bias the mean.
+     [Validate] asserts the overflow bucket stays empty. *)
+  let hist_for _ =
+    Histogram.create ~auto_expand:true ~lo:0.0 ~hi:(Float.max latency_hi 1.0)
+      ~buckets:32 ()
+  in
   let fault_latency =
     List.map
       (fun kind -> (kind, hist_for kind))
@@ -119,9 +127,16 @@ let run ?(config = default_config) ?(input_label = "") ~scheme trace =
     events_truncated = Event.truncated log;
     pending_preloads = Enclave.pending_preload_count enclave;
     in_flight_preloads =
+      (* Both speculative kinds: a SIP-requested load mid-flight at run
+         end is as much an unfinished preload as a DFP one.  Demand
+         loads stay excluded — they resolve a fault, not a prediction. *)
       (match Enclave.in_flight enclave with
-      | Some l when l.kind = Sgxsim.Load_channel.Preload_dfp -> 1
-      | Some _ | None -> 0);
+      | Some { kind = Sgxsim.Load_channel.(Preload_dfp | Preload_sip); _ } -> 1
+      | Some { kind = Sgxsim.Load_channel.Demand; _ } | None -> 0);
+    in_flight_kind =
+      Option.map
+        (fun (l : Sgxsim.Load_channel.inflight) -> l.kind)
+        (Enclave.in_flight enclave);
     fault_latency;
     dfp_stopped = (match dfp with Some d -> Preload.Dfp.stopped d | None -> false);
     instrumentation_points =

@@ -34,9 +34,17 @@ type result = {
       (** The event ring overflowed: [events] is only the tail, so event
           counts cannot be cross-checked against metric counters. *)
   pending_preloads : int;  (** Preloads still queued at end of run. *)
-  in_flight_preloads : int;  (** DFP preloads mid-load at end of run (0/1). *)
+  in_flight_preloads : int;
+      (** Speculative loads (DFP {e or} SIP kind) mid-load at end of run
+          (0/1).  A demand load in flight does not count. *)
+  in_flight_kind : Sgxsim.Load_channel.kind option;
+      (** Kind of the load occupying the channel at end of run, if any;
+          lets {!Validate} attribute the dangling load to the right
+          disposition identity. *)
   fault_latency : (Sgxsim.Enclave.fault_resolution * Repro_util.Histogram.t) list;
-      (** Raise-to-handled latency histogram per fault resolution kind. *)
+      (** Raise-to-handled latency histogram per fault resolution kind.
+          The histograms auto-expand, so the overflow bucket is empty on
+          a healthy run ({!Validate} checks). *)
   dfp_stopped : bool;  (** Whether the §4.2 safety valve fired. *)
   instrumentation_points : int;  (** 0 for non-SIP schemes. *)
 }

@@ -201,10 +201,17 @@ let check_accounting (r : Runner.result) =
          "requested %d <> issued %d + rejected-range %d + rejected-dup %d"
          m.preloads_requested m.preloads_issued m.preloads_rejected_range
          m.preloads_rejected_dup);
-  (* ...and every issued preload ends in exactly one disposition. *)
+  (* ...and every issued preload ends in exactly one disposition.  Only
+     a DFP-kind load closes this identity: [preloads_issued] counts the
+     speculative queue, which SIP's synchronous loads never enter. *)
+  let in_flight_dfp =
+    match r.in_flight_kind with
+    | Some Load_channel.Preload_dfp -> 1
+    | Some (Load_channel.Preload_sip | Load_channel.Demand) | None -> 0
+  in
   let accounted =
     m.preloads_completed + m.preloads_aborted + m.preloads_taken_over
-    + m.preloads_skipped + r.pending_preloads + r.in_flight_preloads
+    + m.preloads_skipped + r.pending_preloads + in_flight_dfp
   in
   if m.preloads_issued <> accounted then
     add
@@ -213,12 +220,50 @@ let check_accounting (r : Runner.result) =
           + queued %d + in-flight %d"
          m.preloads_issued m.preloads_completed m.preloads_aborted
          m.preloads_taken_over m.preloads_skipped r.pending_preloads
-         r.in_flight_preloads);
+         in_flight_dfp);
+  (* [in_flight_preloads] is the kind-resolved view of the same channel:
+     either speculative kind counts, a demand load does not.  (The old
+     runner counted only [Preload_dfp], silently dropping an in-flight
+     SIP preload from the report.) *)
+  let in_flight_expected =
+    match r.in_flight_kind with
+    | Some (Load_channel.Preload_dfp | Load_channel.Preload_sip) -> 1
+    | Some Load_channel.Demand | None -> 0
+  in
+  if r.in_flight_preloads <> in_flight_expected then
+    add
+      (v "preload-identity"
+         "in_flight_preloads %d disagrees with the channel (kind %s expects %d)"
+         r.in_flight_preloads
+         (match r.in_flight_kind with
+         | None -> "none"
+         | Some Load_channel.Demand -> "demand"
+         | Some Load_channel.Preload_dfp -> "preload-dfp"
+         | Some Load_channel.Preload_sip -> "preload-sip")
+         in_flight_expected);
   if m.accesses < Metrics.total_faults m then
     add
       (v "counter-identity" "accesses %d < total faults %d" m.accesses
          (Metrics.total_faults m));
   List.rev !violations
+
+(* The latency histograms auto-expand, so every observation must land in
+   a real bucket: a non-empty overflow bucket means a fixed bound crept
+   back in and the reported mean is biased low. *)
+let check_fault_latency (r : Runner.result) =
+  List.filter_map
+    (fun (kind, hist) ->
+      let o = Repro_util.Histogram.overflow hist in
+      if o = 0 then None
+      else
+        Some
+          (v "fault-latency-overflow"
+             "%s histogram overflowed %d observation(s) (max seen %.0f): the \
+              range must expand to cover the tail"
+             (Runner.resolution_name kind)
+             o
+             (Repro_util.Histogram.max_observed hist)))
+    r.fault_latency
 
 let check_event_counters (r : Runner.result) =
   let m = r.metrics in
@@ -258,6 +303,7 @@ let check_event_counters (r : Runner.result) =
 
 let check (r : Runner.result) =
   check_accounting r
+  @ check_fault_latency r
   @
   (* Event-derived checks need the whole history: skip them when logging
      was off or the ring dropped its oldest events. *)

@@ -11,7 +11,13 @@
     - {b counter identities}: [total_faults] decomposes into its three
       resolutions, and every issued preload ends in exactly one
       disposition (completed / aborted / taken over by a demand load /
-      skipped at start / still queued / still in flight);
+      skipped at start / still queued / still in flight as a DFP load);
+      [in_flight_preloads] agrees with the kind of the load occupying
+      the channel at end of run (either speculative kind counts, demand
+      does not);
+    - {b fault-latency sanity}: the per-resolution latency histograms
+      have an empty overflow bucket (they auto-expand; an overflow means
+      a mis-sized fixed bound is biasing the reported mean);
     - {b event-log discipline} (when a complete log was recorded):
       timestamps are monotone; the exclusive load channel's start/done
       events alternate and agree; each fault's AEX→ERESUME span is well

@@ -1,7 +1,8 @@
 type t = {
   lo : float;
-  hi : float;
-  width : float;
+  mutable hi : float;
+  mutable width : float;
+  auto_expand : bool;
   counts : int array;
   mutable underflow : int;
   mutable overflow : int;
@@ -10,13 +11,14 @@ type t = {
   mutable min_seen : float;
 }
 
-let create ~lo ~hi ~buckets =
+let create ?(auto_expand = false) ~lo ~hi ~buckets () =
   if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
   if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
   {
     lo;
     hi;
     width = (hi -. lo) /. float_of_int buckets;
+    auto_expand;
     counts = Array.make buckets 0;
     underflow = 0;
     overflow = 0;
@@ -25,16 +27,34 @@ let create ~lo ~hi ~buckets =
     min_seen = Float.infinity;
   }
 
+(* Double the range in place: bucket pairs merge downwards, the top half
+   empties.  Each expansion is O(buckets) and the range grows
+   geometrically, so the amortized cost per observation stays O(1)
+   however far past the initial bound the tail reaches. *)
+let expand t =
+  let n = Array.length t.counts in
+  let merged = Array.make n 0 in
+  Array.iteri (fun i c -> merged.(i / 2) <- merged.(i / 2) + c) t.counts;
+  Array.blit merged 0 t.counts 0 n;
+  t.width <- t.width *. 2.0;
+  t.hi <- t.lo +. (t.width *. float_of_int n)
+
 let add t x =
   t.total <- t.total + 1;
   if x > t.max_seen then t.max_seen <- x;
   if x < t.min_seen then t.min_seen <- x;
   if x < t.lo then t.underflow <- t.underflow + 1
-  else if x >= t.hi then t.overflow <- t.overflow + 1
   else begin
-    let i = int_of_float ((x -. t.lo) /. t.width) in
-    let i = min i (Array.length t.counts - 1) in
-    t.counts.(i) <- t.counts.(i) + 1
+    if t.auto_expand && Float.is_finite x then
+      while x >= t.hi do
+        expand t
+      done;
+    if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let i = int_of_float ((x -. t.lo) /. t.width) in
+      let i = min i (Array.length t.counts - 1) in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
   end
 
 let count t = t.total

@@ -3,11 +3,20 @@
 
 type t
 
-val create : lo:float -> hi:float -> buckets:int -> t
-(** [create ~lo ~hi ~buckets] covers [\[lo, hi)] with equal-width buckets.
+val create : ?auto_expand:bool -> lo:float -> hi:float -> buckets:int -> unit -> t
+(** [create ~lo ~hi ~buckets ()] covers [\[lo, hi)] with equal-width buckets.
     Observations below [lo] land in an underflow bucket, at or above [hi]
-    in an overflow bucket.  @raise Invalid_argument if [buckets <= 0] or
-    [hi <= lo]. *)
+    in an overflow bucket.
+
+    With [~auto_expand:true] (default false) a finite observation at or
+    above [hi] instead doubles the range — adjacent bucket pairs merge,
+    the bucket count stays fixed — until the observation fits, so the
+    overflow bucket stays empty and {!mean} is never biased by a
+    mis-sized upper bound.  [lo] and the bucket count never change;
+    resolution halves per doubling.  Non-finite observations still land
+    in overflow rather than expanding forever.
+
+    @raise Invalid_argument if [buckets <= 0] or [hi <= lo]. *)
 
 val add : t -> float -> unit
 

@@ -13,6 +13,22 @@ let to_string = function
   | Train -> "train"
   | Ref i -> Printf.sprintf "ref%d" i
 
+let of_string s =
+  let err = Error (Printf.sprintf "%S is not an input set (expected train or ref<N>)" s) in
+  if s = "train" then Ok Train
+  else if String.length s > 3 && String.sub s 0 3 = "ref" then
+    match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+    (* [int_of_string] accepts "-1", "0x2", "1_0"...; an input index is a
+       plain non-negative decimal, so insist every char is a digit. *)
+    | Some i
+      when i >= 0
+           && String.for_all
+                (fun ch -> ch >= '0' && ch <= '9')
+                (String.sub s 3 (String.length s - 3)) ->
+      Ok (Ref i)
+    | Some _ | None -> err
+  else err
+
 let equal a b =
   match (a, b) with
   | Train, Train -> true

@@ -20,4 +20,10 @@ val size_factor : t -> float
 
 val to_string : t -> string
 
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}: ["train"] or ["ref<N>"] with [N] a
+    non-negative decimal.  ["ref-1"] and other malformed indices are
+    rejected with a message (the CLI used to parse a negative index and
+    then derive a seed from it). *)
+
 val equal : t -> t -> bool

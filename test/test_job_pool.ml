@@ -1,0 +1,219 @@
+(* Tests of the fork-based job pool: submission-order determinism, the
+   serial fast path, crash containment (both a raising job and a dying
+   worker), and the tentpole guarantee that experiment tables computed
+   at -j N equal the -j 1 tables exactly. *)
+
+module Job_pool = Sim.Job_pool
+module Experiments = Sim.Experiments
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* ------------------------------------------------------------------ *)
+(* Ordering and fast path                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_order_determinism () =
+  (* Job sizes fall steeply with the index, so under any parallel
+     schedule late jobs finish before early ones; the merged result must
+     still be in submission order at every worker count. *)
+  let jobs =
+    List.init 24 (fun i ->
+        Job_pool.job ~label:(Printf.sprintf "job%d" i) (fun () ->
+            let acc = ref 0 in
+            for k = 1 to (24 - i) * 5_000 do
+              acc := !acc + (k mod 7)
+            done;
+            ignore !acc;
+            i * i))
+  in
+  let expected = List.init 24 (fun i -> i * i) in
+  List.iter
+    (fun workers ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "workers=%d" workers)
+        expected
+        (Job_pool.run ~jobs:workers jobs))
+    [ 1; 2; 3; 4; 7 ]
+
+let test_serial_fast_path_runs_in_process () =
+  (* jobs:1 must not fork: the caller sees the job's mutations, which a
+     forked worker could never provide. *)
+  let cell = ref 0 in
+  let r =
+    Job_pool.run ~jobs:1
+      [
+        Job_pool.job ~label:"mutate" (fun () ->
+            cell := 41;
+            !cell + 1);
+      ]
+  in
+  Alcotest.(check (list int)) "result" [ 42 ] r;
+  checki "mutation visible: ran in-process" 41 !cell
+
+let test_serial_fast_path_raw_exceptions () =
+  (* The documented List.map equivalence: in-process jobs propagate
+     their exceptions unchanged, not wrapped in Job_failed. *)
+  Alcotest.check_raises "raw exception" (Failure "as-is") (fun () ->
+      ignore
+        (Job_pool.run ~jobs:1
+           [ Job_pool.job ~label:"raises" (fun () -> failwith "as-is") ]))
+
+let test_forked_workers_are_isolated () =
+  let cell = ref 0 in
+  let r =
+    Job_pool.run ~jobs:2
+      (List.init 4 (fun i ->
+           Job_pool.job ~label:(Printf.sprintf "j%d" i) (fun () ->
+               cell := 99;
+               i)))
+  in
+  Alcotest.(check (list int)) "results" [ 0; 1; 2; 3 ] r;
+  checki "parent state untouched by workers" 0 !cell
+
+let test_empty_and_clamped () =
+  Alcotest.(check (list int)) "no jobs" [] (Job_pool.run ~jobs:8 []);
+  Alcotest.(check (list int))
+    "more workers than jobs" [ 7 ]
+    (Job_pool.run ~jobs:64 [ Job_pool.job ~label:"only" (fun () -> 7) ]);
+  Alcotest.check_raises "absurd worker count rejected"
+    (Invalid_argument "Job_pool.run: jobs > 1024") (fun () ->
+      ignore (Job_pool.run ~jobs:4096 [ Job_pool.job ~label:"x" (fun () -> 0) ]))
+
+let test_default_jobs_positive () =
+  checkb "at least one processor" true (Job_pool.default_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Crash containment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_raising_job_names_itself () =
+  match
+    Job_pool.run ~jobs:2
+      [
+        Job_pool.job ~label:"fine" (fun () -> 1);
+        Job_pool.job ~label:"boom" (fun () -> failwith "broken cell");
+        Job_pool.job ~label:"also-fine" (fun () -> 3);
+      ]
+  with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Job_pool.Job_failed { label; reason } ->
+    Alcotest.(check string) "failing job's label" "boom" label;
+    checkb "reason carries the exception" true (contains reason "broken cell")
+
+let test_first_failure_in_submission_order () =
+  (* Two failing jobs: whatever the worker count, the reported one is
+     the first in submission order. *)
+  let jobs =
+    List.init 6 (fun i ->
+        Job_pool.job ~label:(Printf.sprintf "cell%d" i) (fun () ->
+            if i = 2 || i = 5 then failwith "bad" else i))
+  in
+  List.iter
+    (fun workers ->
+      match Job_pool.run ~jobs:workers jobs with
+      | _ -> Alcotest.fail "expected Job_failed"
+      | exception Job_pool.Job_failed { label; _ } ->
+        Alcotest.(check string)
+          (Printf.sprintf "workers=%d" workers)
+          "cell2" label)
+    [ 2; 3; 4 ]
+
+let test_dead_worker_names_lost_job () =
+  (* A worker that exits without reporting (as a segfault or kill -9
+     would): the pool must name the job that went missing rather than
+     hang or return a short list. *)
+  match
+    Job_pool.run ~jobs:2
+      [
+        Job_pool.job ~label:"survivor" (fun () -> 0);
+        Job_pool.job ~label:"dies-silently" (fun () -> Unix._exit 9);
+      ]
+  with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Job_pool.Job_failed { label; reason } ->
+    Alcotest.(check string) "lost job's label" "dies-silently" label;
+    checkb "reason reports the exit status" true (contains reason "9")
+
+let test_unmarshalable_result_contained () =
+  (* A job whose result captures a closure cannot cross the pipe; that
+     must surface as the job's failure, not kill the worker's share. *)
+  match
+    Job_pool.run ~jobs:2
+      [
+        Job_pool.job ~label:"plain" (fun () -> fun x -> x);
+        Job_pool.job ~label:"closure" (fun () -> fun x -> x + 1);
+      ]
+  with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Job_pool.Job_failed { reason; _ } ->
+    checkb "reason mentions marshal" true (contains reason "marshal")
+
+(* ------------------------------------------------------------------ *)
+(* Experiment tables are -j invariant                                  *)
+(* ------------------------------------------------------------------ *)
+
+let quick1 = Experiments.quick
+let quick4 = { Experiments.quick with jobs = 4 }
+
+let test_fig6_sweep_j_invariant () =
+  checkb "fig6 identical at -j4" true
+    (Experiments.fig6_sweep quick1 = Experiments.fig6_sweep quick4)
+
+let test_fig8_rows_j_invariant () =
+  checkb "fig8 identical at -j4" true
+    (Experiments.fig8_rows quick1 = Experiments.fig8_rows quick4)
+
+let test_fig12_rows_j_invariant () =
+  checkb "fig12 identical at -j4" true
+    (Experiments.fig12_rows quick1 = Experiments.fig12_rows quick4)
+
+let test_macro_bench_j_invariant () =
+  (* Wall-clock columns measure the machine; every simulated column must
+     be identical whether the five replays fork or not. *)
+  let strip (r : Sim.Macro_bench.report) =
+    List.map
+      (fun (row : Sim.Macro_bench.row) ->
+        (row.scheme, row.sim_cycles, row.faults, row.preloads_issued,
+         row.pending_at_end))
+      r.rows
+  in
+  let smoke = { Sim.Macro_bench.smoke with events = 5_000 } in
+  checkb "macro-bench rows identical at -j3" true
+    (strip (Sim.Macro_bench.run ~jobs:1 smoke)
+    = strip (Sim.Macro_bench.run ~jobs:3 smoke))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "job_pool"
+    [
+      ( "pool",
+        [
+          tc "submission-order determinism" test_order_determinism;
+          tc "serial fast path in-process" test_serial_fast_path_runs_in_process;
+          tc "serial fast path raw exceptions" test_serial_fast_path_raw_exceptions;
+          tc "forked workers isolated" test_forked_workers_are_isolated;
+          tc "empty and clamped" test_empty_and_clamped;
+          tc "default jobs" test_default_jobs_positive;
+        ] );
+      ( "crash containment",
+        [
+          tc "raising job names itself" test_raising_job_names_itself;
+          tc "first failure in submission order" test_first_failure_in_submission_order;
+          tc "dead worker names lost job" test_dead_worker_names_lost_job;
+          tc "unmarshalable result contained" test_unmarshalable_result_contained;
+        ] );
+      ( "experiments",
+        [
+          slow "fig6 -j invariant" test_fig6_sweep_j_invariant;
+          slow "fig8 -j invariant" test_fig8_rows_j_invariant;
+          slow "fig12 -j invariant" test_fig12_rows_j_invariant;
+          slow "macro-bench -j invariant" test_macro_bench_j_invariant;
+        ] );
+    ]

@@ -173,6 +173,45 @@ let test_fault_latency_histograms () =
     (List.for_all (contains rendered)
        [ "demand-load"; "waited-in-flight"; "already-present" ])
 
+let test_queue_stress_latency_fits () =
+  (* Regression: the fault-latency histograms had a fixed upper bound
+     sized for shallow queues; on the queue-stress trace an in-flight
+     wait can outlast it many times over, and every such observation
+     fell into overflow, biasing the reported mean low.  Auto-expansion
+     must keep the overflow bucket empty on this trace too. *)
+  let s = { Sim.Macro_bench.smoke with events = 20_000 } in
+  let stress = Sim.Macro_bench.queue_stress s in
+  let config = { Runner.default_config with epc_pages = s.epc_pages } in
+  let r = Runner.run ~config ~scheme:Scheme.dfp_default stress in
+  checkb "stress run faults at all" true (Metrics.total_faults r.metrics > 0);
+  List.iter
+    (fun (kind, h) ->
+      checki
+        (Runner.resolution_name kind ^ " overflow empty")
+        0
+        (Repro_util.Histogram.overflow h))
+    r.fault_latency
+
+let test_workload_catalog_complete () =
+  (* Regression: [workload_families] (behind the CLI's [list]) omitted
+     the Parallel_apps and Synthetic families even though [run] accepted
+     their names. *)
+  let catalog = Experiments.workload_families in
+  let listed n = List.mem_assoc n catalog in
+  List.iter
+    (fun (n, _) -> checkb (n ^ " listed") true (listed n))
+    Workload.Parallel_apps.all;
+  List.iter
+    (fun (n, _) -> checkb (n ^ " listed") true (listed n))
+    Workload.Synthetic.all;
+  (* The catalog and the resolver agree in both directions. *)
+  List.iter
+    (fun (n, _) ->
+      checkb (n ^ " resolves") true (Option.is_some (Experiments.find_model n)))
+    catalog;
+  checkb "unknown name stays unresolvable" true
+    (Option.is_none (Experiments.find_model "no-such-workload"))
+
 (* ------------------------------------------------------------------ *)
 (* Report helpers                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -437,6 +476,7 @@ let () =
         [
           slow "every scheme validates on mixed-blood" test_every_scheme_validates;
           tc "fault latency histograms" test_fault_latency_histograms;
+          slow "queue-stress latencies fit" test_queue_stress_latency_fits;
         ] );
       ( "report",
         [
@@ -448,6 +488,7 @@ let () =
         ] );
       ( "experiments",
         [
+          tc "workload catalog complete" test_workload_catalog_complete;
           slow "intro slowdown" test_intro_slowdown_order_of_magnitude;
           tc "fig2 timelines" test_fig2_timelines;
           tc "fig4 costs" test_fig4_costs;

@@ -249,7 +249,7 @@ let stats_qcheck =
 (* ------------------------------------------------------------------ *)
 
 let test_histogram_bucketing () =
-  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 () in
   List.iter (Histogram.add h) [ 0.0; 1.9; 2.0; 9.99; -1.0; 10.0; 42.0 ];
   checki "total" 7 (Histogram.count h);
   checki "bucket 0" 2 (Histogram.bucket_count h 0);
@@ -259,13 +259,13 @@ let test_histogram_bucketing () =
   checki "overflow" 2 (Histogram.overflow h)
 
 let test_histogram_ranges () =
-  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 () in
   let lo, hi = Histogram.bucket_range h 2 in
   checkf "lo" 4.0 lo;
   checkf "hi" 6.0 hi
 
 let test_histogram_mean () =
-  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 () in
   checkb "empty mean is nan" true (Float.is_nan (Histogram.mean h));
   (* 1.0 and 1.5 land in bucket [0,2) (midpoint 1), 5.0 in [4,6)
      (midpoint 5): midpoint approximation gives (1+1+5)/3. *)
@@ -276,17 +276,64 @@ let test_histogram_mean () =
   checkf "overflow at hi" ((7.0 +. 10.0) /. 4.0) (Histogram.mean h)
 
 let test_histogram_fraction_below () =
-  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 () in
   List.iter (Histogram.add h) [ 0.5; 1.5; 2.5; 3.5 ];
   checkf "half below 2" 0.5 (Histogram.fraction_below h 2.0)
+
+let bucket_total h buckets =
+  let t = ref 0 in
+  for i = 0 to buckets - 1 do
+    t := !t + Histogram.bucket_count h i
+  done;
+  !t
+
+let test_histogram_auto_expand () =
+  let h = Histogram.create ~auto_expand:true ~lo:0.0 ~hi:8.0 ~buckets:4 () in
+  List.iter (Histogram.add h) [ 1.0; 7.9 ];
+  checki "in range, no overflow" 0 (Histogram.overflow h);
+  (* At the bound: one doubling to [0, 16). *)
+  Histogram.add h 8.0;
+  checki "expanded, not overflowed" 0 (Histogram.overflow h);
+  checkf "range doubled" 16.0 (snd (Histogram.bucket_range h 3));
+  (* Far past the bound: several doublings at once. *)
+  Histogram.add h 100.0;
+  checki "still no overflow" 0 (Histogram.overflow h);
+  checkb "range covers the sample" true
+    (snd (Histogram.bucket_range h 3) > 100.0);
+  checki "every observation kept" 4 (Histogram.count h);
+  checki "every observation in a bucket" 4 (bucket_total h 4);
+  checkf "extrema exact" 100.0 (Histogram.max_observed h)
+
+let test_histogram_auto_expand_odd_buckets () =
+  (* Doubling merges bucket pairs; with an odd bucket count the old top
+     bucket has no partner and must still carry its count over. *)
+  let h = Histogram.create ~auto_expand:true ~lo:0.0 ~hi:5.0 ~buckets:5 () in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 2.5; 3.5; 4.5 ];
+  Histogram.add h 9.0;
+  checki "count" 6 (Histogram.count h);
+  checki "overflow" 0 (Histogram.overflow h);
+  checki "no observation lost in the merge" 6 (bucket_total h 5)
+
+let test_histogram_auto_expand_non_finite () =
+  let h = Histogram.create ~auto_expand:true ~lo:0.0 ~hi:4.0 ~buckets:4 () in
+  (* Infinity can never fit: it must overflow, not expand forever. *)
+  Histogram.add h Float.infinity;
+  checki "infinity overflows" 1 (Histogram.overflow h);
+  checkf "range unchanged" 4.0 (snd (Histogram.bucket_range h 3))
+
+let test_histogram_fixed_still_overflows () =
+  let h = Histogram.create ~lo:0.0 ~hi:4.0 ~buckets:4 () in
+  Histogram.add h 9.0;
+  checki "fixed histogram overflows as before" 1 (Histogram.overflow h);
+  checkf "fixed range unchanged" 4.0 (snd (Histogram.bucket_range h 3))
 
 let test_histogram_bad_args () =
   Alcotest.check_raises "no buckets"
     (Invalid_argument "Histogram.create: buckets must be positive") (fun () ->
-      ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:0))
+      ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:0 ()))
 
 let test_histogram_observed_extremes () =
-  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 () in
   checkb "empty max is nan" true (Float.is_nan (Histogram.max_observed h));
   checkb "empty min is nan" true (Float.is_nan (Histogram.min_observed h));
   List.iter (Histogram.add h) [ 3.0; 7.5 ];
@@ -603,6 +650,10 @@ let () =
           tc "ranges" test_histogram_ranges;
           tc "mean" test_histogram_mean;
           tc "fraction below" test_histogram_fraction_below;
+          tc "auto-expand" test_histogram_auto_expand;
+          tc "auto-expand odd buckets" test_histogram_auto_expand_odd_buckets;
+          tc "auto-expand non-finite" test_histogram_auto_expand_non_finite;
+          tc "fixed bound still overflows" test_histogram_fixed_still_overflows;
           tc "bad args" test_histogram_bad_args;
           tc "observed extremes" test_histogram_observed_extremes;
         ] );

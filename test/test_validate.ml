@@ -460,6 +460,27 @@ let test_event_counter_mismatch_detected () =
   checkb "event counter mismatch reported" true
     (flags "event-counter" (Validate.check tampered))
 
+let test_in_flight_preload_miscount_detected () =
+  let r = run_didactic Scheme.dfp_default in
+  (* Claiming an in-flight preload the channel does not show... *)
+  let inflated =
+    { r with Runner.in_flight_preloads = r.in_flight_preloads + 1 }
+  in
+  checkb "inflated count caught" true
+    (flags "preload-identity" (Validate.check inflated));
+  (* ...and the pre-fix blind spot: a dangling SIP-kind load with the
+     counter still at zero.  The old runner counted only Preload_dfp, so
+     this state sailed through validation. *)
+  let sip_blind =
+    {
+      r with
+      Runner.in_flight_kind = Some Load_channel.Preload_sip;
+      in_flight_preloads = 0;
+    }
+  in
+  checkb "sip-kind blind spot caught" true
+    (flags "preload-identity" (Validate.check sip_blind))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -489,5 +510,6 @@ let () =
           tc "violations distinguished" test_validator_distinguishes_violations;
           tc "tampered accounting caught" test_accounting_identity_broken_detected;
           tc "tampered event log caught" test_event_counter_mismatch_detected;
+          tc "in-flight preload miscount caught" test_in_flight_preload_miscount_detected;
         ] );
     ]

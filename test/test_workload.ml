@@ -458,6 +458,35 @@ let test_input_strings () =
   checkb "equal" true (Input.equal (Input.Ref 1) (Input.Ref 1));
   checkb "not equal" false (Input.equal Input.Train (Input.Ref 0))
 
+let test_input_of_string () =
+  let ok s i =
+    match Input.of_string s with
+    | Ok parsed -> checkb (s ^ " parses") true (Input.equal parsed i)
+    | Error m -> Alcotest.fail (s ^ " rejected: " ^ m)
+  in
+  let rejected s =
+    checkb (s ^ " rejected") true
+      (match Input.of_string s with Error _ -> true | Ok _ -> false)
+  in
+  ok "train" Input.Train;
+  ok "ref0" (Input.Ref 0);
+  ok "ref12" (Input.Ref 12);
+  (* Round trip through to_string. *)
+  List.iter
+    (fun i -> ok (Input.to_string i) i)
+    [ Input.Train; Input.Ref 0; Input.Ref 7 ];
+  (* A negative index used to parse ("ref-1" -> Ref (-1)) and silently
+     derive a seed; all malformed indices must be rejected. *)
+  rejected "ref-1";
+  rejected "ref";
+  rejected "refx";
+  rejected "ref1.5";
+  rejected "ref 2";
+  rejected "ref0x2";
+  rejected "ref1_0";
+  rejected "Train";
+  rejected ""
+
 (* ------------------------------------------------------------------ *)
 (* Benchmark models                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -597,6 +626,7 @@ let () =
           tc "seeds distinct" test_input_seeds_distinct;
           tc "sizes" test_input_sizes;
           tc "strings" test_input_strings;
+          tc "of_string" test_input_of_string;
         ] );
       ( "models",
         [
