@@ -433,43 +433,185 @@ let export_cmd =
           trace, a JSONL record or a CSV row")
     term
 
-(* ---------- experiment ---------- *)
+(* ---------- experiment / chaos (shared hardening flags) ---------- *)
+
+let quick_arg =
+  let doc = "Use the trimmed quick settings." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Fan each experiment's cells out across $(docv) forked worker \
+     processes (1 = run in-process).  Results merge deterministically, \
+     so the output is byte-identical at any value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc =
+    "Wall-clock seconds per cell attempt; a cell still running after \
+     $(docv) seconds is SIGKILLed and counts as failed (or is retried, \
+     see $(b,--retries))."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let retries_arg =
+  let doc = "Re-run a failing cell up to $(docv) extra times (exponential backoff)." in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let keep_going_arg =
+  let doc =
+    "Collect failures and keep running the rest of the matrix; report \
+     them at the end and exit nonzero if any remain."
+  in
+  Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
+
+let journal_arg =
+  let doc =
+    "Checkpoint completed cells into per-table journal files under \
+     $(docv) (created if missing); see $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Reuse cells journaled by an interrupted run with the same \
+     configuration instead of re-executing them (requires \
+     $(b,--journal))."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let ensure_journal_dir = function
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ()
 
 let experiment_cmd =
   let ids_arg =
     let doc = "Experiment ids (see $(b,list)); defaults to all." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let quick_arg =
-    let doc = "Use the trimmed quick settings." in
-    Arg.(value & flag & info [ "quick" ] ~doc)
-  in
-  let jobs_arg =
-    let doc =
-      "Fan each experiment's cells out across $(docv) forked worker \
-       processes (1 = run in-process).  Results merge deterministically, \
-       so the output is byte-identical at any value."
-    in
-    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-  in
-  let action ids epc input quick_flag jobs =
+  let action ids epc input quick_flag jobs timeout retries keep_going journal
+      resume =
     let settings =
       if quick_flag then Experiments.quick else settings_of ~epc ~input
     in
-    let settings = { settings with Experiments.jobs } in
+    ensure_journal_dir journal;
+    let settings =
+      {
+        settings with
+        Experiments.jobs;
+        cell_timeout = timeout;
+        retries;
+        keep_going;
+        journal_dir = journal;
+        resume;
+      }
+    in
     let ids = if ids = [] then List.map fst Experiments.all else ids in
-    List.iter
-      (fun id ->
-        Experiments.run id settings;
-        print_newline ())
-      ids
+    match Experiments.run_many ids settings with
+    | [] -> ()
+    | failures ->
+      Printf.eprintf "%d experiment(s) failed: %s\n"
+        (List.length failures)
+        (String.concat ", " (List.map fst failures));
+      exit 1
   in
   let term =
     Term.(
-      const action $ ids_arg $ epc_arg $ input_arg $ quick_arg $ jobs_arg)
+      const action $ ids_arg $ epc_arg $ input_arg $ quick_arg $ jobs_arg
+      $ timeout_arg $ retries_arg $ keep_going_arg $ journal_arg $ resume_arg)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures by id")
+    term
+
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let seed_arg =
+    let doc = "Fault-plan seed; same seed = bit-identical matrix." in
+    Arg.(
+      value
+      & opt int Sim.Fault_plan.bank_seed
+      & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let plans_arg =
+    let doc =
+      "Comma-separated fault-plan names to run (default: the whole bank)."
+    in
+    Arg.(
+      value
+      & opt (list string) (Sim.Fault_plan.names ())
+      & info [ "plans" ] ~docv:"NAMES" ~doc)
+  in
+  let workloads_arg =
+    let doc = "Comma-separated workloads (default: the chaos set)." in
+    Arg.(value & opt (list string) [] & info [ "workloads" ] ~docv:"NAMES" ~doc)
+  in
+  let action epc input quick_flag jobs seed plan_names workloads timeout
+      retries keep_going journal resume =
+    let plans =
+      List.map
+        (fun name ->
+          match Sim.Fault_plan.find name with
+          | Some p -> p
+          | None ->
+            Printf.eprintf "unknown fault plan %S; known plans:\n  %s\n" name
+              (String.concat "\n  " (Sim.Fault_plan.names ()));
+            exit 1)
+        plan_names
+    in
+    List.iter
+      (fun w -> if model_of_name w = None then unknown_workload w)
+      workloads;
+    ensure_journal_dir journal;
+    let base = if quick_flag then Sim.Chaos.quick else Sim.Chaos.default in
+    let settings =
+      {
+        base with
+        Sim.Chaos.epc_pages = epc;
+        input;
+        jobs;
+        seed;
+        plans;
+        workloads = (if workloads = [] then base.Sim.Chaos.workloads else workloads);
+        cell_timeout = timeout;
+        retries;
+        keep_going;
+        journal_dir = journal;
+        resume;
+      }
+    in
+    let outcome =
+      try Sim.Chaos.run settings
+      with Experiments.Cells_failed fs ->
+        Printf.eprintf "chaos: %d cell(s) failed:\n" (List.length fs);
+        List.iter
+          (fun (f : Sim.Job_pool.failure) ->
+            Printf.eprintf "  %s: %s (%d attempt(s))\n" f.label f.reason
+              f.attempts)
+          fs;
+        exit 1
+    in
+    Sim.Chaos.print_report settings outcome;
+    if not (Sim.Chaos.ok outcome) then exit 1
+  in
+  let epc_chaos_arg =
+    let doc = "Usable EPC size in 4 KiB pages." in
+    Arg.(value & opt int 1024 & info [ "epc" ] ~docv:"PAGES" ~doc)
+  in
+  let term =
+    Term.(
+      const action $ epc_chaos_arg $ input_arg $ quick_arg $ jobs_arg
+      $ seed_arg $ plans_arg $ workloads_arg $ timeout_arg $ retries_arg
+      $ keep_going_arg $ journal_arg $ resume_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the scheme matrix under a bank of named fault plans, print \
+          graceful-degradation tables, and exit nonzero on any invariant \
+          violation or failed cell")
     term
 
 (* ---------- list ---------- *)
@@ -501,5 +643,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; compare_cmd; profile_cmd; stats_cmd; record_cmd;
-            replay_cmd; validate_cmd; export_cmd; experiment_cmd; list_cmd;
+            replay_cmd; validate_cmd; export_cmd; experiment_cmd; chaos_cmd;
+            list_cmd;
           ]))

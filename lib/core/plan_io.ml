@@ -26,40 +26,67 @@ let load ~path =
         incr lineno;
         input_line ic
       in
+      (* [fail] raises [Failure]; a [Failure _] catch-all around the parse
+         loop would swallow its message and replace every diagnostic with
+         a generic one, so fields are decoded explicitly instead. *)
+      let int_of field s =
+        match int_of_string_opt s with
+        | Some n -> n
+        | None ->
+          fail path !lineno (Printf.sprintf "malformed %s field %S" field s)
+      in
       if read () <> "# sgx-preload plan v1" then
         fail path !lineno "unrecognised header";
-      let workload = ref "" and threshold = ref 0.0 in
+      let workload = ref None and threshold = ref None in
       let decisions = ref [] in
+      let seen_sites = Hashtbl.create 64 in
+      let set field cell value =
+        if Option.is_some !cell then
+          fail path !lineno (Printf.sprintf "duplicate %s line" field);
+        cell := Some value
+      in
       (try
          while true do
            let line = read () in
            match String.split_on_char ' ' line with
-           | "workload" :: rest -> workload := String.concat " " rest
-           | [ "threshold"; x ] -> threshold := float_of_string x
+           | "workload" :: rest ->
+             set "workload" workload (String.concat " " rest)
+           | [ "threshold"; x ] -> (
+             match float_of_string_opt x with
+             | Some v -> set "threshold" threshold v
+             | None ->
+               fail path !lineno
+                 (Printf.sprintf "malformed threshold field %S" x))
            | [ "s"; site; c1; c2; c3; instrument ] ->
+             let site = int_of "site" site in
+             if Hashtbl.mem seen_sites site then
+               fail path !lineno (Printf.sprintf "duplicate site %d" site);
+             Hashtbl.add seen_sites site ();
              let counts =
                {
-                 Sip_profiler.c1 = int_of_string c1;
-                 c2 = int_of_string c2;
-                 c3 = int_of_string c3;
+                 Sip_profiler.c1 = int_of "c1" c1;
+                 c2 = int_of "c2" c2;
+                 c3 = int_of "c3" c3;
                }
              in
              decisions :=
                {
-                 Sip_instrumenter.site = int_of_string site;
+                 Sip_instrumenter.site;
                  counts;
                  ratio = Sip_profiler.irregular_ratio counts;
-                 instrument = int_of_string instrument <> 0;
+                 instrument = int_of "instrument" instrument <> 0;
                }
                :: !decisions
            | [ "" ] -> ()
            | _ -> fail path !lineno "unrecognised line"
          done
-       with
-      | End_of_file -> ()
-      | Failure _ -> fail path !lineno "malformed field");
+       with End_of_file -> ());
+      let require field = function
+        | Some v -> v
+        | None -> fail path !lineno (Printf.sprintf "missing %s line" field)
+      in
       {
-        Sip_instrumenter.workload = !workload;
-        threshold = !threshold;
+        Sip_instrumenter.workload = require "workload" !workload;
+        threshold = require "threshold" !threshold;
         decisions = List.rev !decisions;
       })

@@ -28,6 +28,14 @@ type t = {
   mutable on_preload_complete : t -> int -> unit;
   mutable on_preload_hit : t -> int -> unit;
   mutable on_scan : t -> int -> unit;
+  mutable load_perturb : at:int -> int -> int;
+      (* Fault-injection point: maps a load's clean duration to its
+         faulted duration (contended paging channel).  Identity by
+         default; must never shorten a load — [start_load] clamps. *)
+  mutable epc_budget : at:int -> int -> int;
+      (* Fault-injection point: frames available to this enclave at a
+         given cycle once a co-tenant has taken its slice.  Defaults to
+         the full capacity. *)
 }
 
 let create ?(costs = Cost_model.paper) ?(log = Event.null_log) ~epc_pages
@@ -46,6 +54,8 @@ let create ?(costs = Cost_model.paper) ?(log = Event.null_log) ~epc_pages
     on_preload_complete = (fun _ _ -> ());
     on_preload_hit = (fun _ _ -> ());
     on_scan = (fun _ _ -> ());
+    load_perturb = (fun ~at d -> ignore at; d);
+    epc_budget = (fun ~at c -> ignore at; c);
   }
 
 let set_on_fault t f = t.on_fault <- f
@@ -59,6 +69,8 @@ let add_on_fault t f =
 let set_on_preload_complete t f = t.on_preload_complete <- f
 let set_on_preload_hit t f = t.on_preload_hit <- f
 let set_on_scan t f = t.on_scan <- f
+let set_load_perturb t f = t.load_perturb <- f
+let set_epc_budget t f = t.epc_budget <- f
 
 let record t e = Event.record t.log e
 
@@ -101,14 +113,39 @@ let evict_one t ~at =
   t.metrics.evictions <- t.metrics.evictions + 1;
   record t (Event.Evict { at; vpage = victim })
 
-(* Begin a load on the (idle) channel at [at]; evicts first if the EPC is
-   full, extending the busy span by the write-back cost. *)
-let start_load t ~at ~vpage ~kind =
-  let evict = Clock_evictor.is_full t.epc in
-  if evict then evict_one t ~at;
-  let duration =
-    (if evict then t.costs.Cost_model.t_evict else 0) + t.costs.Cost_model.t_load
+(* The CLOCK sweep treats the pinned page as permanently accessed, so it
+   can never be a victim — and with only the pinned page resident there
+   is no victim at all.  (At most one page is ever pinned.) *)
+let evictable t =
+  let pinned_resident =
+    t.protected_vpage >= 0 && Page_table.present t.pt t.protected_vpage
   in
+  Clock_evictor.used t.epc > if pinned_resident then 1 else 0
+
+(* Frames this enclave may occupy at [at]: full capacity unless a fault
+   plan installed a co-tenant.  Never below one frame. *)
+let budget_at t ~at =
+  let cap = Clock_evictor.capacity t.epc in
+  max 1 (min cap (t.epc_budget ~at cap))
+
+(* Begin a load on the (idle) channel at [at]; evicts first if the EPC —
+   or the co-tenant-shrunk budget — leaves no free frame for the incoming
+   page, extending the busy span by one write-back cost per eviction. *)
+let start_load t ~at ~vpage ~kind =
+  let budget = budget_at t ~at in
+  let evictions = ref 0 in
+  while
+    (Clock_evictor.is_full t.epc || Clock_evictor.used t.epc >= budget)
+    && evictable t
+  do
+    evict_one t ~at;
+    incr evictions
+  done;
+  let base =
+    (!evictions * t.costs.Cost_model.t_evict) + t.costs.Cost_model.t_load
+  in
+  (* Clamped: a contended channel can only slow a load down. *)
+  let duration = max base (t.load_perturb ~at base) in
   record t (Event.Load_start { at; vpage; kind });
   Load_channel.begin_load t.channel ~vpage ~kind ~now:at ~duration
 
@@ -136,6 +173,14 @@ let run_scan t ~at =
   Clock_evictor.scan t.epc (fun v ->
       harvest t v;
       (Page_table.entry t.pt v).accessed <- false);
+  (* A co-tenant that grew its slice reclaims frames here: its own
+     channel does the write-backs, so — unlike the evictions a load
+     triggers in [start_load] — no cycles are charged to this enclave;
+     it just finds itself with fewer resident pages. *)
+  let budget = budget_at t ~at in
+  while Clock_evictor.used t.epc > budget && evictable t do
+    evict_one t ~at
+  done;
   t.next_scan <- at + t.costs.Cost_model.clock_scan_period;
   t.on_scan t at
 

@@ -71,6 +71,20 @@ val set_on_scan : t -> (t -> int -> unit) -> unit
 (** Called after each service-thread scan with the scan time; DFP-stop
     runs its periodic counter comparison here. *)
 
+val set_load_perturb : t -> (at:int -> int -> int) -> unit
+(** Fault-injection point (see [Sim.Fault_plan]): maps a load's clean
+    duration to its faulted duration, modelling a contended paging
+    channel.  The result is clamped to never shorten a load.  Identity
+    by default. *)
+
+val set_epc_budget : t -> (at:int -> int -> int) -> unit
+(** Fault-injection point: frames available to this enclave at a given
+    cycle once a co-tenant has taken its slice.  The result is clamped
+    to [[1, capacity]].  Loads evict down to the budget (charging one
+    write-back each); the periodic scan squeezes residency to the budget
+    for free (the co-tenant's own channel pays those write-backs).
+    Defaults to the full capacity. *)
+
 (** {1 Application-side operations} *)
 
 val access : ?thread:int -> t -> now:int -> int -> int

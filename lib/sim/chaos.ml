@@ -1,0 +1,265 @@
+module Table = Repro_util.Table
+module Input = Workload.Input
+module Scheme = Preload.Scheme
+module Dfp = Preload.Dfp
+module Metrics = Sgxsim.Metrics
+
+type settings = {
+  epc_pages : int;
+  input : Input.t;
+  quick : bool;
+  jobs : int;
+  seed : int;
+  plans : Fault_plan.t list;
+  workloads : string list;
+  cell_timeout : float option;
+  retries : int;
+  keep_going : bool;
+  journal_dir : string option;
+  resume : bool;
+}
+
+let default_workloads ~quick =
+  if quick then [ "lbm"; "deepsjeng" ] else [ "lbm"; "deepsjeng"; "mcf"; "xz" ]
+
+let default =
+  {
+    epc_pages = 1024;
+    input = Input.Ref 0;
+    quick = false;
+    jobs = 1;
+    seed = Fault_plan.bank_seed;
+    plans = Fault_plan.bank;
+    workloads = default_workloads ~quick:false;
+    cell_timeout = None;
+    retries = 0;
+    keep_going = false;
+    journal_dir = None;
+    resume = false;
+  }
+
+let quick = { default with quick = true; workloads = default_workloads ~quick:true }
+
+(* What a chaos cell sends back through the pool: enough to print the
+   degradation table and prove the invariants, nothing heavy — the full
+   Runner.result (with its event log) dies in the worker. *)
+type cell = {
+  workload : string;
+  scheme : string;
+  plan : string;
+  cycles : int;
+  faults : int;
+  preloads_issued : int;
+  preloads_aborted : int;
+  preloads_completed : int;
+  preload_evicted_unused : int;
+  violations : string list;
+}
+
+type outcome = {
+  cells : cell list;  (** Submission order: workload-major, plan-minor. *)
+  failed : Job_pool.failure list;
+  violation_count : int;
+}
+
+let scheme_names = [ "baseline"; "dfp-stop"; "SIP"; "hybrid" ]
+
+let scheme_of tag plan =
+  match tag with
+  | "baseline" -> Scheme.Baseline
+  | "dfp-stop" -> Scheme.dfp_stop
+  | "SIP" -> Scheme.Sip plan
+  | "hybrid" -> Scheme.Hybrid (Dfp.with_stop Dfp.default_config, plan)
+  | _ -> invalid_arg ("Chaos.scheme_of: " ^ tag)
+
+(* Large enough that the shipped workloads keep complete logs, so the
+   event-derived invariants (channel discipline, page conservation)
+   actually run; Validate skips them gracefully if a log still
+   overflows. *)
+let log_capacity = 1 lsl 20
+
+let exp_settings settings =
+  {
+    Experiments.epc_pages = settings.epc_pages;
+    ref_input = settings.input;
+    quick = settings.quick;
+    jobs = settings.jobs;
+    cell_timeout = settings.cell_timeout;
+    retries = settings.retries;
+    (* Chaos collects per-cell failures itself (a dead cell must not
+       discard its neighbours), so the pool always runs hardened. *)
+    keep_going = true;
+    journal_dir = settings.journal_dir;
+    resume = settings.resume;
+  }
+
+let run_cell es ~workload ~scheme_tag ~plan () =
+  let sip_plan =
+    (* The profiling step is pure and cheap relative to the measured run;
+       recomputing it inside the cell keeps the cell self-contained (a
+       Sip plan would otherwise have to travel into every closure). *)
+    if scheme_tag = "SIP" || scheme_tag = "hybrid" then
+      Experiments.plan_for es workload
+    else Preload.Sip_instrumenter.empty_plan ~workload
+  in
+  let scheme = scheme_of scheme_tag sip_plan in
+  let trace = Experiments.trace_of es workload ~input:es.Experiments.ref_input in
+  let config =
+    { Runner.default_config with epc_pages = es.Experiments.epc_pages; log_capacity }
+  in
+  let r =
+    Runner.run ~config ~fault_plan:plan
+      ~input_label:(Input.to_string es.Experiments.ref_input) ~scheme trace
+  in
+  let m = r.Runner.metrics in
+  {
+    workload;
+    scheme = r.Runner.scheme;
+    plan = plan.Fault_plan.name;
+    cycles = r.Runner.cycles;
+    faults = Metrics.total_faults m;
+    preloads_issued = m.Metrics.preloads_issued;
+    preloads_aborted = m.preloads_aborted;
+    preloads_completed = m.preloads_completed;
+    preload_evicted_unused = m.preload_evicted_unused;
+    violations =
+      List.map
+        (fun (x : Validate.violation) ->
+          Printf.sprintf "[%s] %s" x.check x.detail)
+        (Validate.check r);
+  }
+
+let grid settings =
+  let plans =
+    Fault_plan.none
+    :: List.map (fun p -> Fault_plan.with_seed p settings.seed) settings.plans
+  in
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun scheme_tag ->
+          List.map (fun plan -> (workload, scheme_tag, plan)) plans)
+        scheme_names)
+    settings.workloads
+
+let run settings =
+  let es = exp_settings settings in
+  let g = grid settings in
+  let jobs =
+    List.map
+      (fun (workload, scheme_tag, plan) ->
+        Job_pool.job
+          ~label:
+            (Printf.sprintf "chaos/%s/%s/%s" workload scheme_tag
+               plan.Fault_plan.name)
+          (run_cell es ~workload ~scheme_tag ~plan))
+      g
+  in
+  let journal =
+    Option.map
+      (fun dir -> Filename.concat dir "chaos.journal")
+      settings.journal_dir
+  in
+  let results =
+    Job_pool.run_hardened ~jobs:settings.jobs ?timeout:settings.cell_timeout
+      ~retries:settings.retries ?journal ~resume:settings.resume
+      ~journal_key:
+        (Printf.sprintf "chaos %s seed=%d" (Experiments.settings_key es)
+           settings.seed)
+      jobs
+  in
+  let cells = List.filter_map (function Ok c -> Some c | Error _ -> None) results in
+  let failed =
+    List.filter_map (function Error f -> Some f | Ok _ -> None) results
+  in
+  if failed <> [] && not settings.keep_going then
+    raise (Experiments.Cells_failed failed);
+  {
+    cells;
+    failed;
+    violation_count =
+      List.fold_left (fun n c -> n + List.length c.violations) 0 cells;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let print_workload cells workload =
+  let mine = List.filter (fun c -> c.workload = workload) cells in
+  if mine <> [] then begin
+    Printf.printf "### %s\n\n" workload;
+    let t =
+      Table.create
+        ~headers:
+          [
+            ("scheme", Table.Left); ("fault plan", Table.Left);
+            ("cycles", Table.Right); ("overhead", Table.Right);
+            ("faults", Table.Right); ("fault incr", Table.Right);
+            ("abort rate", Table.Right); ("mispreload", Table.Right);
+            ("invariants", Table.Left);
+          ]
+    in
+    List.iter
+      (fun c ->
+        let fault_free =
+          List.find_opt
+            (fun b ->
+              b.workload = c.workload && b.scheme = c.scheme
+              && b.plan = Fault_plan.none.Fault_plan.name)
+            mine
+        in
+        let against f = Option.fold ~none:"-" ~some:f fault_free in
+        Table.add_row t
+          [
+            c.scheme; c.plan;
+            Table.cell_int c.cycles;
+            against (fun b ->
+                Table.cell_pct
+                  ((float_of_int c.cycles /. float_of_int (max 1 b.cycles)) -. 1.0));
+            Table.cell_int c.faults;
+            against (fun b ->
+                if b.faults = 0 then (if c.faults = 0 then "0.0%" else "inf")
+                else Table.cell_pct (ratio c.faults b.faults -. 1.0));
+            Table.cell_pct (ratio c.preloads_aborted c.preloads_issued);
+            Table.cell_pct (ratio c.preload_evicted_unused c.preloads_completed);
+            (if c.violations = [] then "ok"
+             else Printf.sprintf "%d VIOLATED" (List.length c.violations));
+          ])
+      mine;
+    Table.print t;
+    print_newline ()
+  end
+
+let print_report settings outcome =
+  Printf.printf "## Chaos — scheme matrix under fault plans (seed %d)\n\n"
+    settings.seed;
+  List.iter
+    (fun p ->
+      Printf.printf "- %-16s %s\n" p.Fault_plan.name (Fault_plan.describe p))
+    (List.map (fun p -> Fault_plan.with_seed p settings.seed) settings.plans);
+  print_newline ();
+  List.iter (print_workload outcome.cells) settings.workloads;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun v ->
+          Printf.printf "VIOLATION %s/%s/%s: %s\n" c.workload c.scheme c.plan v)
+        c.violations)
+    outcome.cells;
+  (* Failed cells go to stderr (the pool already noted each); the stdout
+     summary only counts them, keeping stdout identical whether failures
+     were retried at different times. *)
+  Printf.printf "%d cells, %d invariant violation(s), %d failed cell(s)\n"
+    (List.length outcome.cells + List.length outcome.failed)
+    outcome.violation_count
+    (List.length outcome.failed);
+  List.iter
+    (fun (f : Job_pool.failure) ->
+      Printf.eprintf "chaos cell %s failed after %d attempt(s): %s\n%!" f.label
+        f.attempts f.reason)
+    outcome.failed
+
+let ok outcome = outcome.failed = [] && outcome.violation_count = 0

@@ -15,10 +15,43 @@ type settings = {
   ref_input : Input.t;
   quick : bool;
   jobs : int;
+  cell_timeout : float option;
+  retries : int;
+  keep_going : bool;
+  journal_dir : string option;
+  resume : bool;
 }
 
-let default = { epc_pages = 2048; ref_input = Input.Ref 0; quick = false; jobs = 1 }
-let quick = { epc_pages = 1024; ref_input = Input.Ref 0; quick = true; jobs = 1 }
+let default =
+  {
+    epc_pages = 2048;
+    ref_input = Input.Ref 0;
+    quick = false;
+    jobs = 1;
+    cell_timeout = None;
+    retries = 0;
+    keep_going = false;
+    journal_dir = None;
+    resume = false;
+  }
+
+let quick = { default with epc_pages = 1024; quick = true }
+
+exception Cells_failed of Job_pool.failure list
+
+let () =
+  Printexc.register_printer (function
+    | Cells_failed fs ->
+      Some
+        (Printf.sprintf "Experiments.Cells_failed: %d cell(s):\n%s"
+           (List.length fs)
+           (String.concat "\n"
+              (List.map
+                 (fun (f : Job_pool.failure) ->
+                   Printf.sprintf "  %s: %s (%d attempt(s))" f.label f.reason
+                     f.attempts)
+                 fs)))
+    | _ -> None)
 
 type improvement_row = {
   workload : string;
@@ -108,14 +141,46 @@ let hybrid_scheme plan = Scheme.Hybrid (Dfp.with_stop Dfp.default_config, plan)
    [settings.jobs] forked workers, merging results in submission order.
    Tables are therefore byte-identical at any [-j]; cells must not
    print (the pool's contract, see {!Job_pool}). *)
+let hardened settings =
+  settings.cell_timeout <> None || settings.retries > 0 || settings.keep_going
+  || settings.journal_dir <> None
+
+(* Part of the journal key: a journal written for one matrix
+   configuration must never satisfy another. *)
+let settings_key settings =
+  Printf.sprintf "epc=%d input=%s quick=%b" settings.epc_pages
+    (Input.to_string settings.ref_input)
+    settings.quick
+
 let cells settings ~table ~label ~f xs =
-  Job_pool.run ~jobs:settings.jobs
-    (List.map
-       (fun x ->
-         Job_pool.job
-           ~label:(Printf.sprintf "%s/%s" table (label x))
-           (fun () -> f x))
-       xs)
+  let jobs =
+    List.map
+      (fun x ->
+        Job_pool.job
+          ~label:(Printf.sprintf "%s/%s" table (label x))
+          (fun () -> f x))
+      xs
+  in
+  if not (hardened settings) then Job_pool.run ~jobs:settings.jobs jobs
+  else begin
+    let journal =
+      Option.map
+        (fun dir -> Filename.concat dir (table ^ ".journal"))
+        settings.journal_dir
+    in
+    let results =
+      Job_pool.run_hardened ~jobs:settings.jobs ?timeout:settings.cell_timeout
+        ~retries:settings.retries ?journal ~resume:settings.resume
+        ~journal_key:(settings_key settings) jobs
+    in
+    (* Keep-going granularity is the table: a cell that exhausted its
+       retries fails the whole table (its rows would be fabricated
+       otherwise), and the per-experiment driver decides whether the
+       rest of the matrix continues. *)
+    match List.filter_map (function Error f -> Some f | Ok _ -> None) results with
+    | [] -> List.map (function Ok v -> v | Error _ -> assert false) results
+    | failures -> raise (Cells_failed failures)
+  end
 
 let improvement_table ?(paper = []) rows =
   let t =
@@ -1230,3 +1295,23 @@ let run_all settings =
       ignore id;
       printer settings)
     catalog
+
+(* Keep-going driver: run each experiment, collecting instead of
+   propagating failures when [settings.keep_going].  Failure reports go
+   to stderr as they happen (stdout carries only the tables, keeping the
+   -j byte-identity contract), and the returned list lets the CLI exit
+   nonzero. *)
+let run_many ids settings =
+  let failures = ref [] in
+  List.iter
+    (fun id ->
+      try
+        run id settings;
+        print_newline ()
+      with
+      | (Job_pool.Job_failed _ | Cells_failed _) as e when settings.keep_going ->
+        let reason = Printexc.to_string e in
+        Printf.eprintf "experiment %s failed: %s\n%!" id reason;
+        failures := (id, reason) :: !failures)
+    ids;
+  List.rev !failures

@@ -14,13 +14,32 @@ type settings = {
       (** Worker processes per table ({!Job_pool}).  Every experiment's
           cells fan out across this many forked workers; results merge in
           submission order, so output is byte-identical at any value. *)
+  cell_timeout : float option;
+      (** Wall-clock seconds per cell attempt; a hung cell is SIGKILLed
+          and retried/failed.  [None] (default) disables the watchdog
+          and keeps the serial in-process fast path at [jobs = 1]. *)
+  retries : int;  (** Extra attempts for a failing cell (default 0). *)
+  keep_going : bool;
+      (** Collect failing experiments instead of aborting the matrix:
+          {!run_many} reports them on stderr and returns them, the other
+          experiments still print. *)
+  journal_dir : string option;
+      (** Directory for per-table cell journals ({!Job_pool.run_hardened});
+          enables [resume]. *)
+  resume : bool;  (** Reuse journaled cells from an interrupted run. *)
 }
 
 val default : settings
-(** 2048 EPC pages, ref input 0, full sweeps, serial. *)
+(** 2048 EPC pages, ref input 0, full sweeps, serial, no hardening. *)
 
 val quick : settings
 (** Smaller EPC and trimmed sweeps for fast integration tests. *)
+
+exception Cells_failed of Job_pool.failure list
+(** Raised by a table whose cells exhausted their retry budget when any
+    hardening option is active (with none active, the first failure
+    raises {!Job_pool.Job_failed} as before).  Carries {e every} failed
+    cell of the table, not just the first. *)
 
 (** {1 Workload catalog} *)
 
@@ -35,6 +54,20 @@ val workload_families : (string * string) list
 
 val workload_names : unit -> string list
 (** [List.map fst workload_families]. *)
+
+val trace_of : settings -> string -> input:Workload.Input.t -> Workload.Trace.t
+(** Build the named workload's trace at the settings' EPC size.
+    @raise Invalid_argument on an unknown name. *)
+
+val plan_for :
+  ?threshold:float -> settings -> string -> Preload.Sip_instrumenter.plan
+(** Profile the workload on the train input and derive its SIP plan —
+    the PGO step every SIP/hybrid experiment (and the chaos matrix)
+    shares. *)
+
+val settings_key : settings -> string
+(** The settings' contribution to a cell-journal key: journals written
+    under one EPC size / input / sweep shape never satisfy another. *)
 
 (** {1 Data access} *)
 
@@ -141,3 +174,10 @@ val run : string -> settings -> unit
     @raise Invalid_argument on an unknown id. *)
 
 val run_all : settings -> unit
+
+val run_many : string list -> settings -> (string * string) list
+(** Run the listed experiments in order.  With [settings.keep_going], an
+    experiment whose cells fail is reported on stderr and recorded in
+    the returned [(id, reason)] list while the rest continue; without
+    it, the first failure propagates (empty return = all passed).  The
+    CLI exits nonzero when the list is non-empty. *)

@@ -1,0 +1,250 @@
+module Prng = Repro_util.Prng
+module Access = Workload.Access
+module Sip_instrumenter = Preload.Sip_instrumenter
+
+type channel_fault = {
+  jitter_period : int;
+  stall_chance : float;
+  max_multiplier : float;
+}
+
+type co_tenant = { steal_period : int; max_steal : float }
+
+type trace_fault = { corrupt_chance : float; truncate_after : int option }
+
+type t = {
+  name : string;
+  seed : int;
+  channel : channel_fault option;
+  co_tenant : co_tenant option;
+  trace : trace_fault option;
+  stale_sip_plan : bool;
+}
+
+let none =
+  {
+    name = "fault-free";
+    seed = 0;
+    channel = None;
+    co_tenant = None;
+    trace = None;
+    stale_sip_plan = false;
+  }
+
+let is_fault_free t =
+  t.channel = None && t.co_tenant = None && t.trace = None
+  && not t.stale_sip_plan
+
+let with_seed t seed = { t with seed }
+
+let validate t =
+  let check cond what = if not cond then invalid_arg ("Fault_plan: " ^ what) in
+  Option.iter
+    (fun c ->
+      check (c.jitter_period > 0) "jitter_period must be positive";
+      check (c.stall_chance >= 0.0 && c.stall_chance <= 1.0)
+        "stall_chance must be in [0,1]";
+      check (c.max_multiplier >= 1.0) "max_multiplier must be >= 1")
+    t.channel;
+  Option.iter
+    (fun c ->
+      check (c.steal_period > 0) "steal_period must be positive";
+      check (c.max_steal >= 0.0 && c.max_steal < 1.0)
+        "max_steal must be in [0,1)")
+    t.co_tenant;
+  Option.iter
+    (fun f ->
+      check (f.corrupt_chance >= 0.0 && f.corrupt_chance <= 1.0)
+        "corrupt_chance must be in [0,1]";
+      Option.iter
+        (fun n -> check (n >= 0) "truncate_after must be non-negative")
+        f.truncate_after)
+    t.trace;
+  t
+
+(* Every perturbation is a pure function of (plan seed, position, salt):
+   no Prng state is threaded between draws, so re-running a trace Seq or
+   replaying the same simulation — from any process, in any cell order —
+   reproduces the same faults bit for bit.  The combination below is
+   plain integer arithmetic (not [Hashtbl.hash], whose value is not a
+   documented contract) feeding splitmix's [mix64] via [Prng.create]. *)
+let draw t ~window ~salt =
+  Prng.create ((((t.seed * 1_000_003) + salt) * 1_000_003) + window)
+
+let salt_channel = 1
+let salt_tenant = 2
+let salt_plan = 3
+let salt_trace = 4
+
+(* ELDU latency under a contended paging channel: in each jitter window,
+   with probability [stall_chance] the channel is stalled and the whole
+   load (including any write-back it triggered) takes a multiplier in
+   [1, max_multiplier].  Never shortens a load. *)
+let perturb_load_duration t ~at base =
+  match t.channel with
+  | None -> base
+  | Some c ->
+    let rng = draw t ~window:(at / c.jitter_period) ~salt:salt_channel in
+    if Prng.chance rng c.stall_chance then
+      let m = 1.0 +. Prng.float rng (c.max_multiplier -. 1.0) in
+      max base (int_of_float (Float.ceil (float_of_int base *. m)))
+    else base
+
+(* EPC frames left to this enclave once the co-tenant has taken its
+   time-varying slice.  Always at least one frame — an enclave with zero
+   EPC cannot make progress, and neither can a real one. *)
+let epc_budget t ~at ~capacity =
+  match t.co_tenant with
+  | None -> capacity
+  | Some c ->
+    let rng = draw t ~window:(at / c.steal_period) ~salt:salt_tenant in
+    let stolen =
+      int_of_float (Prng.float rng c.max_steal *. float_of_int capacity)
+    in
+    max 1 (capacity - stolen)
+
+(* Corrupted / truncated trace input.  Draws are keyed by event index,
+   so the returned Seq is re-entrant exactly like [Trace.events]: forcing
+   it twice yields identical streams. *)
+let perturb_trace t ~elrange_pages (seq : Access.t Seq.t) : Access.t Seq.t =
+  match t.trace with
+  | None -> seq
+  | Some f ->
+    let corrupt i (a : Access.t) =
+      if f.corrupt_chance <= 0.0 then a
+      else
+        let rng = draw t ~window:i ~salt:salt_trace in
+        if Prng.chance rng f.corrupt_chance then
+          { a with vpage = Prng.int rng elrange_pages }
+        else a
+    in
+    let indexed = Seq.mapi corrupt seq in
+    (match f.truncate_after with
+    | None -> indexed
+    | Some n -> Seq.take n indexed)
+
+(* A stale SIP plan: the profile came from a mismatched build, so the
+   site ids no longer line up with the running binary.  Modelled by
+   permuting which sites carry the instrumentation decisions — the plan
+   keeps its size and thresholds but points at the wrong code. *)
+let scramble_plan t (plan : Sip_instrumenter.plan) =
+  if not t.stale_sip_plan then plan
+  else begin
+    let decisions = Array.of_list plan.Sip_instrumenter.decisions in
+    let sites =
+      Array.map (fun d -> d.Sip_instrumenter.site) decisions
+    in
+    let rng = draw t ~window:0 ~salt:salt_plan in
+    Prng.shuffle rng sites;
+    let scrambled =
+      Array.mapi
+        (fun i (d : Sip_instrumenter.decision) -> { d with site = sites.(i) })
+        decisions
+    in
+    Array.sort
+      (fun (a : Sip_instrumenter.decision) b -> compare a.site b.site)
+      scrambled;
+    { plan with Sip_instrumenter.decisions = Array.to_list scrambled }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The named bank                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bank_seed = 42
+
+let jittery_channel =
+  validate
+    {
+      name = "jittery-channel";
+      seed = bank_seed;
+      channel =
+        Some
+          { jitter_period = 500_000; stall_chance = 0.35; max_multiplier = 6.0 };
+      co_tenant = None;
+      trace = None;
+      stale_sip_plan = false;
+    }
+
+let noisy_neighbor =
+  validate
+    {
+      name = "noisy-neighbor";
+      seed = bank_seed;
+      channel = None;
+      co_tenant = Some { steal_period = 2_000_000; max_steal = 0.5 };
+      trace = None;
+      stale_sip_plan = false;
+    }
+
+let garbled_trace =
+  validate
+    {
+      name = "garbled-trace";
+      seed = bank_seed;
+      channel = None;
+      co_tenant = None;
+      trace = Some { corrupt_chance = 0.02; truncate_after = None };
+      stale_sip_plan = false;
+    }
+
+let stale_profile =
+  validate
+    {
+      name = "stale-profile";
+      seed = bank_seed;
+      channel = None;
+      co_tenant = None;
+      trace = None;
+      stale_sip_plan = true;
+    }
+
+let perfect_storm =
+  validate
+    {
+      name = "perfect-storm";
+      seed = bank_seed;
+      channel =
+        Some
+          { jitter_period = 500_000; stall_chance = 0.25; max_multiplier = 4.0 };
+      co_tenant = Some { steal_period = 2_000_000; max_steal = 0.35 };
+      trace = Some { corrupt_chance = 0.01; truncate_after = None };
+      stale_sip_plan = true;
+    }
+
+let bank =
+  [ jittery_channel; noisy_neighbor; garbled_trace; stale_profile; perfect_storm ]
+
+let find name =
+  if name = none.name then Some none
+  else List.find_opt (fun p -> p.name = name) bank
+
+let names () = List.map (fun p -> p.name) bank
+
+let describe t =
+  if is_fault_free t then "no faults"
+  else
+    String.concat "; "
+      (List.filter_map Fun.id
+         [
+           Option.map
+             (fun c ->
+               Printf.sprintf
+                 "channel jitter (period %d, stall %.0f%%, up to %.1fx)"
+                 c.jitter_period (100.0 *. c.stall_chance) c.max_multiplier)
+             t.channel;
+           Option.map
+             (fun c ->
+               Printf.sprintf "co-tenant steals up to %.0f%% EPC every %d"
+                 (100.0 *. c.max_steal) c.steal_period)
+             t.co_tenant;
+           Option.map
+             (fun f ->
+               Printf.sprintf "trace corruption %.1f%%%s"
+                 (100.0 *. f.corrupt_chance)
+                 (match f.truncate_after with
+                 | None -> ""
+                 | Some n -> Printf.sprintf ", truncated at %d" n))
+             t.trace;
+           (if t.stale_sip_plan then Some "stale SIP plan" else None);
+         ])

@@ -1,0 +1,107 @@
+(** Seeded, fully deterministic fault injection.
+
+    The paper evaluates SIP/DFP under clean single-tenant conditions;
+    production SGX faces contended paging channels (Stress-SGX builds
+    purpose-made stressors for exactly this), co-resident enclaves
+    fighting over EPC, damaged profiling input, and profiles that no
+    longer match the running binary.  A fault plan is a reproducible
+    schedule of such perturbations, applied at four well-defined
+    simulator points:
+
+    - {b channel}: ELDU latency multipliers in seeded jitter windows —
+      a load (and the write-back it triggered) takes up to
+      [max_multiplier] times longer while the window is stalled;
+    - {b co_tenant}: a background enclave steals a time-varying slice
+      of EPC frames, shrinking this enclave's budget (the CLOCK evictor
+      squeezes residency at each service scan, and loads evict down to
+      the budget);
+    - {b trace}: corrupted access addresses and/or a truncated stream;
+    - {b stale_sip_plan}: the SIP plan's site ids are permuted, as if
+      the profile came from a mismatched build.
+
+    {b Determinism.}  Every perturbation is a pure function of
+    [(seed, position, salt)] — position being a time window or event
+    index — with no PRNG state threaded between draws.  Replaying the
+    same (plan, workload, scheme) cell reproduces the same faults bit
+    for bit, in any process and any cell order; the [chaos] matrix is
+    therefore byte-identical across [-j] values and across runs. *)
+
+type channel_fault = {
+  jitter_period : int;  (** Cycles per jitter window. *)
+  stall_chance : float;  (** Probability a window is stalled, [0,1]. *)
+  max_multiplier : float;  (** Load-duration multiplier cap, >= 1. *)
+}
+
+type co_tenant = {
+  steal_period : int;  (** Cycles per re-draw of the stolen slice. *)
+  max_steal : float;  (** Largest EPC fraction stolen, [0,1). *)
+}
+
+type trace_fault = {
+  corrupt_chance : float;  (** Per-access probability of a wild vpage. *)
+  truncate_after : int option;  (** Drop events past this index. *)
+}
+
+type t = {
+  name : string;
+  seed : int;
+  channel : channel_fault option;
+  co_tenant : co_tenant option;
+  trace : trace_fault option;
+  stale_sip_plan : bool;
+}
+
+val none : t
+(** The fault-free plan (name ["fault-free"]); all hooks are identity. *)
+
+val is_fault_free : t -> bool
+
+val with_seed : t -> int -> t
+
+val validate : t -> t
+(** Returns the plan; raises [Invalid_argument] on out-of-range
+    parameters (negative periods, chances outside [0,1], ...). *)
+
+(** {1 Perturbation points} *)
+
+val perturb_load_duration : t -> at:int -> int -> int
+(** [perturb_load_duration t ~at base] is the faulted duration of a load
+    starting at cycle [at] whose clean duration is [base].  Always
+    [>= base]; identity without a channel fault. *)
+
+val epc_budget : t -> at:int -> capacity:int -> int
+(** Frames available to this enclave at cycle [at]; in [[1, capacity]],
+    and [capacity] without a co-tenant. *)
+
+val perturb_trace :
+  t -> elrange_pages:int -> Workload.Access.t Seq.t -> Workload.Access.t Seq.t
+(** Corrupt/truncate an access stream.  Draws are keyed by event index,
+    so the result is re-entrant exactly like [Trace.events]. *)
+
+val scramble_plan : t -> Preload.Sip_instrumenter.plan -> Preload.Sip_instrumenter.plan
+(** Permute which sites carry the plan's decisions when
+    [stale_sip_plan]; identity otherwise. *)
+
+(** {1 The named bank} *)
+
+val jittery_channel : t
+val noisy_neighbor : t
+val garbled_trace : t
+val stale_profile : t
+val perfect_storm : t
+(** All channel + co-tenant + trace + stale-plan faults at once. *)
+
+val bank_seed : int
+(** The bank's default seed (42). *)
+
+val bank : t list
+(** The five plans above, in a fixed order (seed {!bank_seed}). *)
+
+val find : string -> t option
+(** Look up a plan by name; ["fault-free"] resolves to {!none}. *)
+
+val names : unit -> string list
+(** Names in {!bank}, in bank order. *)
+
+val describe : t -> string
+(** One-line human summary of the active faults. *)

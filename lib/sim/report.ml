@@ -111,3 +111,57 @@ let fault_reduction ~baseline r =
   else
     1.0
     -. (float_of_int (Metrics.total_faults r.Runner.metrics) /. float_of_int bf)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation under fault plans                              *)
+(* ------------------------------------------------------------------ *)
+
+type degradation = {
+  overhead : float;
+  fault_increase : float;
+  preload_abort_rate : float;
+  mispreload_rate : float;
+}
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let degradation ~fault_free (r : Runner.result) =
+  if fault_free.Runner.cycles = 0 then
+    invalid_arg "Report.degradation: empty fault-free baseline";
+  let m = r.Runner.metrics in
+  {
+    overhead =
+      (float_of_int r.Runner.cycles /. float_of_int fault_free.Runner.cycles)
+      -. 1.0;
+    fault_increase =
+      ratio (Metrics.total_faults m) (Metrics.total_faults fault_free.Runner.metrics)
+      -. 1.0;
+    preload_abort_rate = ratio m.preloads_aborted m.preloads_issued;
+    mispreload_rate = ratio m.preload_evicted_unused m.preloads_completed;
+  }
+
+let degradation_headers =
+  [
+    ("fault plan", Table.Left); ("cycles", Table.Right);
+    ("overhead", Table.Right); ("faults", Table.Right);
+    ("fault incr", Table.Right); ("abort rate", Table.Right);
+    ("mispreload", Table.Right);
+  ]
+
+let degradation_row ~fault_free (r : Runner.result) =
+  let d = degradation ~fault_free r in
+  [
+    r.Runner.fault_plan;
+    Table.cell_int r.Runner.cycles;
+    Table.cell_pct d.overhead;
+    Table.cell_int (Metrics.total_faults r.Runner.metrics);
+    Table.cell_pct d.fault_increase;
+    Table.cell_pct d.preload_abort_rate;
+    Table.cell_pct d.mispreload_rate;
+  ]
+
+let degradation_table ~fault_free faulted =
+  let t = Table.create ~headers:degradation_headers in
+  Table.add_row t (degradation_row ~fault_free fault_free);
+  List.iter (fun r -> Table.add_row t (degradation_row ~fault_free r)) faulted;
+  t

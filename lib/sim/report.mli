@@ -25,3 +25,25 @@ val ascii_scatter :
 
 val fault_reduction : baseline:Runner.result -> Runner.result -> float
 (** Fraction of baseline faults eliminated ([0.7] = 70% fewer). *)
+
+(** How gracefully a scheme degrades under a {!Fault_plan}, measured
+    against the same (workload, scheme) cell run fault-free. *)
+type degradation = {
+  overhead : float;
+      (** Slowdown vs the fault-free run ([0.25] = 25% more cycles). *)
+  fault_increase : float;
+      (** Fractional growth in total faults (0 when the fault-free run
+          had none). *)
+  preload_abort_rate : float;  (** Aborted / issued preloads. *)
+  mispreload_rate : float;
+      (** Preloaded-but-evicted-unused / completed preloads — wasted
+          channel work under the fault. *)
+}
+
+val degradation : fault_free:Runner.result -> Runner.result -> degradation
+(** @raise Invalid_argument if the fault-free baseline has zero cycles. *)
+
+val degradation_table :
+  fault_free:Runner.result -> Runner.result list -> Repro_util.Table.t
+(** One row per faulted run (the fault-free run first), labelled by the
+    plan name carried in [result.fault_plan]. *)

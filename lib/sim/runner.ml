@@ -21,6 +21,7 @@ type result = {
   workload : string;
   input : string;
   scheme : string;
+  fault_plan : string;
   cycles : int;
   final_now : int;
   costs : Cost_model.t;
@@ -33,9 +34,23 @@ type result = {
   fault_latency : (Enclave.fault_resolution * Histogram.t) list;
   dfp_stopped : bool;
   instrumentation_points : int;
+  resident_at_end : int;
+  epc_capacity : int;
 }
 
-let run ?(config = default_config) ?(input_label = "") ~scheme trace =
+let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
+    ?(input_label = "") ~scheme trace =
+  (* A stale profile perturbs the scheme itself, before anything else
+     sees it: SIP/Hybrid run with the scrambled plan throughout. *)
+  let scheme =
+    if fault_plan.Fault_plan.stale_sip_plan then
+      match scheme with
+      | Scheme.Sip plan -> Scheme.Sip (Fault_plan.scramble_plan fault_plan plan)
+      | Scheme.Hybrid (d, plan) ->
+        Scheme.Hybrid (d, Fault_plan.scramble_plan fault_plan plan)
+      | s -> s
+    else scheme
+  in
   let costs, epc_pages =
     match scheme with
     | Scheme.Native ->
@@ -52,6 +67,14 @@ let run ?(config = default_config) ?(input_label = "") ~scheme trace =
     Enclave.create ~costs ~log ~epc_pages ~elrange_pages:trace.Trace.elrange_pages
       ()
   in
+  (* Install fault hooks only when the respective fault is present, so a
+     fault-free run is the exact pre-fault-plan simulation. *)
+  if fault_plan.Fault_plan.channel <> None then
+    Enclave.set_load_perturb enclave (fun ~at base ->
+        Fault_plan.perturb_load_duration fault_plan ~at base);
+  if fault_plan.Fault_plan.co_tenant <> None then
+    Enclave.set_epc_budget enclave (fun ~at capacity ->
+        Fault_plan.epc_budget fault_plan ~at ~capacity);
   let dfp =
     match scheme with
     | Scheme.Dfp dfp_config | Scheme.Hybrid (dfp_config, _) ->
@@ -112,13 +135,15 @@ let run ?(config = default_config) ?(input_label = "") ~scheme trace =
         else Enclave.access ~thread:a.thread enclave ~now:t a.vpage
       in
       now := t)
-    (Trace.events trace);
+    (Fault_plan.perturb_trace fault_plan
+       ~elrange_pages:trace.Trace.elrange_pages (Trace.events trace));
   Enclave.sync enclave ~now:!now;
   let metrics = Enclave.metrics enclave in
   {
     workload = trace.Trace.name;
     input = input_label;
     scheme = Scheme.name scheme;
+    fault_plan = fault_plan.Fault_plan.name;
     cycles = Metrics.total_cycles metrics;
     final_now = !now;
     costs;
@@ -143,6 +168,8 @@ let run ?(config = default_config) ?(input_label = "") ~scheme trace =
       (match Scheme.sip_plan scheme with
       | Some plan -> Preload.Sip_instrumenter.instrumentation_points plan
       | None -> 0);
+    resident_at_end = Enclave.resident_count enclave;
+    epc_capacity = Enclave.epc_capacity enclave;
   }
 
 let normalized_time ~baseline result =

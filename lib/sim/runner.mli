@@ -23,6 +23,9 @@ type result = {
   workload : string;
   input : string;
   scheme : string;
+  fault_plan : string;
+      (** Name of the {!Fault_plan} the run executed under
+          (["fault-free"] when none was given). *)
   cycles : int;  (** Total simulated execution time ([Metrics.total_cycles]). *)
   final_now : int;
       (** The simulated clock when the replay finished.  Must equal
@@ -47,13 +50,22 @@ type result = {
           a healthy run ({!Validate} checks). *)
   dfp_stopped : bool;  (** Whether the §4.2 safety valve fired. *)
   instrumentation_points : int;  (** 0 for non-SIP schemes. *)
+  resident_at_end : int;
+      (** Pages resident in EPC when the replay finished; {!Validate}
+          checks page conservation against the event log and
+          [epc_capacity]. *)
+  epc_capacity : int;  (** EPC frames the run was configured with. *)
 }
 
 val run :
-  ?config:config -> ?input_label:string -> scheme:Preload.Scheme.t ->
-  Workload.Trace.t -> result
+  ?config:config -> ?fault_plan:Fault_plan.t -> ?input_label:string ->
+  scheme:Preload.Scheme.t -> Workload.Trace.t -> result
 (** Replay the trace once.  [Native] schemes run with the native cost
-    model and an effectively unbounded EPC (the machine's RAM). *)
+    model and an effectively unbounded EPC (the machine's RAM).
+    [fault_plan] (default {!Fault_plan.none}) perturbs the run at the
+    plan's injection points; a stale plan scrambles the SIP plan before
+    attachment, and corrupted traces are corrupted identically on every
+    replay (the draws are seeded by event index). *)
 
 val improvement : baseline:result -> result -> float
 (** Fractional improvement of a result over the baseline run

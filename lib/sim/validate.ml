@@ -265,6 +265,66 @@ let check_fault_latency (r : Runner.result) =
              (Repro_util.Histogram.max_observed hist)))
     r.fault_latency
 
+(* Page conservation: pages cannot be minted or leaked, whatever a fault
+   plan does to budgets and latencies.  Residency never exceeds the EPC,
+   and (given a complete log) every resident page is the net of loads
+   completed minus evictions. *)
+let check_conservation (r : Runner.result) =
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  if r.resident_at_end < 0 then
+    add (v "page-conservation" "resident_at_end %d is negative" r.resident_at_end);
+  if r.resident_at_end > r.epc_capacity then
+    add
+      (v "page-conservation" "resident_at_end %d exceeds EPC capacity %d"
+         r.resident_at_end r.epc_capacity);
+  if r.events <> [] && not r.events_truncated then begin
+    let dones = count (function Event.Load_done _ -> true | _ -> false) r.events in
+    let evicts = count (function Event.Evict _ -> true | _ -> false) r.events in
+    if dones - evicts <> r.resident_at_end then
+      add
+        (v "page-conservation"
+           "load-dones %d - evictions %d = %d, but %d pages are resident"
+           dones evicts (dones - evicts) r.resident_at_end)
+  end;
+  List.rev !violations
+
+(* Cycle categories and event counters are sums of non-negative charges;
+   a negative value means an accounting path went backwards (e.g. a
+   perturbed load duration shorter than the span already charged). *)
+let check_non_negative (r : Runner.result) =
+  let m = r.metrics in
+  let counters =
+    [
+      ("cyc_compute", m.Metrics.cyc_compute); ("cyc_access", m.cyc_access);
+      ("cyc_aex", m.cyc_aex); ("cyc_eresume", m.cyc_eresume);
+      ("cyc_os_handler", m.cyc_os_handler); ("cyc_load_wait", m.cyc_load_wait);
+      ("cyc_bitmap_check", m.cyc_bitmap_check); ("cyc_notify", m.cyc_notify);
+      ("cyc_sip_wait", m.cyc_sip_wait); ("accesses", m.accesses);
+      ("faults", m.faults); ("faults_in_flight", m.faults_in_flight);
+      ("faults_already_present", m.faults_already_present);
+      ("preloads_requested", m.preloads_requested);
+      ("preloads_rejected_range", m.preloads_rejected_range);
+      ("preloads_rejected_dup", m.preloads_rejected_dup);
+      ("preloads_issued", m.preloads_issued);
+      ("preloads_completed", m.preloads_completed);
+      ("preloads_aborted", m.preloads_aborted);
+      ("preloads_taken_over", m.preloads_taken_over);
+      ("preloads_skipped", m.preloads_skipped);
+      ("preload_hits", m.preload_hits);
+      ("preload_evicted_unused", m.preload_evicted_unused);
+      ("evictions", m.evictions); ("sip_checks", m.sip_checks);
+      ("sip_notifies", m.sip_notifies); ("scans", m.scans);
+      ("cycles", r.cycles); ("final_now", r.final_now);
+      ("pending_preloads", r.pending_preloads);
+      ("in_flight_preloads", r.in_flight_preloads);
+    ]
+  in
+  List.filter_map
+    (fun (name, value) ->
+      if value < 0 then Some (v "non-negative" "%s is %d" name value) else None)
+    counters
+
 let check_event_counters (r : Runner.result) =
   let m = r.metrics in
   let violations = ref [] in
@@ -303,6 +363,8 @@ let check_event_counters (r : Runner.result) =
 
 let check (r : Runner.result) =
   check_accounting r
+  @ check_non_negative r
+  @ check_conservation r
   @ check_fault_latency r
   @
   (* Event-derived checks need the whole history: skip them when logging

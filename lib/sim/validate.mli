@@ -15,6 +15,13 @@
       [in_flight_preloads] agrees with the kind of the load occupying
       the channel at end of run (either speculative kind counts, demand
       does not);
+    - {b page conservation}: residency never exceeds the EPC, and (with
+      a complete log) load-dones minus evictions equals the pages
+      resident at end of run — pages are neither minted nor leaked,
+      whatever a {!Fault_plan} does to budgets and latencies;
+    - {b non-negativity}: every cycle category and event counter is
+      non-negative — a perturbed path that charged backwards would
+      surface here;
     - {b fault-latency sanity}: the per-resolution latency histograms
       have an empty overflow bucket (they auto-expand; an overflow means
       a mis-sized fixed bound is biasing the reported mean);

@@ -28,6 +28,15 @@ let load_trace ~path =
         incr lineno;
         input_line ic
       in
+      (* [fail] itself raises [Failure], so parse errors must never flow
+         through a [Failure _] catch-all — it would rewrite every message
+         into the generic one.  Decode ints explicitly instead. *)
+      let int_of field s =
+        match int_of_string_opt s with
+        | Some n -> n
+        | None ->
+          fail path !lineno (Printf.sprintf "malformed %s field %S" field s)
+      in
       let header = read () in
       if header <> "# sgx-preload trace v1" then
         fail path !lineno "unrecognised header";
@@ -39,23 +48,26 @@ let load_trace ~path =
            let line = read () in
            match String.split_on_char ' ' line with
            | "name" :: rest -> name := String.concat " " rest
-           | [ "elrange"; n ] -> elrange := int_of_string n
-           | [ "footprint"; n ] -> footprint := int_of_string n
+           | [ "elrange"; n ] -> elrange := int_of "elrange" n
+           | [ "footprint"; n ] -> footprint := int_of "footprint" n
            | "site" :: id :: label ->
-             sites := (int_of_string id, String.concat " " label) :: !sites
+             sites := (int_of "site" id, String.concat " " label) :: !sites
            | [ "a"; site; vpage; compute; thread ] ->
              accesses :=
-               Access.make ~site:(int_of_string site)
-                 ~vpage:(int_of_string vpage) ~compute:(int_of_string compute)
-                 ~thread:(int_of_string thread) ()
+               Access.make ~site:(int_of "site" site)
+                 ~vpage:(int_of "vpage" vpage)
+                 ~compute:(int_of "compute" compute)
+                 ~thread:(int_of "thread" thread) ()
                :: !accesses
            | [ "" ] -> ()
            | _ -> fail path !lineno "unrecognised line"
          done
-       with
-      | End_of_file -> ()
-      | Failure _ -> fail path !lineno "malformed field");
+       with End_of_file -> ());
       if !elrange <= 0 then fail path !lineno "missing or invalid elrange";
+      if !footprint <= 0 then fail path !lineno "missing or invalid footprint";
+      if !footprint > !elrange then
+        fail path !lineno
+          (Printf.sprintf "footprint %d exceeds elrange %d" !footprint !elrange);
       Trace.make ~name:!name ~elrange_pages:!elrange ~footprint_pages:!footprint
         ~seed:0 ~sites:(List.rev !sites)
         (Pattern.of_events (List.rev !accesses)))

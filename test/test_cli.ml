@@ -1,0 +1,146 @@
+(* End-to-end exit-code contract of the CLI, exercised through the real
+   executable: validate/chaos/experiment must exit nonzero exactly when
+   a check fails or a cell is lost, and the chaos matrix must emit
+   byte-identical stdout at every -j and across an interrupt-and-resume.
+
+   Cell failures are injected with SGX_PRELOAD_FAIL_CELL (a substring of
+   a cell label, honoured by Job_pool workers), so the failure paths run
+   through the production pool, not a test double. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* The test binary lives in _build/default/test/; the CLI is its sibling
+   under bin/ regardless of the directory dune runs us from. *)
+let exe =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "sgx_preload.exe")
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run the CLI via /bin/sh; returns (exit code, stdout, stderr).  [env]
+   entries are prepended as VAR=value assignments. *)
+let run_cli ?(env = []) args =
+  let out = Filename.temp_file "sgx_preload_cli" ".out" in
+  let err = Filename.temp_file "sgx_preload_cli" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ out; err ])
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s %s > %s 2> %s"
+          (String.concat " "
+             (List.map (fun (k, v) -> k ^ "=" ^ Filename.quote v) env))
+          (Filename.quote exe)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote out) (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      (code, read_file out, read_file err))
+
+(* A chaos matrix small enough for a test: one synthetic workload, one
+   plan, still 8 cells (4 schemes x {fault-free, garbled-trace}). *)
+let tiny_chaos extra =
+  [ "chaos"; "--quick"; "--workloads"; "best-case"; "--plans"; "garbled-trace" ]
+  @ extra
+
+let test_chaos_ok_exit_zero () =
+  let code, out, _ = run_cli (tiny_chaos [ "-j"; "2" ]) in
+  checki "exit 0" 0 code;
+  checkb "summary reports clean matrix" true
+    (contains out "8 cells, 0 invariant violation(s), 0 failed cell(s)")
+
+let test_chaos_j_byte_identical () =
+  let _, out1, _ = run_cli (tiny_chaos [ "-j"; "1" ]) in
+  let _, out4, _ = run_cli (tiny_chaos [ "-j"; "4" ]) in
+  checkb "-j1 and -j4 stdout byte-identical" true (out1 = out4)
+
+let test_chaos_unknown_plan_rejected () =
+  let code, _, err = run_cli [ "chaos"; "--plans"; "no-such-plan" ] in
+  checkb "exit nonzero" true (code <> 0);
+  checkb "stderr names the plan and lists the bank" true
+    (contains err "no-such-plan" && contains err "jittery-channel")
+
+let test_chaos_failed_cells_exit_nonzero () =
+  let env = [ ("SGX_PRELOAD_FAIL_CELL", "/SIP/") ] in
+  (* Without --keep-going the failures abort the matrix... *)
+  let code, _, err = run_cli ~env (tiny_chaos [ "-j"; "2" ]) in
+  checkb "abort: exit nonzero" true (code <> 0);
+  checkb "abort: stderr names a lost cell" true (contains err "/SIP/");
+  (* ...with it, the rest of the matrix still prints, but the exit code
+     must stay nonzero. *)
+  let code, out, _ = run_cli ~env (tiny_chaos [ "-j"; "2"; "--keep-going" ]) in
+  checkb "keep-going: exit nonzero" true (code <> 0);
+  checkb "keep-going: survivors reported" true
+    (contains out "8 cells, 0 invariant violation(s), 2 failed cell(s)")
+
+let test_chaos_interrupt_and_resume () =
+  (* An injected failure stands in for the interrupt: run 1 journals the
+     cells that completed and exits nonzero; run 2 resumes with the
+     fault gone and must produce stdout byte-identical to a never-failed
+     run. *)
+  let dir = Filename.temp_file "sgx_preload_cli" ".journal" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let _, clean, _ = run_cli (tiny_chaos []) in
+      let code, _, _ =
+        run_cli
+          ~env:[ ("SGX_PRELOAD_FAIL_CELL", "/SIP/") ]
+          (tiny_chaos [ "--keep-going"; "--journal"; dir ])
+      in
+      checkb "interrupted run exits nonzero" true (code <> 0);
+      let code, resumed, _ =
+        run_cli (tiny_chaos [ "--journal"; dir; "--resume" ])
+      in
+      checki "resumed run exits 0" 0 code;
+      checkb "resumed stdout identical to a clean run" true (clean = resumed))
+
+let test_validate_exit_zero_on_clean_run () =
+  let code, out, _ =
+    run_cli [ "validate"; "best-case"; "dfp-stop"; "--epc"; "512" ]
+  in
+  checki "exit 0" 0 code;
+  checkb "reports all invariants hold" true (contains out "all invariants hold")
+
+let test_experiment_keep_going_exit_codes () =
+  let args = [ "experiment"; "fig2"; "--quick"; "--keep-going" ] in
+  let code, _, _ = run_cli args in
+  checki "clean experiment exits 0" 0 code;
+  let code, _, err =
+    run_cli ~env:[ ("SGX_PRELOAD_FAIL_CELL", "fig2/") ] args
+  in
+  checkb "failed cells make it exit nonzero" true (code <> 0);
+  checkb "stderr names the experiment" true (contains err "fig2")
+
+let () =
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "cli"
+    [
+      ( "exit codes",
+        [
+          slow "chaos clean exits 0" test_chaos_ok_exit_zero;
+          slow "chaos -j byte-identical" test_chaos_j_byte_identical;
+          slow "chaos unknown plan rejected" test_chaos_unknown_plan_rejected;
+          slow "chaos failed cells exit nonzero" test_chaos_failed_cells_exit_nonzero;
+          slow "chaos interrupt and resume" test_chaos_interrupt_and_resume;
+          slow "validate clean exits 0" test_validate_exit_zero_on_clean_run;
+          slow "experiment keep-going exit codes" test_experiment_keep_going_exit_codes;
+        ] );
+    ]

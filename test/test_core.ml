@@ -392,6 +392,66 @@ let test_plan_io_rejects_garbage () =
            false
          with Failure _ -> true))
 
+let plan_load_error content =
+  let path = Filename.temp_file "sgx_preload_test" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      match Preload.Plan_io.load ~path with
+      | _ -> Alcotest.fail "expected Plan_io.load to fail"
+      | exception Failure msg -> msg)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let plan_header = "# sgx-preload plan v1\n"
+
+let test_plan_io_error_messages_not_masked () =
+  (* Regression: like Trace_io, the loader's [Failure _] catch-all used
+     to swallow its own diagnostics and report everything as "malformed
+     field". *)
+  checkb "unrecognised line named as such" true
+    (contains
+       (plan_load_error (plan_header ^ "workload w\nthreshold 0.05\njunk\n"))
+       "unrecognised line");
+  checkb "bad int names the field" true
+    (contains
+       (plan_load_error
+          (plan_header ^ "workload w\nthreshold 0.05\ns 1 a 0 0 1\n"))
+       "malformed c1 field");
+  checkb "bad threshold named" true
+    (contains
+       (plan_load_error (plan_header ^ "workload w\nthreshold high\n"))
+       "malformed threshold field")
+
+let test_plan_io_duplicate_and_missing () =
+  checkb "duplicate site rejected" true
+    (contains
+       (plan_load_error
+          (plan_header
+         ^ "workload w\nthreshold 0.05\ns 3 1 0 0 1\ns 3 2 0 0 0\n"))
+       "duplicate site 3");
+  checkb "duplicate workload rejected" true
+    (contains
+       (plan_load_error (plan_header ^ "workload a\nworkload b\nthreshold 0.05\n"))
+       "duplicate workload line");
+  checkb "duplicate threshold rejected" true
+    (contains
+       (plan_load_error
+          (plan_header ^ "workload w\nthreshold 0.05\nthreshold 0.1\n"))
+       "duplicate threshold line");
+  checkb "missing workload rejected" true
+    (contains (plan_load_error (plan_header ^ "threshold 0.05\n"))
+       "missing workload line");
+  checkb "missing threshold rejected" true
+    (contains (plan_load_error (plan_header ^ "workload w\n"))
+       "missing threshold line")
+
 (* ------------------------------------------------------------------ *)
 (* DFP attached to an enclave                                          *)
 (* ------------------------------------------------------------------ *)
@@ -737,6 +797,8 @@ let () =
         [
           tc "round trip" test_plan_io_roundtrip;
           tc "rejects garbage" test_plan_io_rejects_garbage;
+          tc "error messages not masked" test_plan_io_error_messages_not_masked;
+          tc "duplicate and missing sections" test_plan_io_duplicate_and_missing;
         ] );
       ( "dfp",
         [

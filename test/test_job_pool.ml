@@ -155,6 +155,210 @@ let test_unmarshalable_result_contained () =
     checkb "reason mentions marshal" true (contains reason "marshal")
 
 (* ------------------------------------------------------------------ *)
+(* Hardened pool: timeout, retry, keep-going, journal/resume           *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_name prefix =
+  Filename.temp_file ~temp_dir:(Filename.get_temp_dir_name ()) prefix ".tmp"
+
+let with_tmp prefix f =
+  let path = tmp_name prefix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* Worker-side witness: each execution appends one line, so the parent
+   can count how often a cell actually ran across attempts/resumes.
+   O_APPEND keeps concurrent single-line writes atomic. *)
+let witness path line =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; O_APPEND; O_CREAT ] 0o644 in
+  let s = line ^ "\n" in
+  ignore (Unix.write_substring fd s 0 (String.length s));
+  Unix.close fd
+
+let witness_count path line =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = ref 0 in
+      (try
+         while true do
+           if input_line ic = line then incr n
+         done
+       with End_of_file -> ());
+      !n)
+
+let test_timeout_kills_hung_cell () =
+  let jobs =
+    [
+      Job_pool.job ~label:"quick" (fun () -> 1);
+      Job_pool.job ~label:"hangs" (fun () ->
+          while true do
+            Unix.sleepf 3600.0
+          done;
+          0);
+      Job_pool.job ~label:"also-quick" (fun () -> 3);
+    ]
+  in
+  let before = Unix.gettimeofday () in
+  let r = Job_pool.run_hardened ~jobs:2 ~timeout:0.4 jobs in
+  checkb "finished well before the hung cell would"
+    true
+    (Unix.gettimeofday () -. before < 30.0);
+  match r with
+  | [ Ok 1; Error f; Ok 3 ] ->
+    Alcotest.(check string) "hung cell named" "hangs" f.Job_pool.label;
+    checkb "reason says timed out" true (contains f.reason "timed out")
+  | _ -> Alcotest.fail "expected [Ok 1; Error _; Ok 3]"
+
+let test_retry_recovers_flaky_cell () =
+  (* First attempt plants a marker and dies; the retry (a fresh fork)
+     sees the marker and succeeds.  One retry must be enough. *)
+  with_tmp "flaky" @@ fun marker ->
+  Sys.remove marker;
+  let jobs =
+    [
+      Job_pool.job ~label:"flaky" (fun () ->
+          if Sys.file_exists marker then 7
+          else begin
+            witness marker "attempt";
+            failwith "first attempt dies"
+          end);
+    ]
+  in
+  match Job_pool.run_hardened ~jobs:2 ~retries:1 ~backoff:0.01 jobs with
+  | [ Ok 7 ] -> ()
+  | [ Error f ] -> Alcotest.fail ("expected recovery, got: " ^ f.Job_pool.reason)
+  | _ -> Alcotest.fail "expected one result"
+
+let test_retry_exhaustion_counts_attempts () =
+  let jobs =
+    [ Job_pool.job ~label:"doomed" (fun () -> failwith "always"); ]
+  in
+  match Job_pool.run_hardened ~jobs:2 ~retries:2 ~backoff:0.01 jobs with
+  | [ Error f ] ->
+    checki "initial attempt + 2 retries" 3 f.Job_pool.attempts;
+    checkb "reason kept" true (contains f.reason "always")
+  | _ -> Alcotest.fail "expected Error"
+
+let test_keep_going_shape () =
+  (* The hardened pool never discards neighbours: every cell gets a slot
+     in submission order, failures in place. *)
+  let jobs =
+    List.init 6 (fun i ->
+        Job_pool.job ~label:(Printf.sprintf "c%d" i) (fun () ->
+            if i mod 2 = 1 then failwith "odd cell dies" else i * 10))
+  in
+  let r = Job_pool.run_hardened ~jobs:3 jobs in
+  checki "all six reported" 6 (List.length r);
+  List.iteri
+    (fun i res ->
+      match res with
+      | Ok v -> checki (Printf.sprintf "c%d value" i) (i * 10) v
+      | Error f ->
+        checkb (Printf.sprintf "c%d is odd" i) true (i mod 2 = 1);
+        Alcotest.(check string)
+          "failure names its cell"
+          (Printf.sprintf "c%d" i)
+          f.Job_pool.label)
+    r
+
+let test_interrupt_and_resume () =
+  (* Run 1: cell c2 fails (its marker is absent), the rest journal.
+     Run 2 with [resume]: only c2 re-executes — the witness counts prove
+     the journaled cells were reused, and the merged results are
+     complete and in order. *)
+  with_tmp "journal" @@ fun journal ->
+  with_tmp "wit" @@ fun wit ->
+  with_tmp "fix" @@ fun fix ->
+  Sys.remove journal;
+  Sys.remove fix;
+  let jobs () =
+    List.init 5 (fun i ->
+        Job_pool.job ~label:(Printf.sprintf "c%d" i) (fun () ->
+            witness wit (Printf.sprintf "c%d" i);
+            if i = 2 && not (Sys.file_exists fix) then failwith "not yet";
+            i + 100))
+  in
+  (match
+     Job_pool.run_hardened ~jobs:2 ~journal ~journal_key:"resume-test"
+       (jobs ())
+   with
+  | [ Ok 100; Ok 101; Error f; Ok 103; Ok 104 ] ->
+    Alcotest.(check string) "failed cell" "c2" f.Job_pool.label
+  | _ -> Alcotest.fail "run 1: expected c2 to fail, others to pass");
+  witness fix "fixed";
+  (match
+     Job_pool.run_hardened ~jobs:2 ~journal ~journal_key:"resume-test"
+       ~resume:true (jobs ())
+   with
+  | [ Ok 100; Ok 101; Ok 102; Ok 103; Ok 104 ] -> ()
+  | _ -> Alcotest.fail "run 2: expected full recovery");
+  List.iter
+    (fun i ->
+      checki
+        (Printf.sprintf "c%d executions" i)
+        (if i = 2 then 2 else 1)
+        (witness_count wit (Printf.sprintf "c%d" i)))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_stale_journal_key_ignored () =
+  with_tmp "journal" @@ fun journal ->
+  with_tmp "wit" @@ fun wit ->
+  Sys.remove journal;
+  let jobs key =
+    [
+      Job_pool.job ~label:"only" (fun () ->
+          witness wit key;
+          42);
+    ]
+  in
+  ignore
+    (Job_pool.run_hardened ~jobs:2 ~journal ~journal_key:"config-A"
+       (jobs "A"));
+  (* Same labels, different configuration key: the journal must not be
+     trusted, the cell runs again. *)
+  (match
+     Job_pool.run_hardened ~jobs:2 ~journal ~journal_key:"config-B"
+       ~resume:true (jobs "B")
+   with
+  | [ Ok 42 ] -> ()
+  | _ -> Alcotest.fail "expected Ok 42");
+  checki "cell re-ran under the new key" 1 (witness_count wit "B")
+
+let test_sigkill_containment_property () =
+  (* Property: for any subset of cells SIGKILLed mid-run, the pool
+     terminates, reports exactly the killed cells as failures naming the
+     signal, and returns every other cell's value in order. *)
+  let cells = 8 in
+  let prop mask =
+    let jobs =
+      List.init cells (fun i ->
+          Job_pool.job ~label:(Printf.sprintf "k%d" i) (fun () ->
+              if mask land (1 lsl i) <> 0 then
+                Unix.kill (Unix.getpid ()) Sys.sigkill;
+              i))
+    in
+    let r = Job_pool.run_hardened ~jobs:3 jobs in
+    List.length r = cells
+    && List.for_all2
+         (fun i res ->
+           match res with
+           | Ok v -> mask land (1 lsl i) = 0 && v = i
+           | Error (f : Job_pool.failure) ->
+             mask land (1 lsl i) <> 0
+             && f.label = Printf.sprintf "k%d" i
+             && contains f.reason "SIGKILL")
+         (List.init cells Fun.id)
+         r
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:12 ~name:"sigkill containment"
+       QCheck.(int_bound ((1 lsl cells) - 1))
+       prop)
+
+(* ------------------------------------------------------------------ *)
 (* Experiment tables are -j invariant                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -208,6 +412,16 @@ let () =
           tc "first failure in submission order" test_first_failure_in_submission_order;
           tc "dead worker names lost job" test_dead_worker_names_lost_job;
           tc "unmarshalable result contained" test_unmarshalable_result_contained;
+        ] );
+      ( "hardening",
+        [
+          tc "timeout kills hung cell" test_timeout_kills_hung_cell;
+          tc "retry recovers flaky cell" test_retry_recovers_flaky_cell;
+          tc "retry exhaustion counts attempts" test_retry_exhaustion_counts_attempts;
+          tc "keep-going reports every cell" test_keep_going_shape;
+          tc "interrupt and resume" test_interrupt_and_resume;
+          tc "stale journal key ignored" test_stale_journal_key_ignored;
+          slow "sigkill containment property" test_sigkill_containment_property;
         ] );
       ( "experiments",
         [

@@ -379,6 +379,56 @@ let test_trace_io_rejects_garbage () =
            false
          with Failure _ -> true))
 
+let load_error path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  match Workload.Trace_io.load_trace ~path with
+  | _ -> Alcotest.fail "expected load_trace to fail"
+  | exception Failure msg -> msg
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_trace_io_error_messages_not_masked () =
+  (* Regression: the parse loop used to catch [Failure _] — including
+     the [Failure] its own error reporter raises — so every diagnostic
+     collapsed into "malformed field".  Each failure mode must keep its
+     own message and line number. *)
+  with_temp_file (fun path ->
+      let msg =
+        load_error path
+          "# sgx-preload trace v1\nname t\nelrange 8\nfootprint 4\nbogus line\n"
+      in
+      checkb "unrecognised line named as such" true
+        (contains msg "unrecognised line");
+      checkb "line number points at the bogus line" true (contains msg "line 5");
+      let msg =
+        load_error path
+          "# sgx-preload trace v1\nname t\nelrange 8\nfootprint 4\na 1 xyz 0 0\n"
+      in
+      checkb "bad int names the field" true
+        (contains msg "malformed vpage field");
+      checkb "bad int keeps the offending text" true (contains msg "xyz"))
+
+let test_trace_io_validates_footprint () =
+  with_temp_file (fun path ->
+      checkb "missing footprint rejected" true
+        (contains
+           (load_error path "# sgx-preload trace v1\nname t\nelrange 8\n")
+           "missing or invalid footprint");
+      checkb "footprint above elrange rejected" true
+        (contains
+           (load_error path
+              "# sgx-preload trace v1\nname t\nelrange 8\nfootprint 9\n")
+           "exceeds elrange");
+      checkb "missing elrange still rejected" true
+        (contains
+           (load_error path "# sgx-preload trace v1\nname t\nfootprint 4\n")
+           "missing or invalid elrange"))
+
 (* ------------------------------------------------------------------ *)
 (* Trace stats                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -608,6 +658,8 @@ let () =
           tc "replayable twice" test_trace_io_replayable_twice;
           tc "threads preserved" test_trace_io_threads_preserved;
           tc "rejects garbage" test_trace_io_rejects_garbage;
+          tc "error messages not masked" test_trace_io_error_messages_not_masked;
+          tc "validates footprint" test_trace_io_validates_footprint;
         ] );
       ( "trace_stats",
         [
