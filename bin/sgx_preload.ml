@@ -64,34 +64,33 @@ let build_plan ~epc name =
   in
   Preload.Sip_instrumenter.plan_of_profile profile
 
-let scheme_of_string ~epc ~workload s =
-  let dfp = Preload.Dfp.default_config in
-  match String.lowercase_ascii s with
-  | "baseline" -> Scheme.Baseline
-  | "native" -> Scheme.Native
-  | "dfp" -> Scheme.Dfp dfp
-  | "dfp-stop" -> Scheme.Dfp (Preload.Dfp.with_stop dfp)
-  | "sip" -> Scheme.Sip (build_plan ~epc workload)
-  | "hybrid" | "sip+dfp" ->
-    Scheme.Hybrid (Preload.Dfp.with_stop dfp, build_plan ~epc workload)
-  | s when String.length s > 10 && String.sub s 0 10 = "next-line:" ->
-    Scheme.Next_line (int_of_string (String.sub s 10 (String.length s - 10)))
-  | s when String.length s > 7 && String.sub s 0 7 = "stride:" ->
-    Scheme.Stride (int_of_string (String.sub s 7 (String.length s - 7)))
-  | other ->
-    failwith
-      (Printf.sprintf
-         "unknown scheme %S (expected baseline, native, dfp, dfp-stop, sip, \
-          hybrid, next-line:K, stride:K)"
-         other)
+(* One scheme grammar for every command — {!Scheme.of_string} owns the
+   parsing; the CLI only supplies the plan thunk (a saved plan file when
+   [--plan] is given, else the train-input PGO pipeline), which is forced
+   only when the scheme actually needs a plan. *)
+let parse_scheme ?plan_file ~epc ~workload s =
+  let plan () =
+    match plan_file with
+    | Some path -> Preload.Plan_io.load ~path
+    | None -> build_plan ~epc workload
+  in
+  match Scheme.of_string ~plan s with
+  | Ok scheme -> scheme
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+
+let scheme_doc =
+  "Preloading scheme: $(b,baseline), $(b,native), $(b,dfp), $(b,dfp-stop), \
+   $(b,sip), $(b,sip+dfp), $(b,sip+dfp-stop) (alias $(b,hybrid)), \
+   $(b,next-line:K), $(b,stride:K), $(b,markov:T,D)."
 
 let run_cmd =
   let scheme_arg =
-    let doc =
-      "Preloading scheme: $(b,baseline), $(b,native), $(b,dfp), \
-       $(b,dfp-stop), $(b,sip), $(b,hybrid), $(b,next-line:K), $(b,stride:K)."
-    in
-    Arg.(value & opt string "baseline" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+    Arg.(
+      value
+      & opt string "baseline"
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:scheme_doc)
   in
   let breakdown_arg =
     let doc = "Print the cycle-accounting breakdown." in
@@ -109,15 +108,7 @@ let run_cmd =
     match model_of_name workload with
     | None -> unknown_workload workload
     | Some model ->
-      let scheme =
-        match (plan_file, String.lowercase_ascii scheme) with
-        | Some path, "sip" -> Scheme.Sip (Preload.Plan_io.load ~path)
-        | Some path, ("hybrid" | "sip+dfp") ->
-          Scheme.Hybrid
-            ( Preload.Dfp.with_stop Preload.Dfp.default_config,
-              Preload.Plan_io.load ~path )
-        | _ -> scheme_of_string ~epc ~workload scheme
-      in
+      let scheme = parse_scheme ?plan_file ~epc ~workload scheme in
       let trace = model ~epc_pages:epc ~input in
       let config =
         { Sim.Runner.default_config with epc_pages = epc; log_capacity = events }
@@ -133,7 +124,9 @@ let run_cmd =
         print_newline ();
         Repro_util.Table.print (Sim.Report.breakdown_table result);
         print_newline ();
-        Repro_util.Table.print (Sim.Report.fault_latency_table result)
+        Repro_util.Table.print (Sim.Report.fault_latency_table result);
+        print_newline ();
+        Repro_util.Table.print (Sim.Report.diagnostics_table result)
       end;
       if events > 0 then begin
         print_newline ();
@@ -312,12 +305,14 @@ let replay_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let scheme_arg =
-    let doc = "Scheme: baseline, native, dfp, dfp-stop, next-line:K, stride:K." in
-    Arg.(value & opt string "baseline" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+    Arg.(
+      value
+      & opt string "baseline"
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:scheme_doc)
   in
   let action file scheme epc =
     let trace = Workload.Trace_io.load_trace ~path:file in
-    let scheme = scheme_of_string ~epc ~workload:trace.Workload.Trace.name scheme in
+    let scheme = parse_scheme ~epc ~workload:trace.Workload.Trace.name scheme in
     let config = { Sim.Runner.default_config with epc_pages = epc } in
     let result = Sim.Runner.run ~config ~scheme trace in
     print_endline (Sim.Report.summary result)
@@ -328,17 +323,13 @@ let replay_cmd =
 (* ---------- validate ---------- *)
 
 let scheme_pos_arg =
-  let doc =
-    "Preloading scheme: $(b,baseline), $(b,native), $(b,dfp), $(b,dfp-stop), \
-     $(b,sip), $(b,hybrid), $(b,next-line:K), $(b,stride:K)."
-  in
-  Arg.(value & pos 1 string "baseline" & info [] ~docv:"SCHEME" ~doc)
+  Arg.(value & pos 1 string "baseline" & info [] ~docv:"SCHEME" ~doc:scheme_doc)
 
 let run_logged ~workload ~scheme_name ~epc ~input ~log_capacity =
   match model_of_name workload with
   | None -> unknown_workload workload
   | Some model ->
-    let scheme = scheme_of_string ~epc ~workload scheme_name in
+    let scheme = parse_scheme ~epc ~workload scheme_name in
     let trace = model ~epc_pages:epc ~input in
     let config =
       { Sim.Runner.default_config with epc_pages = epc; log_capacity }
@@ -354,7 +345,7 @@ let validate_cmd =
       run_logged ~workload ~scheme_name:scheme ~epc ~input
         ~log_capacity:(1 lsl 20)
     in
-    if result.events_truncated then
+    if result.diagnostics.events_truncated then
       Printf.printf
         "note: event ring overflowed (%d events kept); event-derived checks \
          skipped\n"
@@ -385,11 +376,13 @@ let validate_cmd =
 
 let export_cmd =
   let format_arg =
+    (* The converter is derived from [Trace_export.formats]: a format
+       added to the variant shows up here without touching the CLI. *)
     let doc = "Output format: $(b,chrome-trace), $(b,jsonl) or $(b,csv)." in
-    let fmt_conv =
-      Arg.enum [ ("chrome-trace", `Chrome); ("jsonl", `Jsonl); ("csv", `Csv) ]
-    in
-    Arg.(value & opt fmt_conv `Chrome & info [ "format" ] ~docv:"FORMAT" ~doc)
+    Arg.(
+      value
+      & opt (Arg.enum Sim.Trace_export.formats) Sim.Trace_export.Chrome_trace
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
   in
   let out_arg =
     let doc = "Write to $(docv) instead of stdout." in
@@ -401,18 +394,12 @@ let export_cmd =
   in
   let action workload scheme epc input format out =
     let log_capacity =
-      match format with `Chrome -> 1 lsl 20 | `Jsonl | `Csv -> 0
+      if Sim.Trace_export.needs_events format then 1 lsl 20 else 0
     in
     let result =
       run_logged ~workload ~scheme_name:scheme ~epc ~input ~log_capacity
     in
-    let payload =
-      match format with
-      | `Chrome -> Sim.Trace_export.chrome_trace result ^ "\n"
-      | `Jsonl -> Sim.Trace_export.jsonl_row result ^ "\n"
-      | `Csv ->
-        Sim.Trace_export.csv_header ^ "\n" ^ Sim.Trace_export.csv_row result ^ "\n"
-    in
+    let payload = Sim.Trace_export.render ~format result in
     match out with
     | None -> print_string payload
     | Some path ->

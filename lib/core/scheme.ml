@@ -1,12 +1,29 @@
+type next_line_config = { degree : int }
+type stride_config = { degree : int }
+type markov_config = { table_pages : int; degree : int }
+
 type t =
   | Baseline
   | Native
   | Dfp of Dfp.config
   | Sip of Sip_instrumenter.plan
   | Hybrid of Dfp.config * Sip_instrumenter.plan
-  | Next_line of int
-  | Stride of int
-  | Markov of int * int
+  | Next_line of next_line_config
+  | Stride of stride_config
+  | Markov of markov_config
+
+let next_line ~degree =
+  if degree < 1 then invalid_arg "Scheme.next_line: degree must be >= 1";
+  Next_line { degree }
+
+let stride ~degree =
+  if degree < 1 then invalid_arg "Scheme.stride: degree must be >= 1";
+  Stride { degree }
+
+let markov ~table_pages ~degree =
+  if table_pages < 1 then invalid_arg "Scheme.markov: table_pages must be >= 1";
+  if degree < 1 then invalid_arg "Scheme.markov: degree must be >= 1";
+  Markov { table_pages; degree }
 
 let name = function
   | Baseline -> "baseline"
@@ -14,9 +31,10 @@ let name = function
   | Dfp c -> if c.Dfp.stop_enabled then "DFP-stop" else "DFP"
   | Sip _ -> "SIP"
   | Hybrid (c, _) -> if c.Dfp.stop_enabled then "SIP+DFP-stop" else "SIP+DFP"
-  | Next_line d -> Printf.sprintf "next-line(%d)" d
-  | Stride d -> Printf.sprintf "stride(%d)" d
-  | Markov (t, d) -> Printf.sprintf "markov(%d,%d)" t d
+  | Next_line { degree } -> Printf.sprintf "next-line(%d)" degree
+  | Stride { degree } -> Printf.sprintf "stride(%d)" degree
+  | Markov { table_pages; degree } ->
+    Printf.sprintf "markov(%d,%d)" table_pages degree
 
 let dfp_default = Dfp Dfp.default_config
 let dfp_stop = Dfp (Dfp.with_stop Dfp.default_config)
@@ -28,3 +46,91 @@ let uses_sip = function
 let sip_plan = function
   | Sip plan | Hybrid (_, plan) -> Some plan
   | Baseline | Native | Dfp _ | Next_line _ | Stride _ | Markov _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let grammar =
+  "baseline, native, dfp, dfp-stop, sip, sip+dfp, sip+dfp-stop (alias \
+   hybrid), next-line(K), stride(K), markov(T,D); parameterised schemes \
+   also accept the colon form next-line:K, stride:K, markov:T,D"
+
+(* One string -> at most one scheme, total over everything [name] emits
+   plus the colon spellings the CLI historically accepted.  Never
+   raises: a bad spelling, an out-of-range parameter, or a SIP scheme
+   without a plan supplier all come back as [Error]. *)
+let of_string ?(dfp = Dfp.default_config) ?plan s =
+  let ( let* ) = Result.bind in
+  let with_plan make =
+    match plan with
+    | Some supply -> Ok (make (supply ()))
+    | None -> Error (Printf.sprintf "scheme %S needs an instrumentation plan" s)
+  in
+  (* "next-line(4)" ([name]'s spelling) and "next-line:4" (the CLI's)
+     share one parameter grammar. *)
+  let params ~prefix ~arity low =
+    let plen = String.length prefix in
+    let body =
+      if String.length low > plen + 1
+         && String.sub low 0 (plen + 1) = prefix ^ ":"
+      then Some (String.sub low (plen + 1) (String.length low - plen - 1))
+      else if
+        String.length low > plen + 2
+        && String.sub low 0 (plen + 1) = prefix ^ "("
+        && low.[String.length low - 1] = ')'
+      then Some (String.sub low (plen + 1) (String.length low - plen - 2))
+      else None
+    in
+    match body with
+    | None -> None
+    | Some body ->
+      let fields = String.split_on_char ',' body in
+      if List.length fields <> arity then
+        Some
+          (Error
+             (Printf.sprintf "scheme %S: %s takes %d parameter(s)" s prefix
+                arity))
+      else
+        Some
+          (List.fold_left
+             (fun acc field ->
+               let* acc = acc in
+               match int_of_string_opt (String.trim field) with
+               | Some n when n >= 1 -> Ok (acc @ [ n ])
+               | Some _ ->
+                 Error
+                   (Printf.sprintf "scheme %S: parameters must be >= 1" s)
+               | None ->
+                 Error
+                   (Printf.sprintf "scheme %S: malformed parameter %S" s field))
+             (Ok []) fields)
+  in
+  let low = String.lowercase_ascii s in
+  match low with
+  | "baseline" -> Ok Baseline
+  | "native" -> Ok Native
+  | "dfp" -> Ok (Dfp dfp)
+  | "dfp-stop" -> Ok (Dfp (Dfp.with_stop dfp))
+  | "sip" -> with_plan (fun p -> Sip p)
+  | "sip+dfp" -> with_plan (fun p -> Hybrid (dfp, p))
+  | "sip+dfp-stop" | "hybrid" -> with_plan (fun p -> Hybrid (Dfp.with_stop dfp, p))
+  | _ -> (
+    match
+      ( params ~prefix:"next-line" ~arity:1 low,
+        params ~prefix:"stride" ~arity:1 low,
+        params ~prefix:"markov" ~arity:2 low )
+    with
+    | Some r, _, _ ->
+      let* ps = r in
+      (match ps with [ degree ] -> Ok (next_line ~degree) | _ -> assert false)
+    | _, Some r, _ ->
+      let* ps = r in
+      (match ps with [ degree ] -> Ok (stride ~degree) | _ -> assert false)
+    | _, _, Some r ->
+      let* ps = r in
+      (match ps with
+      | [ table_pages; degree ] -> Ok (markov ~table_pages ~degree)
+      | _ -> assert false)
+    | None, None, None ->
+      Error (Printf.sprintf "unknown scheme %S (expected %s)" s grammar))

@@ -2,8 +2,23 @@
 
     [Baseline] is the paper's un-optimized enclave execution; [Native] the
     same program outside SGX (only the §1 slowdown experiment uses it);
-    [Dfp]/[Sip]/[Hybrid] are the paper's contributions; the two prefetcher
-    variants are ablation baselines. *)
+    [Dfp]/[Sip]/[Hybrid] are the paper's contributions; the three
+    prefetcher variants are ablation baselines.
+
+    Parameterised schemes carry labelled config records; build them with
+    the smart constructors ({!next_line}, {!stride}, {!markov}), which
+    validate their parameters.  {!of_string} parses every spelling
+    {!name} produces (plus the CLI's historical colon forms), so
+    scheme names round-trip: [of_string (name s)] re-derives [s] up to
+    the plan payload. *)
+
+type next_line_config = { degree : int }
+type stride_config = { degree : int }
+
+type markov_config = {
+  table_pages : int;  (** Correlation-table size in predecessor entries. *)
+  degree : int;
+}
 
 type t =
   | Baseline
@@ -11,11 +26,33 @@ type t =
   | Dfp of Dfp.config
   | Sip of Sip_instrumenter.plan
   | Hybrid of Dfp.config * Sip_instrumenter.plan
-  | Next_line of int  (** degree *)
-  | Stride of int  (** degree *)
-  | Markov of int * int  (** (table size in predecessor entries, degree) *)
+  | Next_line of next_line_config
+  | Stride of stride_config
+  | Markov of markov_config
+
+val next_line : degree:int -> t
+(** Raises [Invalid_argument] unless [degree >= 1]. *)
+
+val stride : degree:int -> t
+(** Raises [Invalid_argument] unless [degree >= 1]. *)
+
+val markov : table_pages:int -> degree:int -> t
+(** Raises [Invalid_argument] unless both parameters are [>= 1]. *)
 
 val name : t -> string
+
+val of_string :
+  ?dfp:Dfp.config ->
+  ?plan:(unit -> Sip_instrumenter.plan) ->
+  string ->
+  (t, string) result
+(** Parse a scheme name.  Total: never raises — unknown spellings,
+    malformed or out-of-range parameters, and SIP/hybrid schemes
+    requested without a [plan] supplier all return [Error] with a
+    human-readable message.  [plan] is only forced when the scheme
+    actually needs an instrumentation plan; [dfp] (default
+    [Dfp.default_config]) seeds the DFP-carrying schemes, with the
+    [-stop] spellings layering [Dfp.with_stop] on top. *)
 
 val dfp_default : t
 (** DFP with the paper's defaults (no stop valve). *)

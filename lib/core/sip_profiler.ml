@@ -1,5 +1,4 @@
 module Trace = Workload.Trace
-module Access = Workload.Access
 
 type access_class = Class1 | Class2 | Class3
 
@@ -64,22 +63,21 @@ let profile config trace =
       total_accesses = 0;
     }
   in
-  Seq.iter
-    (fun (a : Access.t) ->
+  let arena = Workload.Trace_arena.compile trace in
+  Workload.Trace_arena.iter arena ~f:(fun ~site ~vpage ~compute:_ ~thread:_ ->
       let counts =
-        match Hashtbl.find_opt t.per_site a.site with
+        match Hashtbl.find_opt t.per_site site with
         | Some c -> c
         | None ->
           let c = { c1 = 0; c2 = 0; c3 = 0 } in
-          Hashtbl.add t.per_site a.site c;
+          Hashtbl.add t.per_site site c;
           c
       in
       t.total_accesses <- t.total_accesses + 1;
-      match classify_one predictor cache ~load_length:config.load_length a.vpage with
+      match classify_one predictor cache ~load_length:config.load_length vpage with
       | Class1 -> counts.c1 <- counts.c1 + 1
       | Class2 -> counts.c2 <- counts.c2 + 1
-      | Class3 -> counts.c3 <- counts.c3 + 1)
-    (Trace.events trace);
+      | Class3 -> counts.c3 <- counts.c3 + 1);
   t
 
 let site_counts t site = Hashtbl.find_opt t.per_site site

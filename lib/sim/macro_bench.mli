@@ -11,7 +11,7 @@
     Results are informational (they measure the build machine, not the
     paper); CI uploads the JSON as an artifact rather than asserting on
     it.  The JSON schema is documented in README.md
-    ("sgx-preload/bench-runtime/v1"). *)
+    ("sgx-preload/bench-runtime/v2"). *)
 
 type settings = {
   label : string;  (** Tag recorded in the report ("full" / "smoke"). *)
@@ -48,7 +48,25 @@ type row = {
   pending_at_end : int;
 }
 
-type report = { settings : settings; elrange_pages : int; rows : row list }
+type trace_timings = {
+  compile_seconds : float;
+      (** One {!Workload.Trace_arena.compile} of the stress trace (the
+          full stream materialisation, or a cache decode when
+          [SGX_PRELOAD_ARENA_CACHE] is warm). *)
+  arena_events_per_second : float;
+      (** Allocation-free {!Workload.Trace_arena.iter} throughput. *)
+  seq_events_per_second : float;
+      (** The pre-arena path: regenerating the stream from the pattern
+          via [Trace.events], same events. *)
+  replay_speedup : float;  (** [arena / seq] events-per-second ratio. *)
+}
+
+type report = {
+  settings : settings;
+  elrange_pages : int;
+  trace : trace_timings;
+  rows : row list;
+}
 
 val run : ?clock:(unit -> float) -> ?jobs:int -> settings -> report
 (** Replay the stress trace once per scheme (Baseline, DFP, DFP-stop,
@@ -64,7 +82,7 @@ val run : ?clock:(unit -> float) -> ?jobs:int -> settings -> report
 
 val to_json : report -> string
 (** The report as one JSON document (schema
-    ["sgx-preload/bench-runtime/v1"]), newline-terminated. *)
+    ["sgx-preload/bench-runtime/v2"]), newline-terminated. *)
 
 val print : report -> unit
 (** Human-readable table on stdout. *)

@@ -38,6 +38,25 @@ let breakdown_table (r : Runner.result) =
   row "total" r.cycles;
   t
 
+let diagnostics_table (r : Runner.result) =
+  let d = r.Runner.diagnostics in
+  let t =
+    Table.create ~headers:[ ("diagnostic", Table.Left); ("value", Table.Right) ]
+  in
+  let row name v = Table.add_row t [ name; v ] in
+  row "pending preloads" (Table.cell_int d.Runner.pending_preloads);
+  row "in-flight preloads" (Table.cell_int d.Runner.in_flight_preloads);
+  row "in-flight kind"
+    (match d.Runner.in_flight_kind with
+    | None -> "-"
+    | Some Sgxsim.Load_channel.Demand -> "demand"
+    | Some Sgxsim.Load_channel.Preload_dfp -> "dfp"
+    | Some Sgxsim.Load_channel.Preload_sip -> "sip");
+  row "resident pages" (Table.cell_int d.Runner.resident_at_end);
+  row "EPC capacity" (Table.cell_int r.Runner.epc_capacity);
+  row "events truncated" (if d.Runner.events_truncated then "yes" else "no");
+  t
+
 let fault_latency_table (r : Runner.result) =
   let t =
     Table.create

@@ -6,6 +6,10 @@ val summary : Runner.result -> string
 val breakdown_table : Runner.result -> Repro_util.Table.t
 (** Cycle accounting by category (compute / access / AEX / loads / ...). *)
 
+val diagnostics_table : Runner.result -> Repro_util.Table.t
+(** End-of-run {!Runner.diagnostics} (pending / in-flight preloads,
+    residency vs capacity, truncation flag) as a two-column table. *)
+
 val fault_latency_table : Runner.result -> Repro_util.Table.t
 (** Raise-to-handled latency per fault resolution kind: count, mean,
     sparkline histogram.  Rows with zero faults show a dash. *)

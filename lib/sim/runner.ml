@@ -17,6 +17,14 @@ let resolution_name = function
   | Enclave.Waited_in_flight -> "waited-in-flight"
   | Enclave.Demand_load -> "demand-load"
 
+type diagnostics = {
+  pending_preloads : int;
+  in_flight_preloads : int;
+  in_flight_kind : Sgxsim.Load_channel.kind option;
+  events_truncated : bool;
+  resident_at_end : int;
+}
+
 type result = {
   workload : string;
   input : string;
@@ -27,14 +35,10 @@ type result = {
   costs : Cost_model.t;
   metrics : Metrics.t;
   events : Event.t list;
-  events_truncated : bool;
-  pending_preloads : int;
-  in_flight_preloads : int;
-  in_flight_kind : Sgxsim.Load_channel.kind option;
+  diagnostics : diagnostics;
   fault_latency : (Enclave.fault_resolution * Histogram.t) list;
   dfp_stopped : bool;
   instrumentation_points : int;
-  resident_at_end : int;
   epc_capacity : int;
 }
 
@@ -79,13 +83,13 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
     match scheme with
     | Scheme.Dfp dfp_config | Scheme.Hybrid (dfp_config, _) ->
       Some (Preload.Dfp.attach enclave dfp_config)
-    | Scheme.Next_line degree ->
+    | Scheme.Next_line { degree } ->
       ignore (Preload.Prefetch_baselines.attach_next_line enclave ~degree);
       None
-    | Scheme.Stride degree ->
+    | Scheme.Stride { degree } ->
       ignore (Preload.Prefetch_baselines.attach_stride enclave ~degree);
       None
-    | Scheme.Markov (table_pages, degree) ->
+    | Scheme.Markov { table_pages; degree } ->
       ignore
         (Preload.Prefetch_baselines.attach_markov enclave ~table_pages ~degree);
       None
@@ -126,17 +130,29 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
     | None -> fun _ -> false
   in
   let now = ref 0 in
-  Seq.iter
-    (fun (a : Access.t) ->
-      let t = Enclave.compute enclave ~now:!now a.compute in
-      let t =
-        if sip_site a.site then
-          Enclave.sip_access ~thread:a.thread enclave ~now:t a.vpage
-        else Enclave.access ~thread:a.thread enclave ~now:t a.vpage
-      in
-      now := t)
-    (Fault_plan.perturb_trace fault_plan
-       ~elrange_pages:trace.Trace.elrange_pages (Trace.events trace));
+  (* Replay from the compiled arena.  The common (trace-fault-free) path
+     is a tight index loop with no per-access allocation; only a plan
+     that corrupts/truncates the stream itself needs the [Seq] view, and
+     feeds the perturbation the identical stream [Trace.events] would
+     have produced. *)
+  let arena = Workload.Trace_arena.compile trace in
+  let step ~site ~vpage ~compute ~thread =
+    let t = Enclave.compute enclave ~now:!now compute in
+    let t =
+      if sip_site site then Enclave.sip_access ~thread enclave ~now:t vpage
+      else Enclave.access ~thread enclave ~now:t vpage
+    in
+    now := t
+  in
+  (match fault_plan.Fault_plan.trace with
+  | None -> Workload.Trace_arena.iter arena ~f:step
+  | Some _ ->
+    Seq.iter
+      (fun (a : Access.t) ->
+        step ~site:a.site ~vpage:a.vpage ~compute:a.compute ~thread:a.thread)
+      (Fault_plan.perturb_trace fault_plan
+         ~elrange_pages:trace.Trace.elrange_pages
+         (Workload.Trace_arena.to_seq arena)));
   Enclave.sync enclave ~now:!now;
   let metrics = Enclave.metrics enclave in
   {
@@ -149,26 +165,32 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
     costs;
     metrics;
     events = Enclave.events enclave;
-    events_truncated = Event.truncated log;
-    pending_preloads = Enclave.pending_preload_count enclave;
-    in_flight_preloads =
-      (* Both speculative kinds: a SIP-requested load mid-flight at run
-         end is as much an unfinished preload as a DFP one.  Demand
-         loads stay excluded — they resolve a fault, not a prediction. *)
-      (match Enclave.in_flight enclave with
-      | Some { kind = Sgxsim.Load_channel.(Preload_dfp | Preload_sip); _ } -> 1
-      | Some { kind = Sgxsim.Load_channel.Demand; _ } | None -> 0);
-    in_flight_kind =
-      Option.map
-        (fun (l : Sgxsim.Load_channel.inflight) -> l.kind)
-        (Enclave.in_flight enclave);
+    diagnostics =
+      {
+        events_truncated = Event.truncated log;
+        pending_preloads = Enclave.pending_preload_count enclave;
+        in_flight_preloads =
+          (* Both speculative kinds: a SIP-requested load mid-flight at
+             run end is as much an unfinished preload as a DFP one.
+             Demand loads stay excluded — they resolve a fault, not a
+             prediction. *)
+          (match Enclave.in_flight enclave with
+          | Some { kind = Sgxsim.Load_channel.(Preload_dfp | Preload_sip); _ }
+            ->
+            1
+          | Some { kind = Sgxsim.Load_channel.Demand; _ } | None -> 0);
+        in_flight_kind =
+          Option.map
+            (fun (l : Sgxsim.Load_channel.inflight) -> l.kind)
+            (Enclave.in_flight enclave);
+        resident_at_end = Enclave.resident_count enclave;
+      };
     fault_latency;
     dfp_stopped = (match dfp with Some d -> Preload.Dfp.stopped d | None -> false);
     instrumentation_points =
       (match Scheme.sip_plan scheme with
       | Some plan -> Preload.Sip_instrumenter.instrumentation_points plan
       | None -> 0);
-    resident_at_end = Enclave.resident_count enclave;
     epc_capacity = Enclave.epc_capacity enclave;
   }
 

@@ -19,6 +19,27 @@ val resolution_name : Sgxsim.Enclave.fault_resolution -> string
 (** Stable label ("already-present" / "waited-in-flight" /
     "demand-load") used by reports and exports. *)
 
+type diagnostics = {
+  pending_preloads : int;  (** Preloads still queued at end of run. *)
+  in_flight_preloads : int;
+      (** Speculative loads (DFP {e or} SIP kind) mid-load at end of run
+          (0/1).  A demand load in flight does not count. *)
+  in_flight_kind : Sgxsim.Load_channel.kind option;
+      (** Kind of the load occupying the channel at end of run, if any;
+          lets {!Validate} attribute the dangling load to the right
+          disposition identity. *)
+  events_truncated : bool;
+      (** The event ring overflowed: [events] is only the tail, so event
+          counts cannot be cross-checked against metric counters. *)
+  resident_at_end : int;
+      (** Pages resident in EPC when the replay finished; {!Validate}
+          checks page conservation against the event log and
+          [epc_capacity]. *)
+}
+(** End-of-run diagnostic state.  One typed value consumed by
+    {!Validate}, {!Report} and {!Trace_export}; grows here rather than
+    as loose fields on {!result}. *)
+
 type result = {
   workload : string;
   input : string;
@@ -33,35 +54,23 @@ type result = {
   costs : Sgxsim.Cost_model.t;  (** Cost model the run actually used. *)
   metrics : Sgxsim.Metrics.t;
   events : Sgxsim.Event.t list;  (** Empty unless logging was enabled. *)
-  events_truncated : bool;
-      (** The event ring overflowed: [events] is only the tail, so event
-          counts cannot be cross-checked against metric counters. *)
-  pending_preloads : int;  (** Preloads still queued at end of run. *)
-  in_flight_preloads : int;
-      (** Speculative loads (DFP {e or} SIP kind) mid-load at end of run
-          (0/1).  A demand load in flight does not count. *)
-  in_flight_kind : Sgxsim.Load_channel.kind option;
-      (** Kind of the load occupying the channel at end of run, if any;
-          lets {!Validate} attribute the dangling load to the right
-          disposition identity. *)
+  diagnostics : diagnostics;
   fault_latency : (Sgxsim.Enclave.fault_resolution * Repro_util.Histogram.t) list;
       (** Raise-to-handled latency histogram per fault resolution kind.
           The histograms auto-expand, so the overflow bucket is empty on
           a healthy run ({!Validate} checks). *)
   dfp_stopped : bool;  (** Whether the §4.2 safety valve fired. *)
   instrumentation_points : int;  (** 0 for non-SIP schemes. *)
-  resident_at_end : int;
-      (** Pages resident in EPC when the replay finished; {!Validate}
-          checks page conservation against the event log and
-          [epc_capacity]. *)
   epc_capacity : int;  (** EPC frames the run was configured with. *)
 }
 
 val run :
   ?config:config -> ?fault_plan:Fault_plan.t -> ?input_label:string ->
   scheme:Preload.Scheme.t -> Workload.Trace.t -> result
-(** Replay the trace once.  [Native] schemes run with the native cost
-    model and an effectively unbounded EPC (the machine's RAM).
+(** Replay the trace once, from its compiled {!Workload.Trace_arena}
+    (compiling it on first use; see the arena's memo/cache).  [Native]
+    schemes run with the native cost model and an effectively unbounded
+    EPC (the machine's RAM).
     [fault_plan] (default {!Fault_plan.none}) perturbs the run at the
     plan's injection points; a stale plan scrambles the SIP plan before
     attachment, and corrupted traces are corrupted identically on every

@@ -188,6 +188,7 @@ let chrome_trace (r : Runner.result) =
 
 let row_fields (r : Runner.result) =
   let m = r.metrics in
+  let d = r.diagnostics in
   [
     ("workload", str r.workload);
     ("input", str r.input);
@@ -221,14 +222,23 @@ let row_fields (r : Runner.result) =
     ("scans", string_of_int m.scans);
     ("dfp_stopped", if r.dfp_stopped then "true" else "false");
     ("instrumentation_points", string_of_int r.instrumentation_points);
+    ("pending_preloads", string_of_int d.Runner.pending_preloads);
+    ("in_flight_preloads", string_of_int d.Runner.in_flight_preloads);
+    ( "in_flight_kind",
+      str
+        (match d.Runner.in_flight_kind with
+        | None -> "none"
+        | Some k -> kind_str k) );
+    ("resident_at_end", string_of_int d.Runner.resident_at_end);
+    ("events_truncated", if d.Runner.events_truncated then "true" else "false");
   ]
 
 let jsonl_row r = obj (row_fields r)
 
 let csv_header =
-  (* Field order is fixed by [row_fields]; build the header from a dummy
-     evaluation would need a result, so keep the literal in sync via the
-     test that zips header and row widths. *)
+  (* Field order is fixed by [row_fields]; building the header from a
+     dummy evaluation would need a result, so keep the literal in sync
+     via the test that zips header and row widths. *)
   String.concat ","
     [
       "workload"; "input"; "scheme"; "cycles"; "final_now"; "cyc_compute";
@@ -238,7 +248,9 @@ let csv_header =
       "preloads_issued"; "preloads_completed"; "preloads_aborted";
       "preloads_taken_over"; "preloads_skipped"; "preload_hits";
       "preload_evicted_unused"; "evictions"; "sip_checks"; "sip_notifies";
-      "scans"; "dfp_stopped"; "instrumentation_points";
+      "scans"; "dfp_stopped"; "instrumentation_points"; "pending_preloads";
+      "in_flight_preloads"; "in_flight_kind"; "resident_at_end";
+      "events_truncated";
     ]
 
 let csv_cell value =
@@ -249,3 +261,22 @@ let csv_cell value =
   else value
 
 let csv_row r = String.concat "," (List.map (fun (_, x) -> csv_cell x) (row_fields r))
+
+(* ------------------------------------------------------------------ *)
+(* The one rendering entry point                                       *)
+(* ------------------------------------------------------------------ *)
+
+type format = Chrome_trace | Jsonl | Csv
+
+let formats =
+  [ ("chrome-trace", Chrome_trace); ("jsonl", Jsonl); ("csv", Csv) ]
+
+let needs_events = function Chrome_trace -> true | Jsonl | Csv -> false
+
+(* The single exhaustiveness-checked dispatch: adding a format extends
+   the variant, and the compiler walks every consumer here. *)
+let render ~format r =
+  match format with
+  | Chrome_trace -> chrome_trace r ^ "\n"
+  | Jsonl -> jsonl_row r ^ "\n"
+  | Csv -> csv_header ^ "\n" ^ csv_row r ^ "\n"

@@ -1,31 +1,34 @@
 (** Render finished runs for external tools.
 
-    Two consumers:
+    One entry point, {!render}, over a closed {!format} variant:
 
-    - {b trace viewers}: {!chrome_trace} emits the Chrome trace-event JSON
-      format, loadable in Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev})
-      or [chrome://tracing].  One process per run, four tracks: the app
+    - [Chrome_trace]: the Chrome trace-event JSON format, loadable in
+      Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or
+      [chrome://tracing].  One process per run, four tracks: the app
       thread (fault AEX→ERESUME spans, SIP check/notify spans), the
       exclusive load channel (one span per page load, labelled demand /
       dfp / sip), the service scan (CLOCK scans and evictions), and the
       preload queue (enqueue / abort instants).  Timestamps are raw
       simulated cycles in the [ts]/[dur] fields.
-    - {b data analysis}: {!jsonl_row} / {!csv_row} flatten one
-      {!Runner.result} into a record of every cycle category and counter,
-      suitable for appending to a JSONL log or a CSV table.
+    - [Jsonl]: one JSON object (single line) flattening every cycle
+      category, counter and end-of-run diagnostic of a {!Runner.result}.
+    - [Csv]: the same fields as [Jsonl], as a header line plus one row.
 
-    Everything is emitted with a hand-rolled JSON writer; the repository
-    deliberately has no JSON dependency. *)
+    Adding a format means extending the variant; the compiler then walks
+    every match site.  Everything is emitted with a hand-rolled JSON
+    writer; the repository deliberately has no JSON dependency. *)
 
-val chrome_trace : Runner.result -> string
-(** The whole run as one Chrome trace-event JSON object.  Runs that
-    logged no events still produce a valid (metadata-only) trace. *)
+type format = Chrome_trace | Jsonl | Csv
 
-val jsonl_row : Runner.result -> string
-(** One JSON object (single line) of summary metrics for the run. *)
+val formats : (string * format) list
+(** Stable CLI spellings, e.g. for a [Cmdliner] enum:
+    [("chrome-trace", Chrome_trace); ("jsonl", Jsonl); ("csv", Csv)]. *)
 
-val csv_header : string
-(** Column names matching {!csv_row}, comma-separated. *)
+val needs_events : format -> bool
+(** Whether the format reads the event log (so callers know to run with
+    logging enabled). *)
 
-val csv_row : Runner.result -> string
-(** The same fields as {!jsonl_row}, as one CSV line. *)
+val render : format:format -> Runner.result -> string
+(** The complete payload for one run, newline-terminated.  Runs that
+    logged no events still produce a valid (metadata-only) Chrome
+    trace. *)

@@ -164,6 +164,7 @@ let count pred events = List.length (List.filter pred events)
 
 let check_accounting (r : Runner.result) =
   let m = r.metrics in
+  let d = r.diagnostics in
   let sum_categories =
     m.cyc_compute + m.cyc_access + m.cyc_aex + m.cyc_eresume + m.cyc_os_handler
     + m.cyc_load_wait + m.cyc_bitmap_check + m.cyc_notify + m.cyc_sip_wait
@@ -205,13 +206,13 @@ let check_accounting (r : Runner.result) =
      a DFP-kind load closes this identity: [preloads_issued] counts the
      speculative queue, which SIP's synchronous loads never enter. *)
   let in_flight_dfp =
-    match r.in_flight_kind with
+    match d.Runner.in_flight_kind with
     | Some Load_channel.Preload_dfp -> 1
     | Some (Load_channel.Preload_sip | Load_channel.Demand) | None -> 0
   in
   let accounted =
     m.preloads_completed + m.preloads_aborted + m.preloads_taken_over
-    + m.preloads_skipped + r.pending_preloads + in_flight_dfp
+    + m.preloads_skipped + d.Runner.pending_preloads + in_flight_dfp
   in
   if m.preloads_issued <> accounted then
     add
@@ -219,23 +220,23 @@ let check_accounting (r : Runner.result) =
          "issued %d <> completed %d + aborted %d + taken-over %d + skipped %d \
           + queued %d + in-flight %d"
          m.preloads_issued m.preloads_completed m.preloads_aborted
-         m.preloads_taken_over m.preloads_skipped r.pending_preloads
+         m.preloads_taken_over m.preloads_skipped d.Runner.pending_preloads
          in_flight_dfp);
   (* [in_flight_preloads] is the kind-resolved view of the same channel:
      either speculative kind counts, a demand load does not.  (The old
      runner counted only [Preload_dfp], silently dropping an in-flight
      SIP preload from the report.) *)
   let in_flight_expected =
-    match r.in_flight_kind with
+    match d.Runner.in_flight_kind with
     | Some (Load_channel.Preload_dfp | Load_channel.Preload_sip) -> 1
     | Some Load_channel.Demand | None -> 0
   in
-  if r.in_flight_preloads <> in_flight_expected then
+  if d.Runner.in_flight_preloads <> in_flight_expected then
     add
       (v "preload-identity"
          "in_flight_preloads %d disagrees with the channel (kind %s expects %d)"
-         r.in_flight_preloads
-         (match r.in_flight_kind with
+         d.Runner.in_flight_preloads
+         (match d.Runner.in_flight_kind with
          | None -> "none"
          | Some Load_channel.Demand -> "demand"
          | Some Load_channel.Preload_dfp -> "preload-dfp"
@@ -270,22 +271,25 @@ let check_fault_latency (r : Runner.result) =
    and (given a complete log) every resident page is the net of loads
    completed minus evictions. *)
 let check_conservation (r : Runner.result) =
+  let d = r.diagnostics in
   let violations = ref [] in
   let add x = violations := x :: !violations in
-  if r.resident_at_end < 0 then
-    add (v "page-conservation" "resident_at_end %d is negative" r.resident_at_end);
-  if r.resident_at_end > r.epc_capacity then
+  if d.Runner.resident_at_end < 0 then
+    add
+      (v "page-conservation" "resident_at_end %d is negative"
+         d.Runner.resident_at_end);
+  if d.Runner.resident_at_end > r.epc_capacity then
     add
       (v "page-conservation" "resident_at_end %d exceeds EPC capacity %d"
-         r.resident_at_end r.epc_capacity);
-  if r.events <> [] && not r.events_truncated then begin
+         d.Runner.resident_at_end r.epc_capacity);
+  if r.events <> [] && not d.Runner.events_truncated then begin
     let dones = count (function Event.Load_done _ -> true | _ -> false) r.events in
     let evicts = count (function Event.Evict _ -> true | _ -> false) r.events in
-    if dones - evicts <> r.resident_at_end then
+    if dones - evicts <> d.Runner.resident_at_end then
       add
         (v "page-conservation"
            "load-dones %d - evictions %d = %d, but %d pages are resident"
-           dones evicts (dones - evicts) r.resident_at_end)
+           dones evicts (dones - evicts) d.Runner.resident_at_end)
   end;
   List.rev !violations
 
@@ -316,8 +320,8 @@ let check_non_negative (r : Runner.result) =
       ("evictions", m.evictions); ("sip_checks", m.sip_checks);
       ("sip_notifies", m.sip_notifies); ("scans", m.scans);
       ("cycles", r.cycles); ("final_now", r.final_now);
-      ("pending_preloads", r.pending_preloads);
-      ("in_flight_preloads", r.in_flight_preloads);
+      ("pending_preloads", r.diagnostics.Runner.pending_preloads);
+      ("in_flight_preloads", r.diagnostics.Runner.in_flight_preloads);
     ]
   in
   List.filter_map
@@ -369,7 +373,7 @@ let check (r : Runner.result) =
   @
   (* Event-derived checks need the whole history: skip them when logging
      was off or the ring dropped its oldest events. *)
-  if r.events = [] || r.events_truncated then []
+  if r.events = [] || r.diagnostics.Runner.events_truncated then []
   else check_event_counters r @ check_events ~costs:r.costs r.events
 
 exception Invalid of violation list

@@ -1,5 +1,7 @@
 module Prng = Repro_util.Prng
 
+type stats = { length : int; distinct_pages : int }
+
 type t = {
   name : string;
   elrange_pages : int;
@@ -7,11 +9,12 @@ type t = {
   seed : int;
   pattern : Pattern.t;
   sites : (int * string) list;
+  mutable stats : stats option;
 }
 
 let make ~name ~elrange_pages ~footprint_pages ~seed ~sites pattern =
   if elrange_pages <= 0 then invalid_arg "Trace.make: elrange must be positive";
-  { name; elrange_pages; footprint_pages; seed; pattern; sites }
+  { name; elrange_pages; footprint_pages; seed; pattern; sites; stats = None }
 
 let events t = Pattern.run t.pattern (Prng.create t.seed)
 
@@ -20,12 +23,27 @@ let site_name t site =
   | Some name -> name
   | None -> Printf.sprintf "site%d" site
 
-let length t = Seq.fold_left (fun n _ -> n + 1) 0 (events t)
+let note_stats t ~length ~distinct_pages =
+  if t.stats = None then t.stats <- Some { length; distinct_pages }
 
-let count_distinct_pages t =
-  let seen = Hashtbl.create 1024 in
-  Seq.iter
-    (fun (a : Access.t) ->
-      if not (Hashtbl.mem seen a.vpage) then Hashtbl.add seen a.vpage ())
-    (events t);
-  Hashtbl.length seen
+(* Both statistics come out of one replay, and [Trace_arena.compile]
+   deposits them as a side effect of packing, so a trace that has been
+   compiled (or measured once) never replays again for either query. *)
+let computed_stats t =
+  match t.stats with
+  | Some s -> s
+  | None ->
+    let seen = Hashtbl.create 1024 in
+    let n = ref 0 in
+    Seq.iter
+      (fun (a : Access.t) ->
+        incr n;
+        Hashtbl.replace seen a.vpage ())
+      (events t);
+    let s = { length = !n; distinct_pages = Hashtbl.length seen } in
+    t.stats <- Some s;
+    s
+
+let length t = (computed_stats t).length
+
+let count_distinct_pages t = (computed_stats t).distinct_pages

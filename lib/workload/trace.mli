@@ -2,8 +2,15 @@
     size.
 
     Replays are the backbone of the PGO flow — the profiling run and the
-    measured run both call {!events} and receive streams rebuilt from the
-    trace's seed, so "run the same binary again" is exact. *)
+    measured run both see streams rebuilt from the trace's seed, so "run
+    the same binary again" is exact.  Hot consumers replay through
+    {!Trace_arena}, which compiles the stream once into packed buffers;
+    {!events} remains as the thin compatibility view over the pattern. *)
+
+type stats = { length : int; distinct_pages : int }
+(** Whole-stream statistics, cached on the trace after the first full
+    materialisation (by {!Trace_arena.compile} or by the first {!length}
+    / {!count_distinct_pages} query). *)
 
 type t = {
   name : string;
@@ -12,6 +19,9 @@ type t = {
   seed : int;
   pattern : Pattern.t;
   sites : (int * string) list;  (** Site id -> human label, for reports. *)
+  mutable stats : stats option;
+      (** Memoised {!stats}; not part of the trace's identity.  Filled
+          through {!note_stats}, never written directly. *)
 }
 
 val make :
@@ -20,13 +30,21 @@ val make :
 
 val events : t -> Access.t Seq.t
 (** A fresh single-consumption stream built from the stored seed.
-    Successive calls yield identical streams. *)
+    Successive calls yield identical streams.  Compatibility view: one
+    [Access.t] record is allocated per step, and every call re-runs the
+    PRNG pattern — replay loops should go through {!Trace_arena}. *)
 
 val site_name : t -> int -> string
 (** Label of a site (falls back to ["site<i>"]). *)
 
+val note_stats : t -> length:int -> distinct_pages:int -> unit
+(** Deposit whole-stream statistics computed elsewhere (the arena
+    compiler calls this while packing).  First writer wins; the values
+    are a pure function of the trace, so any writer agrees. *)
+
 val length : t -> int
-(** Number of events (forces one full replay; O(trace)). *)
+(** Number of events.  O(1) once the trace has been compiled or queried
+    before; one full replay (then cached) otherwise. *)
 
 val count_distinct_pages : t -> int
-(** Distinct pages touched (forces one full replay). *)
+(** Distinct pages touched; same caching as {!length}. *)

@@ -1,0 +1,211 @@
+(* Binary on-disk format for compiled trace arenas.
+
+   One file is one compiled trace: a fixed magic, a format version, the
+   identity header (everything [Trace_arena] keys the cache on), the
+   four packed access columns, and a trailing checksum over every byte
+   before it.  Integers are zigzag + LEB128 so a 1M-event arena costs a
+   few bytes per access instead of 32; the whole file round-trips
+   bit-exactly, which is what lets a warm cache replace regeneration
+   without perturbing a single simulated cycle. *)
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type packed = {
+  name : string;
+  seed : int;
+  elrange_pages : int;
+  footprint_pages : int;
+  fingerprint : int;
+  distinct_pages : int;
+  site : buf;
+  vpage : buf;
+  compute : buf;
+  thread : buf;
+}
+
+let version = 1
+let magic = "SGXARENA"
+
+let length p = Bigarray.Array1.dim p.site
+
+(* ------------------------------------------------------------------ *)
+(* Hashing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a folded into OCaml's 63-bit int: integrity against truncation
+   and bit rot, not an adversary.  [mix] is shared with [Trace_arena]'s
+   stream fingerprint so both sides agree on one mixing function. *)
+let hash_seed = 0x27d4eb2f165667c5
+let hash_prime = 0x100000001b3
+
+let mix h n = ((h lxor n) * hash_prime) land max_int
+
+let hash_string_range s ~len =
+  let h = ref hash_seed in
+  for i = 0 to len - 1 do
+    h := mix !h (Char.code (String.unsafe_get s i))
+  done;
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* Primitive encode/decode                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Zigzag maps the 63-bit int line onto non-negatives (small magnitudes
+   stay small either sign), then LEB128 emits 7 bits per byte. *)
+let put_int buf n =
+  let rec go v =
+    if v lsr 7 = 0 then Buffer.add_char buf (Char.unsafe_chr (v land 0x7f))
+    else begin
+      Buffer.add_char buf (Char.unsafe_chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go ((n lsl 1) lxor (n asr 62))
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+type cursor = { data : string; mutable pos : int }
+
+let get_byte c =
+  if c.pos >= String.length c.data then corrupt "truncated file";
+  let b = Char.code (String.unsafe_get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  b
+
+let get_int c =
+  let rec go shift acc =
+    let b = get_byte c in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc
+    else if shift > 56 then corrupt "varint too long"
+    else go (shift + 7) acc
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+let get_string c =
+  let n = get_int c in
+  if n < 0 || c.pos + n > String.length c.data then
+    corrupt "truncated string field";
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Whole-arena encode/decode                                           *)
+(* ------------------------------------------------------------------ *)
+
+let checksum_bytes = 8
+
+let encode p =
+  let n = length p in
+  let buf = Buffer.create (64 + (n * 6)) in
+  Buffer.add_string buf magic;
+  put_int buf version;
+  put_string buf p.name;
+  put_int buf p.seed;
+  put_int buf p.elrange_pages;
+  put_int buf p.footprint_pages;
+  put_int buf p.fingerprint;
+  put_int buf p.distinct_pages;
+  put_int buf n;
+  let put_column (a : buf) =
+    for i = 0 to n - 1 do
+      put_int buf (Bigarray.Array1.unsafe_get a i)
+    done
+  in
+  put_column p.site;
+  put_column p.vpage;
+  put_column p.compute;
+  put_column p.thread;
+  let body = Buffer.contents buf in
+  let h = hash_string_range body ~len:(String.length body) in
+  let tail = Bytes.create checksum_bytes in
+  for i = 0 to checksum_bytes - 1 do
+    Bytes.unsafe_set tail i (Char.unsafe_chr ((h lsr (8 * i)) land 0xff))
+  done;
+  body ^ Bytes.unsafe_to_string tail
+
+let decode data =
+  try
+    let len = String.length data in
+    if len < String.length magic + checksum_bytes then corrupt "truncated file";
+    if String.sub data 0 (String.length magic) <> magic then
+      corrupt "bad magic (not an arena file)";
+    let body_len = len - checksum_bytes in
+    let stored =
+      let h = ref 0 in
+      for i = checksum_bytes - 1 downto 0 do
+        h := (!h lsl 8) lor Char.code data.[body_len + i]
+      done;
+      !h
+    in
+    if hash_string_range data ~len:body_len <> stored then
+      corrupt "checksum mismatch";
+    let c = { data; pos = String.length magic } in
+    let v = get_int c in
+    if v <> version then corrupt "unsupported version %d (want %d)" v version;
+    let name = get_string c in
+    let seed = get_int c in
+    let elrange_pages = get_int c in
+    let footprint_pages = get_int c in
+    let fingerprint = get_int c in
+    let distinct_pages = get_int c in
+    let n = get_int c in
+    if n < 0 then corrupt "negative event count %d" n;
+    let get_column () =
+      let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+      for i = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set a i (get_int c)
+      done;
+      a
+    in
+    let site = get_column () in
+    let vpage = get_column () in
+    let compute = get_column () in
+    let thread = get_column () in
+    if c.pos <> body_len then corrupt "trailing garbage after payload";
+    Ok
+      {
+        name; seed; elrange_pages; footprint_pages; fingerprint;
+        distinct_pages; site; vpage; compute; thread;
+      }
+  with Corrupt msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_file ~path p =
+  (* Temp-then-rename: concurrent forked workers may race to populate
+     the same cache entry; each writes its own temp file and the atomic
+     rename means readers only ever see complete, checksummed files. *)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "arena-" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (encode p);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let read_file ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error "truncated file"
+  | data -> decode data

@@ -1,0 +1,56 @@
+(** Versioned, checksummed binary codec for compiled trace arenas.
+
+    [Trace_arena] compiles a {!Trace.t} into four packed integer columns
+    (one entry per access); this module is the byte-level format those
+    columns persist in.  A file is
+
+    {v magic "SGXARENA" | version | identity header | columns | checksum v}
+
+    with every integer zigzag + LEB128 encoded and the trailing 8 bytes
+    an FNV-style checksum of everything before them.  Decoding verifies
+    the magic, the version and the checksum before trusting a single
+    field, so a truncated, corrupted or stale-format cache file is
+    reported as an [Error] — callers fall back to regeneration, never to
+    garbage replay. *)
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type packed = {
+  name : string;
+  seed : int;
+  elrange_pages : int;
+  footprint_pages : int;
+  fingerprint : int;
+      (** Stream-prefix hash computed by [Trace_arena]; part of the
+          identity the cache is keyed on. *)
+  distinct_pages : int;  (** Cached [Trace.count_distinct_pages]. *)
+  site : buf;
+  vpage : buf;
+  compute : buf;
+  thread : buf;  (** Parallel columns, one entry per access. *)
+}
+
+val version : int
+(** Bumped whenever the layout changes; a file with any other version is
+    rejected on read. *)
+
+val length : packed -> int
+(** Number of accesses (the common dimension of the four columns). *)
+
+val mix : int -> int -> int
+(** One FNV-1a step folded into OCaml's 63-bit int.  Exposed so
+    [Trace_arena]'s stream fingerprint and the file checksum share one
+    mixing function. *)
+
+val encode : packed -> string
+
+val decode : string -> (packed, string) result
+(** Inverse of {!encode}; [Error] names what was wrong (bad magic,
+    unsupported version, checksum mismatch, truncation, trailing
+    garbage). *)
+
+val write_file : path:string -> packed -> unit
+(** Write atomically (temp file + rename), so concurrent writers of the
+    same cache entry never expose a half-written file. *)
+
+val read_file : path:string -> (packed, string) result

@@ -10,6 +10,7 @@ type t = {
 }
 
 let analyse trace =
+  let arena = Trace_arena.compile trace in
   let pages = Hashtbl.create 1024 in
   let sites = Hashtbl.create 64 in
   let threads = Hashtbl.create 8 in
@@ -27,24 +28,22 @@ let analyse trace =
       run_pages := !run_pages + !current_run
     end
   in
-  Seq.iter
-    (fun (a : Access.t) ->
+  Trace_arena.iter arena ~f:(fun ~site ~vpage ~compute ~thread ->
       incr events;
-      total_compute := !total_compute + a.compute;
-      Hashtbl.replace pages a.vpage ();
-      Hashtbl.replace sites a.site ();
-      Hashtbl.replace threads a.thread ();
+      total_compute := !total_compute + compute;
+      Hashtbl.replace pages vpage ();
+      Hashtbl.replace sites site ();
+      Hashtbl.replace threads thread ();
       (match !prev with
-      | Some p when abs (a.vpage - p) = 1 ->
+      | Some p when abs (vpage - p) = 1 ->
         incr sequential_pairs;
         incr current_run
-      | Some p when a.vpage = p -> incr same_page_pairs
+      | Some p when vpage = p -> incr same_page_pairs
       | Some _ ->
         close_run ();
         current_run := 1
       | None -> ());
-      prev := Some a.vpage)
-    (Trace.events trace);
+      prev := Some vpage);
   if !events > 0 then close_run ();
   {
     events = !events;
@@ -60,6 +59,7 @@ let analyse trace =
 
 let miss_ratio trace ~epc_pages =
   if epc_pages <= 0 then invalid_arg "Trace_stats.miss_ratio: epc_pages must be positive";
+  let arena = Trace_arena.compile trace in
   (* Reuse the core library's trick without depending on it: a lazy LRU
      set of page numbers. *)
   let stamps = Hashtbl.create (2 * epc_pages) in
@@ -78,19 +78,17 @@ let miss_ratio trace ~epc_pages =
     in
     pop ()
   in
-  Seq.iter
-    (fun (a : Access.t) ->
+  Trace_arena.iter arena ~f:(fun ~site:_ ~vpage ~compute:_ ~thread:_ ->
       incr events;
-      let hit = Hashtbl.mem stamps a.vpage in
+      let hit = Hashtbl.mem stamps vpage in
       if not hit then incr misses;
       incr clock;
-      Hashtbl.replace stamps a.vpage !clock;
-      Queue.add (a.vpage, !clock) queue;
+      Hashtbl.replace stamps vpage !clock;
+      Queue.add (vpage, !clock) queue;
       if not hit then
         while Hashtbl.length stamps > epc_pages do
           evict ()
-        done)
-    (Trace.events trace);
+        done);
   if !events = 0 then 0.0 else float_of_int !misses /. float_of_int !events
 
 let miss_ratio_curve trace ~epc_pages =

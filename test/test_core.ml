@@ -747,6 +747,85 @@ let test_scheme_sip_plan () =
   checkb "uses_sip" true (Scheme.uses_sip (Scheme.Sip plan));
   checkb "baseline does not" false (Scheme.uses_sip Scheme.Baseline)
 
+let test_scheme_name_roundtrip () =
+  let plan () = Instrumenter.empty_plan ~workload:"rt" in
+  List.iter
+    (fun s ->
+      match Scheme.of_string ~plan (Scheme.name s) with
+      | Ok s' ->
+        Alcotest.(check string)
+          "of_string (name s) re-derives s" (Scheme.name s) (Scheme.name s')
+      | Error msg -> Alcotest.fail msg)
+    [
+      Scheme.Baseline;
+      Scheme.Native;
+      Scheme.dfp_default;
+      Scheme.dfp_stop;
+      Scheme.Sip (plan ());
+      Scheme.Hybrid (Dfp.default_config, plan ());
+      Scheme.Hybrid (Dfp.with_stop Dfp.default_config, plan ());
+      Scheme.next_line ~degree:4;
+      Scheme.stride ~degree:2;
+      Scheme.markov ~table_pages:512 ~degree:3;
+    ]
+
+let test_scheme_of_string_spellings () =
+  (* The parameterised variants carry only ints, so structural equality
+     is safe here (no plan closures involved). *)
+  checkb "colon next-line" true
+    (Scheme.of_string "next-line:3" = Ok (Scheme.next_line ~degree:3));
+  checkb "colon stride" true
+    (Scheme.of_string "stride:2" = Ok (Scheme.stride ~degree:2));
+  checkb "colon markov" true
+    (Scheme.of_string "markov:64,2"
+    = Ok (Scheme.markov ~table_pages:64 ~degree:2));
+  checkb "paren markov with spaces" true
+    (Scheme.of_string "markov(64, 2)"
+    = Ok (Scheme.markov ~table_pages:64 ~degree:2));
+  checkb "case-insensitive" true
+    (Scheme.of_string "BASELINE" = Ok Scheme.Baseline);
+  checkb "hybrid alias" true
+    (match
+       Scheme.of_string
+         ~plan:(fun () -> Instrumenter.empty_plan ~workload:"x")
+         "hybrid"
+     with
+    | Ok s -> Scheme.name s = "SIP+DFP-stop"
+    | Error _ -> false)
+
+let test_scheme_of_string_errors () =
+  let err s =
+    match Scheme.of_string s with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.fail (Printf.sprintf "parsed %S" s)
+  in
+  let mentions label needle msg =
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    checkb
+      (Printf.sprintf "%s: %S mentions %S" label msg needle)
+      true (contains msg needle)
+  in
+  mentions "unknown" "unknown scheme" (err "frobnicate");
+  mentions "plan needed" "needs an instrumentation plan" (err "sip");
+  mentions "plan needed (hybrid)" "needs an instrumentation plan"
+    (err "sip+dfp-stop");
+  mentions "malformed" "malformed parameter" (err "stride:x");
+  mentions "range" ">= 1" (err "next-line(0)");
+  mentions "arity" "takes 2 parameter" (err "markov:4");
+  mentions "arity (paren)" "takes 1 parameter" (err "stride(2,3)");
+  Alcotest.check_raises "constructor validates"
+    (Invalid_argument "Scheme.next_line: degree must be >= 1") (fun () ->
+      ignore (Scheme.next_line ~degree:0));
+  Alcotest.check_raises "markov validates"
+    (Invalid_argument "Scheme.markov: table_pages must be >= 1") (fun () ->
+      ignore (Scheme.markov ~table_pages:0 ~degree:1))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -823,5 +902,11 @@ let () =
           tc "markov validation" test_markov_validation;
         ] );
       ( "scheme",
-        [ tc "names" test_scheme_names; tc "sip plan" test_scheme_sip_plan ] );
+        [
+          tc "names" test_scheme_names;
+          tc "sip plan" test_scheme_sip_plan;
+          tc "name round-trip" test_scheme_name_roundtrip;
+          tc "of_string spellings" test_scheme_of_string_spellings;
+          tc "of_string errors" test_scheme_of_string_errors;
+        ] );
     ]

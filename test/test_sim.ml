@@ -122,7 +122,8 @@ let all_schemes () =
     Scheme.Baseline; Scheme.Native; Scheme.dfp_default; Scheme.dfp_stop;
     Scheme.Sip plan;
     Scheme.Hybrid (Preload.Dfp.with_stop Preload.Dfp.default_config, plan);
-    Scheme.Next_line 4; Scheme.Stride 4; Scheme.Markov (8 * epc, 4);
+    Scheme.next_line ~degree:4; Scheme.stride ~degree:4;
+    Scheme.markov ~table_pages:(8 * epc) ~degree:4;
   ]
 
 let test_every_scheme_validates () =
@@ -136,7 +137,8 @@ let test_every_scheme_validates () =
       checki
         (r.scheme ^ ": final now = total cycles")
         (Metrics.total_cycles r.metrics) r.final_now;
-      checkb (r.scheme ^ ": log complete") false r.events_truncated;
+      checkb (r.scheme ^ ": log complete") false
+        r.diagnostics.Runner.events_truncated;
       Alcotest.(check string)
         (r.scheme ^ ": no violations")
         ""
@@ -448,7 +450,7 @@ let test_markov_scheme_via_runner () =
      chain. *)
   let trace = Workload.Spec.lbm ~epc_pages:epc ~input:(Input.Ref 0) in
   let base = Runner.run ~config ~scheme:Scheme.Baseline trace in
-  let m = Runner.run ~config ~scheme:(Scheme.Markov (8 * epc, 4)) trace in
+  let m = Runner.run ~config ~scheme:(Scheme.markov ~table_pages:(8 * epc) ~degree:4) trace in
   Alcotest.(check string) "scheme name" "markov(4096,4)" m.scheme;
   checkb "repeated sweeps are learnable" true
     (Runner.improvement ~baseline:base m > 0.0)

@@ -202,9 +202,20 @@ let run_didactic scheme =
 (* Chrome trace export                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Everything goes through the one public entry point. *)
+let chrome r = Trace_export.render ~format:Trace_export.Chrome_trace r
+let jsonl r = Trace_export.render ~format:Trace_export.Jsonl r
+
+let csv_lines r =
+  match
+    String.split_on_char '\n' (Trace_export.render ~format:Trace_export.Csv r)
+  with
+  | [ header; row; "" ] -> (header, row)
+  | _ -> Alcotest.fail "csv payload must be one header line plus one row"
+
 let test_chrome_trace_parses () =
   let r = run_didactic Scheme.dfp_default in
-  let doc = parse_json (Trace_export.chrome_trace r) in
+  let doc = parse_json (chrome r) in
   let events = to_arr (member "traceEvents" doc) in
   checkb "has events beyond metadata" true (List.length events > 8);
   List.iter
@@ -219,7 +230,7 @@ let test_chrome_trace_parses () =
 
 let test_chrome_trace_timestamps_monotone_per_track () =
   let r = run_didactic Scheme.dfp_default in
-  let events = to_arr (member "traceEvents" (parse_json (Trace_export.chrome_trace r))) in
+  let events = to_arr (member "traceEvents" (parse_json (chrome r))) in
   let last : (int, float) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun e ->
@@ -240,7 +251,7 @@ let test_chrome_trace_timestamps_monotone_per_track () =
 
 let test_chrome_trace_names_tracks () =
   let r = run_didactic Scheme.Baseline in
-  let events = to_arr (member "traceEvents" (parse_json (Trace_export.chrome_trace r))) in
+  let events = to_arr (member "traceEvents" (parse_json (chrome r))) in
   let thread_names =
     List.filter_map
       (fun e ->
@@ -257,7 +268,7 @@ let test_chrome_trace_fault_spans_cost_accurate () =
   (* Every baseline fault span covers AEX + load + ERESUME (the didactic
      trace never waits on an in-flight load). *)
   let r = run_didactic Scheme.Baseline in
-  let events = to_arr (member "traceEvents" (parse_json (Trace_export.chrome_trace r))) in
+  let events = to_arr (member "traceEvents" (parse_json (chrome r))) in
   let fault_spans =
     List.filter
       (fun e ->
@@ -280,7 +291,7 @@ let test_chrome_trace_fault_spans_cost_accurate () =
 
 let test_jsonl_row_round_trips () =
   let r = run_didactic Scheme.dfp_default in
-  let row = parse_json (Trace_export.jsonl_row r) in
+  let row = parse_json (jsonl r) in
   Alcotest.(check string) "workload" "export-didactic" (to_str (member "workload" row));
   Alcotest.(check string) "scheme" r.scheme (to_str (member "scheme" row));
   checki "cycles" r.cycles (int_of_float (to_num (member "cycles" row)));
@@ -290,14 +301,15 @@ let test_jsonl_row_round_trips () =
 let test_csv_header_matches_row () =
   let r = run_didactic Scheme.Baseline in
   let split line = String.split_on_char ',' line in
-  let header = split Trace_export.csv_header in
-  let row = split (Trace_export.csv_row r) in
+  let header_line, row_line = csv_lines r in
+  let header = split header_line in
+  let row = split row_line in
   checki "same arity" (List.length header) (List.length row);
   let get key = List.assoc key (List.combine header row) in
   Alcotest.(check string) "workload cell" "export-didactic" (get "workload");
   Alcotest.(check string) "cycles cell" (string_of_int r.cycles) (get "cycles");
   (* The JSONL object exposes exactly the CSV columns. *)
-  match parse_json (Trace_export.jsonl_row r) with
+  match parse_json (jsonl r) with
   | Obj fields ->
     Alcotest.(check (list string)) "jsonl keys = csv columns" header
       (List.map fst fields)
@@ -311,12 +323,13 @@ let test_clean_runs_validate () =
   List.iter
     (fun scheme ->
       let r = run_didactic scheme in
-      checkb (r.Runner.scheme ^ " log complete") false r.events_truncated;
+      checkb (r.Runner.scheme ^ " log complete") false
+        r.Runner.diagnostics.Runner.events_truncated;
       Alcotest.(check string)
         (r.scheme ^ " passes")
         ""
         (Validate.report (Validate.check r)))
-    [ Scheme.Baseline; Scheme.Native; Scheme.dfp_default; Scheme.Next_line 2 ]
+    [ Scheme.Baseline; Scheme.Native; Scheme.dfp_default; Scheme.next_line ~degree:2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Validate: corrupted logs are rejected                               *)
@@ -463,8 +476,13 @@ let test_event_counter_mismatch_detected () =
 let test_in_flight_preload_miscount_detected () =
   let r = run_didactic Scheme.dfp_default in
   (* Claiming an in-flight preload the channel does not show... *)
+  let d = r.Runner.diagnostics in
   let inflated =
-    { r with Runner.in_flight_preloads = r.in_flight_preloads + 1 }
+    {
+      r with
+      Runner.diagnostics =
+        { d with Runner.in_flight_preloads = d.Runner.in_flight_preloads + 1 };
+    }
   in
   checkb "inflated count caught" true
     (flags "preload-identity" (Validate.check inflated));
@@ -474,8 +492,12 @@ let test_in_flight_preload_miscount_detected () =
   let sip_blind =
     {
       r with
-      Runner.in_flight_kind = Some Load_channel.Preload_sip;
-      in_flight_preloads = 0;
+      Runner.diagnostics =
+        {
+          d with
+          Runner.in_flight_kind = Some Load_channel.Preload_sip;
+          in_flight_preloads = 0;
+        };
     }
   in
   checkb "sip-kind blind spot caught" true
