@@ -468,6 +468,25 @@ let resume_arg =
   in
   Arg.(value & flag & info [ "resume" ] ~doc)
 
+let fused_arg =
+  let fused_doc =
+    "Collapse each trace's scheme cells into one fused single-pass \
+     replay (the default): the trace is decoded once per workload \
+     group, not once per cell.  Output is byte-identical to \
+     $(b,--no-fused)."
+  in
+  let no_fused_doc =
+    "Run one job per (workload, scheme) cell — the reference path the \
+     fused replay is diffed against."
+  in
+  Arg.(
+    value
+    & vflag true
+        [
+          (true, info [ "fused" ] ~doc:fused_doc);
+          (false, info [ "no-fused" ] ~doc:no_fused_doc);
+        ])
+
 let ensure_journal_dir = function
   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
   | _ -> ()
@@ -478,7 +497,7 @@ let experiment_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
   let action ids epc input quick_flag jobs timeout retries keep_going journal
-      resume =
+      resume fused =
     let settings =
       if quick_flag then Experiments.quick else settings_of ~epc ~input
     in
@@ -492,6 +511,7 @@ let experiment_cmd =
         keep_going;
         journal_dir = journal;
         resume;
+        fused;
       }
     in
     let ids = if ids = [] then List.map fst Experiments.all else ids in
@@ -506,7 +526,8 @@ let experiment_cmd =
   let term =
     Term.(
       const action $ ids_arg $ epc_arg $ input_arg $ quick_arg $ jobs_arg
-      $ timeout_arg $ retries_arg $ keep_going_arg $ journal_arg $ resume_arg)
+      $ timeout_arg $ retries_arg $ keep_going_arg $ journal_arg $ resume_arg
+      $ fused_arg)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures by id")

@@ -21,26 +21,43 @@ let default_config =
 
 let with_stop config = { config with stop_enabled = true }
 
+(* Per-thread predictor lookup runs on every fault, so the common case —
+   small non-negative thread ids, which is what every trace generator
+   produces — is an array probe; the Hashtbl only backs exotic ids. *)
+let small_threads = 256
+
 type t = {
   config : config;
-  predictors : (int, Stream_predictor.t) Hashtbl.t; (* keyed by thread *)
+  small : Stream_predictor.t option array; (* keyed by thread, [0, 256) *)
+  others : (int, Stream_predictor.t) Hashtbl.t; (* any other thread id *)
+  mutable predictor_count : int;
   mutable acc_preload_counter : int;
   mutable preload_counter : int;
   mutable stopped : bool;
 }
 
+let new_predictor t =
+  t.predictor_count <- t.predictor_count + 1;
+  Stream_predictor.create ~detect_backward:t.config.detect_backward
+    ~stream_list_length:t.config.stream_list_length
+    ~load_length:t.config.load_length ()
+
 let predictor_for t thread =
   let key = if t.config.per_thread then thread else 0 in
-  match Hashtbl.find_opt t.predictors key with
-  | Some p -> p
-  | None ->
-    let p =
-      Stream_predictor.create ~detect_backward:t.config.detect_backward
-        ~stream_list_length:t.config.stream_list_length
-        ~load_length:t.config.load_length ()
-    in
-    Hashtbl.add t.predictors key p;
-    p
+  if key >= 0 && key < small_threads then (
+    match t.small.(key) with
+    | Some p -> p
+    | None ->
+      let p = new_predictor t in
+      t.small.(key) <- Some p;
+      p)
+  else
+    match Hashtbl.find_opt t.others key with
+    | Some p -> p
+    | None ->
+      let p = new_predictor t in
+      Hashtbl.add t.others key p;
+      p
 
 (* Refresh a stream's pending window against what is actually still
    queued, then queue the new predictions and record which ones the
@@ -99,7 +116,9 @@ let attach enclave config =
   let t =
     {
       config;
-      predictors = Hashtbl.create 4;
+      small = Array.make small_threads None;
+      others = Hashtbl.create 4;
+      predictor_count = 0;
       acc_preload_counter = 0;
       preload_counter = 0;
       stopped = false;
@@ -116,4 +135,4 @@ let attach enclave config =
 let stopped t = t.stopped
 let counters t = (t.acc_preload_counter, t.preload_counter)
 let predictor t = predictor_for t 0
-let thread_count t = Hashtbl.length t.predictors
+let thread_count t = t.predictor_count

@@ -1,5 +1,3 @@
-module Lru = Repro_util.Lru
-
 type stream = { mutable stpn : int; mutable dir : int; mutable pending : int list }
 
 type reaction =
@@ -7,8 +5,18 @@ type reaction =
   | Restart_within of { stream : stream; abort : int list }
   | New_stream of { stream : stream; replaced : stream option }
 
+(* The stream list is a fixed-capacity MRU-first array rather than a
+   linked LRU list: [on_fault] runs on every simulated page fault, and at
+   list length 30 the generic list-based LRU spent its time rebuilding
+   cons cells on every promote and walking the list twice (pending check,
+   then sequential check).  The array form promotes with one [Array.blit]
+   (no allocation) and matches both predicates in a single early-exit
+   pass.  Order semantics are unchanged: index 0 is the MRU head, inserts
+   evict the highest live index. *)
 type t = {
-  list : stream Lru.t;
+  streams : stream array; (* [0, count) live, MRU first *)
+  dummy : stream; (* shared filler for dead slots; never mutated *)
+  mutable count : int;
   load_length : int;
   list_length : int;
   detect_backward : bool;
@@ -19,8 +27,11 @@ let create ?(detect_backward = true) ~stream_list_length ~load_length () =
     invalid_arg "Stream_predictor.create: stream_list_length must be positive";
   if load_length <= 0 then
     invalid_arg "Stream_predictor.create: load_length must be positive";
+  let dummy = { stpn = min_int; dir = 0; pending = [] } in
   {
-    list = Lru.create stream_list_length;
+    streams = Array.make stream_list_length dummy;
+    dummy;
+    count = 0;
     load_length;
     list_length = stream_list_length;
     detect_backward;
@@ -35,48 +46,95 @@ let stream_list_length t = t.list_length
    that window continues the stream.  (A fault {e inside} a window whose
    preloads are still pending is a skip, handled separately — the paper's
    page(5)-while-loading-page(3) abort example.)  Returns the direction
-   that makes [npn] a continuation, if any. *)
+   that makes [npn] a continuation, 0 if none. *)
 let sequential_dir t s npn =
   let window = t.load_length + 1 in
   let fits dir =
     let delta = (npn - s.stpn) * dir in
     delta >= 1 && delta <= window
   in
-  if s.dir <> 0 then if fits s.dir then Some s.dir else None
-  else if fits 1 then Some 1
-  else if t.detect_backward && fits (-1) then Some (-1)
-  else None
+  if s.dir <> 0 then if fits s.dir then s.dir else 0
+  else if fits 1 then 1
+  else if t.detect_backward && fits (-1) then -1
+  else 0
+
+let promote t i =
+  if i > 0 then begin
+    let s = t.streams.(i) in
+    Array.blit t.streams 0 t.streams 1 i;
+    t.streams.(0) <- s
+  end
 
 let on_fault t npn =
-  (* The pending check runs first: a fault on a page whose preload is
-     still queued means the application skipped ahead of the loader. *)
-  match Lru.find t.list (fun s -> List.mem npn s.pending) with
-  | Some s ->
+  (* One MRU-order pass.  The pending check has absolute priority over
+     the sequential check — a pending match anywhere in the list beats a
+     sequential match anywhere — so the pass can stop at the first
+     pending match but must remember only the {e first} sequential match
+     in case no pending match exists.  This reproduces exactly the
+     two-traversal (pending find, then sequential find) semantics. *)
+  let pending_i = ref (-1) in
+  let seq_i = ref (-1) in
+  let seq_dir = ref 0 in
+  let i = ref 0 in
+  while !pending_i < 0 && !i < t.count do
+    let s = t.streams.(!i) in
+    (* [memq], not [mem]: page numbers are immediate ints, so physical
+       equality is exact and skips the polymorphic-compare call. *)
+    if List.memq npn s.pending then pending_i := !i
+    else if !seq_i < 0 then begin
+      let dir = sequential_dir t s npn in
+      if dir <> 0 then begin
+        seq_i := !i;
+        seq_dir := dir
+      end
+    end;
+    incr i
+  done;
+  if !pending_i >= 0 then begin
+    (* The fault landed on a page whose preload is still queued: the
+       application skipped ahead of the loader. *)
+    let s = t.streams.(!pending_i) in
     let abort = s.pending in
     s.pending <- [];
     s.stpn <- npn;
     s.dir <- 0;
-    ignore (Lru.promote t.list (fun x -> x == s));
+    promote t !pending_i;
     Restart_within { stream = s; abort }
-  | None -> (
-    match Lru.find t.list (fun s -> sequential_dir t s npn <> None) with
-    | Some s ->
-      let dir = Option.get (sequential_dir t s npn) in
-      s.dir <- dir;
-      s.stpn <- npn;
-      ignore (Lru.promote t.list (fun x -> x == s));
-      let predict =
-        List.init t.load_length (fun i -> npn + (dir * (i + 1)))
-        |> List.filter (fun p -> p >= 0)
-      in
-      Extend { stream = s; predict }
-    | None ->
-      let fresh = { stpn = npn; dir = 0; pending = [] } in
-      let replaced = Lru.insert t.list fresh in
-      New_stream { stream = fresh; replaced })
+  end
+  else if !seq_i >= 0 then begin
+    let s = t.streams.(!seq_i) in
+    let dir = !seq_dir in
+    s.dir <- dir;
+    s.stpn <- npn;
+    promote t !seq_i;
+    let predict =
+      List.init t.load_length (fun i -> npn + (dir * (i + 1)))
+      |> List.filter (fun p -> p >= 0)
+    in
+    Extend { stream = s; predict }
+  end
+  else begin
+    let fresh = { stpn = npn; dir = 0; pending = [] } in
+    let replaced =
+      if t.count < t.list_length then begin
+        Array.blit t.streams 0 t.streams 1 t.count;
+        t.count <- t.count + 1;
+        None
+      end
+      else begin
+        let dropped = t.streams.(t.list_length - 1) in
+        Array.blit t.streams 0 t.streams 1 (t.list_length - 1);
+        Some dropped
+      end
+    in
+    t.streams.(0) <- fresh;
+    New_stream { stream = fresh; replaced }
+  end
 
 let set_pending s pages = s.pending <- pages
 
-let streams t = Lru.to_list t.list
+let streams t = List.init t.count (fun i -> t.streams.(i))
 
-let reset t = Lru.clear t.list
+let reset t =
+  t.count <- 0;
+  Array.fill t.streams 0 t.list_length t.dummy

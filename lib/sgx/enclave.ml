@@ -78,13 +78,15 @@ let record t e = Event.record t.log e
    AccPreloadCounter).  Called wherever the driver inspects access bits:
    the service scan, the CLOCK sweep, and eviction. *)
 let harvest t vpage =
-  let e = Page_table.entry t.pt vpage in
-  match e.prov with
-  | Preloaded p when (not p.counted) && e.accessed ->
-    p.counted <- true;
+  if
+    Page_table.preloaded t.pt vpage
+    && (not (Page_table.counted t.pt vpage))
+    && Page_table.accessed t.pt vpage
+  then begin
+    Page_table.set_counted t.pt vpage;
     t.metrics.preload_hits <- t.metrics.preload_hits + 1;
     t.on_preload_hit t vpage
-  | Preloaded _ | Demand -> ()
+  end
 
 (* Free one EPC frame via the CLOCK sweep.  The victim's state transition
    is applied at [at]; the EWB write-back time is charged to the load that
@@ -92,22 +94,18 @@ let harvest t vpage =
 let evict_one t ~at =
   (* The pinned page is treated as permanently accessed so the CLOCK
      sweep passes it over. *)
-  let accessed v =
-    v = t.protected_vpage || (Page_table.entry t.pt v).accessed
-  in
+  let accessed v = v = t.protected_vpage || Page_table.accessed t.pt v in
   let clear v =
     if v <> t.protected_vpage then begin
       harvest t v;
-      (Page_table.entry t.pt v).accessed <- false
+      Page_table.clear_accessed t.pt v
     end
   in
   let victim = Clock_evictor.choose_victim t.epc ~accessed ~clear in
-  let e = Page_table.entry t.pt victim in
-  (match e.prov with
-  | Preloaded p when not p.counted ->
-    t.metrics.preload_evicted_unused <- t.metrics.preload_evicted_unused + 1
-  | Preloaded _ | Demand -> ());
-  Clock_evictor.remove t.epc ~slot:e.slot;
+  if Page_table.preloaded t.pt victim && not (Page_table.counted t.pt victim)
+  then
+    t.metrics.preload_evicted_unused <- t.metrics.preload_evicted_unused + 1;
+  Clock_evictor.remove t.epc ~slot:(Page_table.slot t.pt victim);
   Page_table.mark_evicted t.pt victim;
   Bitset.clear t.bitmap victim;
   t.metrics.evictions <- t.metrics.evictions + 1;
@@ -155,7 +153,7 @@ let complete_load t (l : Load_channel.inflight) =
     let prov =
       match l.kind with
       | Demand | Preload_sip -> Page_table.Demand
-      | Preload_dfp -> Page_table.Preloaded { counted = false }
+      | Preload_dfp -> Page_table.Preloaded
     in
     let slot = Clock_evictor.insert t.epc l.vpage in
     Page_table.mark_loaded t.pt l.vpage ~prov ~slot;
@@ -170,9 +168,14 @@ let complete_load t (l : Load_channel.inflight) =
 let run_scan t ~at =
   t.metrics.scans <- t.metrics.scans + 1;
   record t (Event.Scan { at });
-  Clock_evictor.scan t.epc (fun v ->
-      harvest t v;
-      (Page_table.entry t.pt v).accessed <- false);
+  (* The harvest-and-clear sweep only does work on frames whose access
+     bit is set (harvesting or clearing a clear bit is a no-op), so the
+     scan drains the page table's touched list instead of walking every
+     resident frame: O(pages touched since the last scan) rather than
+     O(EPC capacity).  The hit counters it feeds are order-independent,
+     so visiting in touch order instead of frame order changes nothing
+     observable. *)
+  Page_table.drain_touched t.pt ~f:(fun v -> harvest t v);
   (* A co-tenant that grew its slice reclaims frames here: its own
      channel does the write-backs, so — unlike the evictions a load
      triggers in [start_load] — no cycles are charged to this enclave;
@@ -189,45 +192,47 @@ let run_scan t ~at =
    queue: no {e new} speculative load may begin at or after that time —
    used while a fault handler owns the channel, since demand has
    priority. *)
+(* Allocation-free event selection: candidate times are plain ints with
+   [max_int] as "absent", and the <=/< comparisons below reproduce the
+   tie-break priority of the option-list fold this replaces — on equal
+   timestamps a completion beats a scan beats a preload start.  This
+   runs on every [sync], i.e. on every simulated access, so it must not
+   box. *)
 let rec pump t ~now ~preload_bound =
-  let completion =
+  let completion_at =
     match Load_channel.in_flight t.channel with
-    | Some l when l.finishes <= now -> Some l.finishes
-    | Some _ | None -> None
+    | Some l when l.finishes <= now -> l.finishes
+    | Some _ | None -> max_int
   in
-  let scan = if t.next_scan <= now then Some t.next_scan else None in
-  let preload_start =
-    match (Load_channel.in_flight t.channel, Load_channel.next_queued t.channel) with
-    | None, Some (vpage, queued_at) ->
-      let st = max (Load_channel.free_at t.channel) queued_at in
-      if st <= now && st < preload_bound then Some (st, vpage) else None
-    | _ -> None
+  let scan_at = if t.next_scan <= now then t.next_scan else max_int in
+  let start_vpage =
+    match Load_channel.in_flight t.channel with
+    | None -> Load_channel.next_queued_vpage t.channel
+    | Some _ -> -1
   in
-  let earliest =
-    List.fold_left
-      (fun acc ev ->
-        match (acc, ev) with
-        | None, e -> e
-        | Some (ta, _), Some (tb, _) when tb < ta -> ev
-        | Some _, _ -> acc)
-      None
-      [
-        Option.map (fun at -> (at, `Complete)) completion;
-        Option.map (fun at -> (at, `Scan)) scan;
-        Option.map (fun (at, vpage) -> (at, `Start vpage)) preload_start;
-      ]
+  let start_at =
+    if start_vpage < 0 then max_int
+    else begin
+      let st =
+        max (Load_channel.free_at t.channel)
+          (Load_channel.next_queued_at t.channel)
+      in
+      if st <= now && st < preload_bound then st else max_int
+    end
   in
-  match earliest with
-  | None -> ()
-  | Some (at, `Complete) ->
-    (match Load_channel.take_completed t.channel ~now:at with
+  if completion_at <= scan_at && completion_at <= start_at
+     && completion_at < max_int
+  then begin
+    (match Load_channel.take_completed t.channel ~now:completion_at with
     | Some l -> complete_load t l
     | None -> assert false);
     pump t ~now ~preload_bound
-  | Some (at, `Scan) ->
-    run_scan t ~at;
+  end
+  else if scan_at <= start_at && scan_at < max_int then begin
+    run_scan t ~at:scan_at;
     pump t ~now ~preload_bound
-  | Some (at, `Start vpage) ->
+  end
+  else if start_at < max_int then begin
     ignore (Load_channel.pop_queued t.channel);
     (* The page may have been demand-loaded while it waited in the queue;
        the kernel thread re-checks presence cheaply and skips it.  A
@@ -238,10 +243,11 @@ let rec pump t ~now ~preload_bound =
       && Clock_evictor.capacity t.epc = 1
       && t.protected_vpage >= 0
     in
-    if (not (Page_table.present t.pt vpage)) && not no_victim then
-      ignore (start_load t ~at ~vpage ~kind:Load_channel.Preload_dfp)
+    if (not (Page_table.present t.pt start_vpage)) && not no_victim then
+      ignore (start_load t ~at:start_at ~vpage:start_vpage ~kind:Load_channel.Preload_dfp)
     else t.metrics.preloads_skipped <- t.metrics.preloads_skipped + 1;
     pump t ~now ~preload_bound
+  end
 
 let sync t ~now = pump t ~now ~preload_bound:max_int
 

@@ -15,10 +15,15 @@ type entry = { e_vpage : int; e_at : int; e_seq : int }
 
 let stale_slot = { e_vpage = -1; e_at = 0; e_seq = -1 }
 
+type seqs = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   mutable current : inflight option;
   q : entry Deque.t;
-  live_seq : int array; (* per vpage: seq of its live slot, -1 if none *)
+  live_seq : seqs;
+      (* per vpage: seq of its live slot, -1 if none.  Off-heap so an
+         ELRANGE-sized table adds nothing to GC marking (the fused replay
+         keeps one per live enclave). *)
   queued : Bitset.t; (* membership mirror of live_seq >= 0: O(1) queued_mem *)
   mutable live : int;
   mutable next_seq : int;
@@ -27,10 +32,12 @@ type t = {
 
 let create ~pages =
   if pages <= 0 then invalid_arg "Load_channel.create: pages must be positive";
+  let live_seq = Bigarray.Array1.create Bigarray.int Bigarray.c_layout pages in
+  Bigarray.Array1.fill live_seq (-1);
   {
     current = None;
     q = Deque.create ~dummy:stale_slot ();
-    live_seq = Array.make pages (-1);
+    live_seq;
     queued = Bitset.create pages;
     live = 0;
     next_seq = 0;
@@ -67,7 +74,7 @@ let take_completed t ~now =
     Some l
   | Some _ | None -> None
 
-let is_live t (e : entry) = t.live_seq.(e.e_vpage) = e.e_seq
+let is_live t (e : entry) = Bigarray.Array1.get t.live_seq e.e_vpage = e.e_seq
 
 (* Discard stale (lazily-deleted) slots at the head.  Each slot is dropped
    at most once, so the scan is O(1) amortized over the queue's life. *)
@@ -79,10 +86,10 @@ let rec drop_stale t =
   | Some _ | None -> ()
 
 let queued_mem t vpage =
-  vpage >= 0 && vpage < Array.length t.live_seq && Bitset.mem t.queued vpage
+  vpage >= 0 && vpage < Bigarray.Array1.dim t.live_seq && Bitset.mem t.queued vpage
 
 let queue_preload t ~vpage ~at =
-  if vpage < 0 || vpage >= Array.length t.live_seq then
+  if vpage < 0 || vpage >= Bigarray.Array1.dim t.live_seq then
     invalid_arg
       (Printf.sprintf "Load_channel.queue_preload: page %d out of range" vpage);
   if queued_mem t vpage then
@@ -91,7 +98,7 @@ let queue_preload t ~vpage ~at =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   Deque.push_back t.q { e_vpage = vpage; e_at = at; e_seq = seq };
-  t.live_seq.(vpage) <- seq;
+  Bigarray.Array1.set t.live_seq vpage seq;
   Bitset.set t.queued vpage;
   t.live <- t.live + 1
 
@@ -101,8 +108,38 @@ let next_queued t =
   | Some e -> Some (e.e_vpage, e.e_at)
   | None -> None
 
+(* Allocation-free head peeks for the background-event scheduler, which
+   probes the FIFO on every pump step.  [stale_slot]'s vpage is -1, so an
+   empty queue reads as "no page". *)
+let next_queued_vpage t =
+  drop_stale t;
+  (Deque.front t.q).e_vpage
+
+let next_queued_at t =
+  drop_stale t;
+  (Deque.front t.q).e_at
+
+let physical_length t = Deque.length t.q
+
+(* Lazy deletion leaves the removed slot in the deque until it reaches
+   the head; a run with heavy aborts and no re-queues (so [drop_stale]
+   never fires) would grow the deque without bound.  Rebuild from the
+   live slots once the stale ones exceed both a floor (small queues are
+   not worth compacting) and the live count (amortizes the O(n) rebuild
+   against the removals that created the garbage).  FIFO order is
+   preserved: live slots keep their relative order. *)
+let compaction_floor = 64
+
+let maybe_compact t =
+  let stale = Deque.length t.q - t.live in
+  if stale > compaction_floor && stale > t.live then begin
+    let entries = Deque.to_list t.q in
+    Deque.clear t.q;
+    List.iter (fun e -> if is_live t e then Deque.push_back t.q e) entries
+  end
+
 let unlink t vpage =
-  t.live_seq.(vpage) <- -1;
+  Bigarray.Array1.set t.live_seq vpage (-1);
   Bitset.clear t.queued vpage;
   t.live <- t.live - 1
 
@@ -131,8 +168,9 @@ let abort_queued t =
 let remove_queued t vpage =
   if queued_mem t vpage then begin
     (* Lazy deletion: the slot stays in the deque and is skipped once it
-       reaches the head. *)
+       reaches the head (or the next compaction, whichever comes first). *)
     unlink t vpage;
+    maybe_compact t;
     true
   end
   else false
@@ -151,4 +189,5 @@ let abort_queued_where t pred =
         incr n
       end)
     t.q;
+  maybe_compact t;
   !n

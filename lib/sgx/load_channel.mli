@@ -17,7 +17,10 @@
     [remove_queued], [pop_queued] and [next_queued] are O(1) amortized and
     [abort_queued_pages] is O(k) in the aborted set — the whole
     speculative-load path costs constant time per access regardless of
-    queue depth. *)
+    queue depth.  Stale slots that never reach the head are reclaimed by
+    compaction: once they outnumber both a small floor and the live
+    entries, the deque is rebuilt from the live slots (relative order
+    kept), bounding the physical queue at O(live) between rebuilds. *)
 
 type kind =
   | Demand  (** Load servicing an actual fault. *)
@@ -60,12 +63,28 @@ val queue_preload : t -> vpage:int -> at:int -> unit
 val next_queued : t -> (int * int) option
 (** Head of the pending FIFO as [(vpage, queued_at)], not removed. *)
 
+val next_queued_vpage : t -> int
+(** Head page of the pending FIFO without the option/tuple boxes ([-1]
+    when empty) — the allocation-free {!next_queued} for the per-access
+    scheduler probe. *)
+
+val next_queued_at : t -> int
+(** Enqueue time of the pending FIFO's head; only meaningful when
+    {!next_queued_vpage} is [>= 0]. *)
+
 val pop_queued : t -> (int * int) option
 
 val queued : t -> int list
 (** Pending vpages, next-to-load first. *)
 
 val queue_length : t -> int
+(** Live (still pending) entries. *)
+
+val physical_length : t -> int
+(** Slots actually held in the deque, including lazily-deleted ones —
+    [>= queue_length].  Compaction keeps this bounded by
+    [max (2 * queue_length) constant]; exposed so tests can lock the
+    bound. *)
 
 val abort_queued : t -> int
 (** Drop every pending (not yet started) preload; returns how many were

@@ -91,6 +91,9 @@ let exp_settings settings =
     keep_going = true;
     journal_dir = settings.journal_dir;
     resume = settings.resume;
+    (* The chaos matrix runs one (scheme, plan) pair per cell — there is
+       no scheme grid to fuse. *)
+    fused = false;
   }
 
 let run_cell es ~workload ~scheme_tag ~plan () =

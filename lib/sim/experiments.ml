@@ -20,6 +20,7 @@ type settings = {
   keep_going : bool;
   journal_dir : string option;
   resume : bool;
+  fused : bool;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     keep_going = false;
     journal_dir = None;
     resume = false;
+    fused = true;
   }
 
 let quick = { default with epc_pages = 1024; quick = true }
@@ -58,7 +60,7 @@ type improvement_row = {
   scheme : string;
   normalized : float;
   improvement : float;
-  fault_reduction : float;
+  fault_reduction : float option;  (* None: baseline had no faults *)
   stopped : bool;
 }
 
@@ -158,11 +160,13 @@ let hardened settings =
   || settings.journal_dir <> None
 
 (* Part of the journal key: a journal written for one matrix
-   configuration must never satisfy another. *)
+   configuration must never satisfy another.  [fused] is part of the key
+   because it reshapes the job list (group jobs vs cell jobs) even
+   though both shapes print the same bytes. *)
 let settings_key settings =
-  Printf.sprintf "epc=%d input=%s quick=%b" settings.epc_pages
+  Printf.sprintf "epc=%d input=%s quick=%b fused=%b" settings.epc_pages
     (Input.to_string settings.ref_input)
-    settings.quick
+    settings.quick settings.fused
 
 let cells settings ~table ~label ~f xs =
   let jobs =
@@ -194,6 +198,75 @@ let cells settings ~table ~label ~f xs =
     | failures -> raise (Cells_failed failures)
   end
 
+(* The dominant table shape: a [(key, tag)] grid where cells sharing a
+   key run the same trace under the same config and differ only in
+   scheme.  With [settings.fused] (the default) each key's cells
+   collapse into one job that drives {!Runner.run_fused} over the
+   group's schemes — the trace is decoded and replayed once per key
+   instead of once per cell, and [Job_pool] parallelism moves up to the
+   key level.  Without it, the grid degrades to the classic one job per
+   cell, which is the cross-check reference: [run_fused] is contractually
+   equal to per-cell [run], so both paths print identical bytes (CI
+   diffs them).  Results come back in grid order; every run is validated
+   inside its job exactly as [run_checked] would. *)
+let scheme_grid settings ~table ~config ?(input_label = "") ~key_label
+    ~tag_label ~trace_of:trace_for ~scheme_of grid =
+  let cell_label (k, tag) =
+    let kl = key_label k in
+    if kl = "" then tag_label tag
+    else Printf.sprintf "%s/%s" kl (tag_label tag)
+  in
+  if not settings.fused then
+    cells settings ~table ~label:cell_label
+      ~f:(fun (k, tag) ->
+        let r =
+          Runner.run ~config ~input_label ~scheme:(scheme_of k tag)
+            (trace_for k)
+        in
+        Validate.assert_valid r;
+        r)
+      grid
+  else begin
+    let keys =
+      List.rev
+        (List.fold_left
+           (fun acc (k, _) -> if List.mem k acc then acc else k :: acc)
+           [] grid)
+    in
+    let groups =
+      List.map
+        (fun k ->
+          ( k,
+            List.filter_map
+              (fun (k', tag) -> if k' = k then Some tag else None)
+              grid ))
+        keys
+    in
+    let group_results =
+      cells settings ~table
+        ~label:(fun (k, tags) ->
+          let kl = key_label k in
+          Printf.sprintf "%sfused[%s]"
+            (if kl = "" then "" else kl ^ "/")
+            (String.concat "," (List.map tag_label tags)))
+        ~f:(fun (k, tags) ->
+          let schemes = List.map (scheme_of k) tags in
+          let rs =
+            Runner.run_fused ~config ~input_label ~schemes (trace_for k)
+          in
+          List.iter Validate.assert_valid rs;
+          rs)
+        groups
+    in
+    let by_cell =
+      List.concat
+        (List.map2
+           (fun (k, tags) rs -> List.map2 (fun tag r -> ((k, tag), r)) tags rs)
+           groups group_results)
+    in
+    List.map (fun cell -> List.assoc cell by_cell) grid
+  end
+
 let improvement_table ?(paper = []) rows =
   let t =
     Table.create
@@ -217,7 +290,9 @@ let improvement_table ?(paper = []) rows =
           r.workload; r.scheme;
           Table.cell_float ~decimals:3 r.normalized;
           Table.cell_pct r.improvement;
-          Table.cell_pct r.fault_reduction;
+          (match r.fault_reduction with
+          | None -> "n/a"
+          | Some fr -> Table.cell_pct fr);
           (if r.stopped then "yes" else "-");
           paper_cell;
         ])
@@ -240,14 +315,14 @@ let intro_trace settings =
        ~jitter:0.0)
 
 let intro_runs settings =
-  let trace = intro_trace settings in
-  let config = runner_config settings in
   match
-    cells settings ~table:"intro" ~label:Fun.id
-      ~f:(fun tag ->
-        let scheme = if tag = "enclave" then Scheme.Baseline else Scheme.Native in
-        run_checked ~config ~scheme trace)
-      [ "enclave"; "native" ]
+    scheme_grid settings ~table:"intro" ~config:(runner_config settings)
+      ~key_label:(fun () -> "")
+      ~tag_label:Fun.id
+      ~trace_of:(fun () -> intro_trace settings)
+      ~scheme_of:(fun () tag ->
+        if tag = "enclave" then Scheme.Baseline else Scheme.Native)
+      [ ((), "enclave"); ((), "native") ]
   with
   | [ base; native ] -> (base, native)
   | _ -> assert false
@@ -284,15 +359,16 @@ let didactic_trace () =
 
 let fig2_timelines settings =
   let config = { (runner_config settings) with Runner.log_capacity = 128 } in
-  let trace = didactic_trace () in
   match
-    cells settings ~table:"fig2" ~label:Fun.id
-      ~f:(fun tag ->
-        let scheme = if tag = "baseline" then Scheme.Baseline else Scheme.dfp_default in
-        (run_checked ~config ~scheme trace).events)
-      [ "baseline"; "dfp" ]
+    scheme_grid settings ~table:"fig2" ~config
+      ~key_label:(fun () -> "")
+      ~tag_label:Fun.id
+      ~trace_of:(fun () -> didactic_trace ())
+      ~scheme_of:(fun () tag ->
+        if tag = "baseline" then Scheme.Baseline else Scheme.dfp_default)
+      [ ((), "baseline"); ((), "dfp") ]
   with
-  | [ base_events; dfp_events ] -> (base_events, dfp_events)
+  | [ base; dfp ] -> (base.Runner.events, dfp.Runner.events)
   | _ -> assert false
 
 let print_fig2 settings =
@@ -459,19 +535,18 @@ let fig6_sweep settings =
         lengths
   in
   let runs =
-    cells settings ~table:"fig6"
-      ~label:(fun (b, len) ->
+    scheme_grid settings ~table:"fig6" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input) ~key_label:Fun.id
+      ~tag_label:(fun len ->
         match len with
-        | None -> b ^ "/baseline"
-        | Some l -> Printf.sprintf "%s/len=%d" b l)
-      ~f:(fun (b, len) ->
-        let scheme =
-          match len with
-          | None -> Scheme.Baseline
-          | Some len ->
-            Scheme.Dfp { Dfp.default_config with stream_list_length = len }
-        in
-        run_one settings ~scheme b)
+        | None -> "baseline"
+        | Some l -> Printf.sprintf "len=%d" l)
+      ~trace_of:(fun b -> trace_of settings b ~input:settings.ref_input)
+      ~scheme_of:(fun _ len ->
+        match len with
+        | None -> Scheme.Baseline
+        | Some len ->
+          Scheme.Dfp { Dfp.default_config with stream_list_length = len })
       grid
   in
   let table = List.map2 (fun k r -> (k, r)) grid runs in
@@ -538,19 +613,17 @@ let fig7_sweep settings =
       benchmarks
   in
   let runs =
-    cells settings ~table:"fig7"
-      ~label:(fun (b, len) ->
+    scheme_grid settings ~table:"fig7" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input) ~key_label:Fun.id
+      ~tag_label:(fun len ->
         match len with
-        | None -> b ^ "/baseline"
-        | Some l -> Printf.sprintf "%s/L=%d" b l)
-      ~f:(fun (b, len) ->
-        let scheme =
-          match len with
-          | None -> Scheme.Baseline
-          | Some load_length ->
-            Scheme.Dfp { Dfp.default_config with load_length }
-        in
-        run_one settings ~scheme b)
+        | None -> "baseline"
+        | Some l -> Printf.sprintf "L=%d" l)
+      ~trace_of:(fun b -> trace_of settings b ~input:settings.ref_input)
+      ~scheme_of:(fun _ len ->
+        match len with
+        | None -> Scheme.Baseline
+        | Some load_length -> Scheme.Dfp { Dfp.default_config with load_length })
       grid
   in
   let table = List.map2 (fun k r -> (k, r)) grid runs in
@@ -607,16 +680,15 @@ let fig8_rows settings =
       benchmarks
   in
   let runs =
-    cells settings ~table:"fig8"
-      ~label:(fun (b, tag) -> Printf.sprintf "%s/%s" b tag)
-      ~f:(fun (b, tag) ->
-        let scheme =
-          match tag with
-          | "baseline" -> Scheme.Baseline
-          | "dfp" -> Scheme.dfp_default
-          | _ -> Scheme.dfp_stop
-        in
-        run_one settings ~scheme b)
+    scheme_grid settings ~table:"fig8" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input) ~key_label:Fun.id
+      ~tag_label:Fun.id
+      ~trace_of:(fun b -> trace_of settings b ~input:settings.ref_input)
+      ~scheme_of:(fun _ tag ->
+        match tag with
+        | "baseline" -> Scheme.Baseline
+        | "dfp" -> Scheme.dfp_default
+        | _ -> Scheme.dfp_stop)
       grid
   in
   let table = List.map2 (fun k r -> (k, r)) grid runs in
@@ -686,17 +758,18 @@ let fig9_sweep settings =
   (* As in the paper's Fig. 9, both the profile and the measurement use
      the train input. *)
   let baseline = run_one settings ~scheme:Scheme.Baseline ~input:Input.Train "deepsjeng" in
+  let runs =
+    scheme_grid settings ~table:"fig9" ~config:(runner_config settings)
+      ~input_label:(Input.to_string Input.Train)
+      ~key_label:(fun () -> "")
+      ~tag_label:(fun threshold -> Printf.sprintf "t=%g" threshold)
+      ~trace_of:(fun () -> trace_of settings "deepsjeng" ~input:Input.Train)
+      ~scheme_of:(fun () threshold ->
+        Scheme.Sip (plan_for ~threshold settings "deepsjeng"))
+      (List.map (fun threshold -> ((), threshold)) thresholds)
+  in
   List.combine thresholds
-    (cells settings ~table:"fig9"
-       ~label:(fun threshold -> Printf.sprintf "t=%g" threshold)
-       ~f:(fun threshold ->
-         let plan = plan_for ~threshold settings "deepsjeng" in
-         let r =
-           run_one settings ~scheme:(Scheme.Sip plan) ~input:Input.Train
-             "deepsjeng"
-         in
-         Runner.normalized_time ~baseline r)
-       thresholds)
+    (List.map (Runner.normalized_time ~baseline) runs)
 
 let print_fig9 settings =
   Printf.printf
@@ -729,12 +802,27 @@ let fig10_rows settings =
   let benchmarks = sip_benchmarks settings in
   prewarm settings benchmarks;
   prewarm settings ~input:Input.Train benchmarks;
-  cells settings ~table:"fig10" ~label:Fun.id
-    ~f:(fun b ->
-      let baseline = run_one settings ~scheme:Scheme.Baseline b in
-      let plan = plan_for settings b in
-      let r = run_one settings ~scheme:(Scheme.Sip plan) b in
-      (row_of ~baseline r, Instrumenter.instrumentation_points plan))
+  let grid =
+    List.concat_map (fun b -> [ (b, "baseline"); (b, "sip") ]) benchmarks
+  in
+  let runs =
+    scheme_grid settings ~table:"fig10" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input) ~key_label:Fun.id
+      ~tag_label:Fun.id
+      ~trace_of:(fun b -> trace_of settings b ~input:settings.ref_input)
+      ~scheme_of:(fun b tag ->
+        if tag = "baseline" then Scheme.Baseline
+        else Scheme.Sip (plan_for settings b))
+      grid
+  in
+  let table = List.map2 (fun k r -> (k, r)) grid runs in
+  List.map
+    (fun b ->
+      let baseline = List.assoc (b, "baseline") table in
+      let r = List.assoc (b, "sip") table in
+      (* The instrumented run records its own plan size, so the parent
+         never re-derives the plan just to count its sites. *)
+      (row_of ~baseline r, r.Runner.instrumentation_points))
     benchmarks
 
 let fig10_paper =
@@ -771,15 +859,19 @@ let fig11_rows settings =
   let grid =
     List.concat_map (fun name -> [ (name, "dfp"); (name, "sip") ]) names
   in
-  cells settings ~table:"fig11"
-    ~label:(fun (name, tag) -> Printf.sprintf "%s/%s" name tag)
-    ~f:(fun (name, tag) ->
-      let baseline, plan = List.assoc name prep in
-      let scheme =
-        if tag = "dfp" then Scheme.dfp_default else Scheme.Sip plan
-      in
-      row_of ~baseline (run_one settings ~scheme name))
-    grid
+  let runs =
+    scheme_grid settings ~table:"fig11" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input) ~key_label:Fun.id
+      ~tag_label:Fun.id
+      ~trace_of:(fun name -> trace_of settings name ~input:settings.ref_input)
+      ~scheme_of:(fun name tag ->
+        if tag = "dfp" then Scheme.dfp_default
+        else Scheme.Sip (snd (List.assoc name prep)))
+      grid
+  in
+  List.map2
+    (fun (name, _) r -> row_of ~baseline:(fst (List.assoc name prep)) r)
+    grid runs
 
 let fig11_paper =
   [ (("SIFT", "DFP"), "+9.5%"); (("MSER", "SIP"), "+3.0%") ]
@@ -809,18 +901,22 @@ let fig12_rows settings =
       (fun b -> [ (b, "sip"); (b, "dfp"); (b, "hybrid") ])
       benchmarks
   in
-  cells settings ~table:"fig12"
-    ~label:(fun (b, tag) -> Printf.sprintf "%s/%s" b tag)
-    ~f:(fun (b, tag) ->
-      let baseline, plan = List.assoc b prep in
-      let scheme =
+  let runs =
+    scheme_grid settings ~table:"fig12" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input) ~key_label:Fun.id
+      ~tag_label:Fun.id
+      ~trace_of:(fun b -> trace_of settings b ~input:settings.ref_input)
+      ~scheme_of:(fun b tag ->
+        let plan = snd (List.assoc b prep) in
         match tag with
         | "sip" -> Scheme.Sip plan
         | "dfp" -> Scheme.dfp_default
-        | _ -> hybrid_scheme plan
-      in
-      row_of ~baseline (run_one settings ~scheme b))
-    grid
+        | _ -> hybrid_scheme plan)
+      grid
+  in
+  List.map2
+    (fun (b, _) r -> row_of ~baseline:(fst (List.assoc b prep)) r)
+    grid runs
 
 let print_fig12 settings =
   Printf.printf "## E-fig12 — Fig. 12: SIP, DFP and the combined scheme\n\n";
@@ -836,18 +932,21 @@ let print_fig12 settings =
 let fig13_rows settings =
   let plan = plan_for settings "mixed-blood" in
   let runs =
-    cells settings ~table:"fig13"
-      ~label:(fun tag -> "mixed-blood/" ^ tag)
-      ~f:(fun tag ->
-        let scheme =
-          match tag with
-          | "baseline" -> Scheme.Baseline
-          | "sip" -> Scheme.Sip plan
-          | "dfp" -> Scheme.dfp_default
-          | _ -> hybrid_scheme plan
-        in
-        run_one settings ~scheme "mixed-blood")
-      [ "baseline"; "sip"; "dfp"; "hybrid" ]
+    scheme_grid settings ~table:"fig13" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input)
+      ~key_label:(fun () -> "")
+      ~tag_label:(fun tag -> "mixed-blood/" ^ tag)
+      ~trace_of:(fun () ->
+        trace_of settings "mixed-blood" ~input:settings.ref_input)
+      ~scheme_of:(fun () tag ->
+        match tag with
+        | "baseline" -> Scheme.Baseline
+        | "sip" -> Scheme.Sip plan
+        | "dfp" -> Scheme.dfp_default
+        | _ -> hybrid_scheme plan)
+      (List.map
+         (fun tag -> ((), tag))
+         [ "baseline"; "sip"; "dfp"; "hybrid" ])
   in
   match runs with
   | baseline :: rest -> List.map (row_of ~baseline) rest
@@ -920,15 +1019,14 @@ let ablation_predictor_rows settings =
       benchmarks
   in
   let runs =
-    cells settings ~table:"abl-predictor"
-      ~label:(fun (b, tag) -> Printf.sprintf "%s/%s" b tag)
-      ~f:(fun (b, tag) ->
-        let scheme =
-          match List.assoc_opt tag schemes with
-          | Some s -> s
-          | None -> Scheme.Baseline
-        in
-        run_one settings ~scheme b)
+    scheme_grid settings ~table:"abl-predictor" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input) ~key_label:Fun.id
+      ~tag_label:Fun.id
+      ~trace_of:(fun b -> trace_of settings b ~input:settings.ref_input)
+      ~scheme_of:(fun _ tag ->
+        match List.assoc_opt tag schemes with
+        | Some s -> s
+        | None -> Scheme.Baseline)
       grid
   in
   let table = List.map2 (fun k r -> (k, r)) grid runs in
@@ -959,22 +1057,20 @@ let descending_trace settings =
           ~compute:25_000 ~jitter:0.1))
 
 let ablation_backward_rows settings =
-  let trace = descending_trace settings in
-  let config = runner_config settings in
   let variants =
     [ ("DFP (backward on)", Some true); ("DFP (backward off)", Some false) ]
   in
   let runs =
-    cells settings ~table:"abl-backward" ~label:fst
-      ~f:(fun (_, detect_backward) ->
-        let scheme =
-          match detect_backward with
-          | None -> Scheme.Baseline
-          | Some detect_backward ->
-            Scheme.Dfp { Dfp.default_config with detect_backward }
-        in
-        run_checked ~config ~scheme trace)
-      (("baseline", None) :: variants)
+    scheme_grid settings ~table:"abl-backward" ~config:(runner_config settings)
+      ~key_label:(fun () -> "")
+      ~tag_label:fst
+      ~trace_of:(fun () -> descending_trace settings)
+      ~scheme_of:(fun () (_, detect_backward) ->
+        match detect_backward with
+        | None -> Scheme.Baseline
+        | Some detect_backward ->
+          Scheme.Dfp { Dfp.default_config with detect_backward })
+      (List.map (fun v -> ((), v)) (("baseline", None) :: variants))
   in
   match runs with
   | baseline :: rest ->
@@ -1090,20 +1186,19 @@ let ablation_threads_rows settings =
     Workload.Parallel_apps.mt_scan ~threads ~epc_pages:settings.epc_pages
       ~input:settings.ref_input
   in
-  let config = runner_config settings in
   let variants =
     [ ("DFP (per-thread lists)", Some true); ("DFP (one shared list)", Some false) ]
   in
   let runs =
-    cells settings ~table:"abl-threads" ~label:fst
-      ~f:(fun (_, per_thread) ->
-        let scheme =
-          match per_thread with
-          | None -> Scheme.Baseline
-          | Some per_thread -> Scheme.Dfp { Dfp.default_config with per_thread }
-        in
-        run_checked ~config ~scheme trace)
-      (("baseline", None) :: variants)
+    scheme_grid settings ~table:"abl-threads" ~config:(runner_config settings)
+      ~key_label:(fun () -> "")
+      ~tag_label:fst
+      ~trace_of:(fun () -> trace)
+      ~scheme_of:(fun () (_, per_thread) ->
+        match per_thread with
+        | None -> Scheme.Baseline
+        | Some per_thread -> Scheme.Dfp { Dfp.default_config with per_thread })
+      (List.map (fun v -> ((), v)) (("baseline", None) :: variants))
   in
   match runs with
   | baseline :: rest ->
@@ -1195,20 +1290,19 @@ let ablation_sip_all_rows settings =
       benchmarks
   in
   let runs =
-    cells settings ~table:"abl-sip-all"
-      ~label:(fun (b, tag) -> Printf.sprintf "%s/%s" b tag)
-      ~f:(fun (b, tag) ->
+    scheme_grid settings ~table:"abl-sip-all" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input) ~key_label:Fun.id
+      ~tag_label:Fun.id
+      ~trace_of:(fun b -> trace_of settings b ~input:settings.ref_input)
+      ~scheme_of:(fun b tag ->
         match tag with
-        | "baseline" -> run_one settings ~scheme:Scheme.Baseline b
-        | "SIP (5% threshold)" ->
-          run_one settings ~scheme:(Scheme.Sip (plan_for settings b)) b
+        | "baseline" -> Scheme.Baseline
+        | "SIP (5% threshold)" -> Scheme.Sip (plan_for settings b)
         | _ ->
           (* Threshold 0: every profiled site gets a check — an Eleos-like
              check-everything runtime (minus its TCB/security cost, which
              the simulator cannot price). *)
-          run_one settings
-            ~scheme:(Scheme.Sip (plan_for ~threshold:0.0 settings b))
-            b)
+          Scheme.Sip (plan_for ~threshold:0.0 settings b))
       grid
   in
   let table = List.map2 (fun k r -> (k, r)) grid runs in
@@ -1243,16 +1337,15 @@ let ablation_oram_rows settings =
       names
   in
   let runs =
-    cells settings ~table:"abl-oram"
-      ~label:(fun (name, tag) -> Printf.sprintf "%s/%s" name tag)
-      ~f:(fun (name, tag) ->
-        let scheme =
-          match tag with
-          | "baseline" -> Scheme.Baseline
-          | "dfp" -> Scheme.dfp_default
-          | _ -> Scheme.dfp_stop
-        in
-        run_one settings ~scheme name)
+    scheme_grid settings ~table:"abl-oram" ~config:(runner_config settings)
+      ~input_label:(Input.to_string settings.ref_input) ~key_label:Fun.id
+      ~tag_label:Fun.id
+      ~trace_of:(fun name -> trace_of settings name ~input:settings.ref_input)
+      ~scheme_of:(fun _ tag ->
+        match tag with
+        | "baseline" -> Scheme.Baseline
+        | "dfp" -> Scheme.dfp_default
+        | _ -> Scheme.dfp_stop)
       grid
   in
   let table = List.map2 (fun k r -> (k, r)) grid runs in

@@ -27,10 +27,18 @@ type settings = {
       (** Directory for per-table cell journals ({!Job_pool.run_hardened});
           enables [resume]. *)
   resume : bool;  (** Reuse journaled cells from an interrupted run. *)
+  fused : bool;
+      (** Collapse each trace's scheme cells into one fused
+          {!Runner.run_fused} job (the default): the trace is replayed
+          once per (workload, config) group instead of once per cell,
+          and {!Job_pool} parallelism applies across groups.  [false]
+          restores one job per cell — the reference path; both print
+          identical bytes (the fused/per-cell contract, diffed in CI). *)
 }
 
 val default : settings
-(** 2048 EPC pages, ref input 0, full sweeps, serial, no hardening. *)
+(** 2048 EPC pages, ref input 0, full sweeps, serial, fused replay, no
+    hardening. *)
 
 val quick : settings
 (** Smaller EPC and trimmed sweeps for fast integration tests. *)
@@ -76,7 +84,8 @@ type improvement_row = {
   scheme : string;
   normalized : float;  (** Execution time / baseline execution time. *)
   improvement : float;  (** [1. - normalized]. *)
-  fault_reduction : float;
+  fault_reduction : float option;
+      (** [None] when the baseline run had no faults (rendered "n/a"). *)
   stopped : bool;  (** DFP-stop fired during the run. *)
 }
 

@@ -103,11 +103,19 @@ type trace_timings = {
   replay_speedup : float;
 }
 
+type matrix_timings = {
+  matrix_schemes : int;
+  per_cell_wall_seconds : float;
+  fused_wall_seconds : float;
+  fused_speedup : float;
+}
+
 type report = {
   settings : settings;
   elrange_pages : int;
   trace : trace_timings;
   rows : row list;
+  matrix : matrix_timings;
 }
 
 let run ?(clock = Sys.time) ?(jobs = 1) s =
@@ -184,7 +192,53 @@ let run ?(clock = Sys.time) ?(jobs = 1) s =
              (fun () -> measure scheme))
          schemes)
   in
-  { settings = s; elrange_pages = footprint_pages s; trace = trace_timings; rows }
+  (* The fused-matrix series: one [Runner.run_fused] pass driving every
+     scheme off a single trace replay, against the per-cell total (the
+     sum of the row walls — exact at [jobs = 1], where the rows ran
+     serially).  The fused results must agree with the per-cell rows on
+     every simulated column; a divergence here is a broken fusion, not a
+     slow one, and fails the benchmark. *)
+  let fused_results, fused_wall =
+    timed (fun () -> Runner.run_fused ~config ~schemes trace)
+  in
+  List.iter
+    (fun (r : Runner.result) ->
+      match Validate.check r with
+      | [] -> ()
+      | vs -> failwith (Validate.report vs))
+    fused_results;
+  List.iter2
+    (fun row (r : Runner.result) ->
+      if
+        row.sim_cycles <> r.Runner.cycles
+        || row.faults <> r.Runner.metrics.Sgxsim.Metrics.faults
+        || row.preloads_issued
+           <> r.Runner.metrics.Sgxsim.Metrics.preloads_issued
+        || row.pending_at_end <> r.Runner.diagnostics.Runner.pending_preloads
+      then
+        failwith
+          (Printf.sprintf
+             "Macro_bench: fused replay diverges from per-cell run for %s"
+             row.scheme))
+    rows fused_results;
+  let per_cell_wall =
+    List.fold_left (fun acc row -> acc +. row.wall_seconds) 0.0 rows
+  in
+  let matrix =
+    {
+      matrix_schemes = List.length schemes;
+      per_cell_wall_seconds = per_cell_wall;
+      fused_wall_seconds = fused_wall;
+      fused_speedup = per_cell_wall /. fused_wall;
+    }
+  in
+  {
+    settings = s;
+    elrange_pages = footprint_pages s;
+    trace = trace_timings;
+    rows;
+    matrix;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -238,12 +292,22 @@ let to_json r =
         ("replay_speedup", num r.trace.replay_speedup);
       ]
   in
+  let matrix_json =
+    obj
+      [
+        ("schemes", string_of_int r.matrix.matrix_schemes);
+        ("per_cell_wall_seconds", num r.matrix.per_cell_wall_seconds);
+        ("fused_wall_seconds", num r.matrix.fused_wall_seconds);
+        ("fused_speedup", num r.matrix.fused_speedup);
+      ]
+  in
   obj
     [
-      ("schema", str "sgx-preload/bench-runtime/v2");
+      ("schema", str "sgx-preload/bench-runtime/v3");
       ("settings", settings_json);
       ("trace", trace_json);
       ("rows", "[" ^ String.concat ", " (List.map row_json r.rows) ^ "]");
+      ("matrix", matrix_json);
     ]
   ^ "\n"
 
@@ -266,4 +330,8 @@ let print r =
         (float_of_int row.sim_cycles /. 1e6)
         row.wall_seconds row.cycles_per_second row.events_per_second row.faults)
     r.rows;
+  Printf.printf
+    "\n  matrix (%d schemes): per-cell %.3fs vs fused %.3fs = %.2fx\n"
+    r.matrix.matrix_schemes r.matrix.per_cell_wall_seconds
+    r.matrix.fused_wall_seconds r.matrix.fused_speedup;
   print_newline ()

@@ -11,7 +11,7 @@
     Results are informational (they measure the build machine, not the
     paper); CI uploads the JSON as an artifact rather than asserting on
     it.  The JSON schema is documented in README.md
-    ("sgx-preload/bench-runtime/v2"). *)
+    ("sgx-preload/bench-runtime/v3"). *)
 
 type settings = {
   label : string;  (** Tag recorded in the report ("full" / "smoke"). *)
@@ -61,11 +61,26 @@ type trace_timings = {
   replay_speedup : float;  (** [arena / seq] events-per-second ratio. *)
 }
 
+type matrix_timings = {
+  matrix_schemes : int;  (** Schemes driven off the one fused pass. *)
+  per_cell_wall_seconds : float;
+      (** Sum of the per-scheme row walls — the cost of replaying the
+          trace once per cell (exact at [jobs = 1]). *)
+  fused_wall_seconds : float;
+      (** One {!Runner.run_fused} pass over all schemes. *)
+  fused_speedup : float;  (** [per_cell / fused]. *)
+}
+(** The scheme-matrix series: fused single-pass replay vs one replay
+    per cell, on the same trace and schemes.  The fused pass's simulated
+    columns are asserted equal to the per-cell rows before any timing is
+    reported. *)
+
 type report = {
   settings : settings;
   elrange_pages : int;
   trace : trace_timings;
   rows : row list;
+  matrix : matrix_timings;
 }
 
 val run : ?clock:(unit -> float) -> ?jobs:int -> settings -> report
@@ -82,7 +97,7 @@ val run : ?clock:(unit -> float) -> ?jobs:int -> settings -> report
 
 val to_json : report -> string
 (** The report as one JSON document (schema
-    ["sgx-preload/bench-runtime/v2"]), newline-terminated. *)
+    ["sgx-preload/bench-runtime/v3"]), newline-terminated. *)
 
 val print : report -> unit
 (** Human-readable table on stdout. *)

@@ -20,10 +20,15 @@ let breakdown_table (r : Runner.result) =
     Table.create
       ~headers:[ ("category", Table.Left); ("cycles", Table.Right); ("share", Table.Right) ]
   in
-  let total = float_of_int (max 1 r.cycles) in
+  (* A zero-cycle run has no meaningful shares; say so rather than
+     masking the division with a fake 1-cycle total (which silently
+     rendered every share as 0.0%). *)
   let row name cycles =
-    Table.add_row t
-      [ name; Table.cell_int cycles; Table.cell_pct (float_of_int cycles /. total) ]
+    let share =
+      if r.cycles = 0 then "n/a"
+      else Table.cell_pct (float_of_int cycles /. float_of_int r.cycles)
+    in
+    Table.add_row t [ name; Table.cell_int cycles; share ]
   in
   row "compute" m.cyc_compute;
   row "in-EPC access" m.cyc_access;
@@ -126,10 +131,12 @@ let ascii_scatter ~width ~height points ~max_x ~max_y =
 
 let fault_reduction ~baseline r =
   let bf = Metrics.total_faults baseline.Runner.metrics in
-  if bf = 0 then 0.0
+  if bf = 0 then None
   else
-    1.0
-    -. (float_of_int (Metrics.total_faults r.Runner.metrics) /. float_of_int bf)
+    Some
+      (1.0
+      -. float_of_int (Metrics.total_faults r.Runner.metrics)
+         /. float_of_int bf)
 
 (* ------------------------------------------------------------------ *)
 (* Graceful degradation under fault plans                              *)
@@ -137,12 +144,18 @@ let fault_reduction ~baseline r =
 
 type degradation = {
   overhead : float;
-  fault_increase : float;
-  preload_abort_rate : float;
-  mispreload_rate : float;
+  fault_increase : float option;
+  preload_abort_rate : float option;
+  mispreload_rate : float option;
 }
 
-let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+(* [None] on a zero denominator: "0 aborted of 0 issued" is not a 0%
+   abort rate, it is an undefined one, and conflating the two hid
+   preloader-never-ran cells behind a clean-looking 0.0%. *)
+let ratio num den =
+  if den = 0 then None else Some (float_of_int num /. float_of_int den)
+
+let cell_opt_pct = function None -> "n/a" | Some v -> Table.cell_pct v
 
 let degradation ~fault_free (r : Runner.result) =
   if fault_free.Runner.cycles = 0 then
@@ -153,8 +166,10 @@ let degradation ~fault_free (r : Runner.result) =
       (float_of_int r.Runner.cycles /. float_of_int fault_free.Runner.cycles)
       -. 1.0;
     fault_increase =
-      ratio (Metrics.total_faults m) (Metrics.total_faults fault_free.Runner.metrics)
-      -. 1.0;
+      Option.map
+        (fun x -> x -. 1.0)
+        (ratio (Metrics.total_faults m)
+           (Metrics.total_faults fault_free.Runner.metrics));
     preload_abort_rate = ratio m.preloads_aborted m.preloads_issued;
     mispreload_rate = ratio m.preload_evicted_unused m.preloads_completed;
   }
@@ -174,9 +189,9 @@ let degradation_row ~fault_free (r : Runner.result) =
     Table.cell_int r.Runner.cycles;
     Table.cell_pct d.overhead;
     Table.cell_int (Metrics.total_faults r.Runner.metrics);
-    Table.cell_pct d.fault_increase;
-    Table.cell_pct d.preload_abort_rate;
-    Table.cell_pct d.mispreload_rate;
+    cell_opt_pct d.fault_increase;
+    cell_opt_pct d.preload_abort_rate;
+    cell_opt_pct d.mispreload_rate;
   ]
 
 let degradation_table ~fault_free faulted =

@@ -27,19 +27,25 @@ val ascii_scatter :
 (** Render (x, y) points into an ASCII scatter plot, for the Fig. 3
     access-pattern reproduction. *)
 
-val fault_reduction : baseline:Runner.result -> Runner.result -> float
-(** Fraction of baseline faults eliminated ([0.7] = 70% fewer). *)
+val fault_reduction : baseline:Runner.result -> Runner.result -> float option
+(** Fraction of baseline faults eliminated ([Some 0.7] = 70% fewer);
+    [None] when the baseline had no faults at all (the reduction is
+    undefined, not zero — a 0-of-0 baseline says nothing about the
+    candidate). *)
 
 (** How gracefully a scheme degrades under a {!Fault_plan}, measured
-    against the same (workload, scheme) cell run fault-free. *)
+    against the same (workload, scheme) cell run fault-free.  Rate
+    fields are [None] when their denominator is zero (e.g. a scheme
+    that never issued a preload has no abort {e rate}); tables render
+    those as ["n/a"] instead of a misleading 0%. *)
 type degradation = {
   overhead : float;
       (** Slowdown vs the fault-free run ([0.25] = 25% more cycles). *)
-  fault_increase : float;
-      (** Fractional growth in total faults (0 when the fault-free run
-          had none). *)
-  preload_abort_rate : float;  (** Aborted / issued preloads. *)
-  mispreload_rate : float;
+  fault_increase : float option;
+      (** Fractional growth in total faults; [None] when the fault-free
+          run had none. *)
+  preload_abort_rate : float option;  (** Aborted / issued preloads. *)
+  mispreload_rate : float option;
       (** Preloaded-but-evicted-unused / completed preloads — wasted
           channel work under the fault. *)
 }

@@ -42,8 +42,23 @@ type result = {
   epc_capacity : int;
 }
 
-let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
-    ?(input_label = "") ~scheme trace =
+(* One scheme's complete simulation state within a (possibly fused)
+   replay: its enclave, attached preloader, measurement histograms and
+   private clock.  Instances never share mutable state, so fanning one
+   trace pass out across many of them is observationally identical to
+   running each scheme in its own pass. *)
+type instance = {
+  i_scheme : Scheme.t; (* post stale-plan scramble *)
+  enclave : Enclave.t;
+  log : Event.log;
+  dfp : Preload.Dfp.t option;
+  fault_latency_h : (Enclave.fault_resolution * Histogram.t) list;
+  sip_site : int -> bool;
+  i_costs : Cost_model.t;
+  mutable now : int;
+}
+
+let make_instance ~(config : config) ~fault_plan ~(trace : Trace.t) scheme =
   (* A stale profile perturbs the scheme itself, before anything else
      sees it: SIP/Hybrid run with the scrambled plan throughout. *)
   let scheme =
@@ -72,13 +87,20 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
       ()
   in
   (* Install fault hooks only when the respective fault is present, so a
-     fault-free run is the exact pre-fault-plan simulation. *)
-  if fault_plan.Fault_plan.channel <> None then
-    Enclave.set_load_perturb enclave (fun ~at base ->
-        Fault_plan.perturb_load_duration fault_plan ~at base);
-  if fault_plan.Fault_plan.co_tenant <> None then
-    Enclave.set_epc_budget enclave (fun ~at capacity ->
-        Fault_plan.epc_budget fault_plan ~at ~capacity);
+     fault-free run is the exact pre-fault-plan simulation.  Native runs
+     outside the enclave entirely: there is no EPC for a co-tenant to
+     squeeze and no load channel for jitter to stretch, so neither hook
+     applies (installing them was a bug — it made the native yardstick
+     drift with the fault plan). *)
+  (match scheme with
+  | Scheme.Native -> ()
+  | _ ->
+    if fault_plan.Fault_plan.channel <> None then
+      Enclave.set_load_perturb enclave (fun ~at base ->
+          Fault_plan.perturb_load_duration fault_plan ~at base);
+    if fault_plan.Fault_plan.co_tenant <> None then
+      Enclave.set_epc_budget enclave (fun ~at capacity ->
+          Fault_plan.epc_budget fault_plan ~at ~capacity));
   let dfp =
     match scheme with
     | Scheme.Dfp dfp_config | Scheme.Hybrid (dfp_config, _) ->
@@ -108,20 +130,33 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
      fault's own; a fault queued behind a deeper preload window must
      widen the buckets, not vanish into overflow and bias the mean.
      [Validate] asserts the overflow bucket stays empty. *)
-  let hist_for _ =
+  let hist_for () =
     Histogram.create ~auto_expand:true ~lo:0.0 ~hi:(Float.max latency_hi 1.0)
       ~buckets:32 ()
   in
-  let fault_latency =
-    List.map
-      (fun kind -> (kind, hist_for kind))
-      [ Enclave.Already_present; Enclave.Waited_in_flight; Enclave.Demand_load ]
+  let h_already = hist_for () in
+  let h_waited = hist_for () in
+  let h_demand = hist_for () in
+  let fault_latency_h =
+    [
+      (Enclave.Already_present, h_already);
+      (Enclave.Waited_in_flight, h_waited);
+      (Enclave.Demand_load, h_demand);
+    ]
   in
   (* The hook fires between the handler's return and the ERESUME, whose
-     fixed cost is still part of what the faulting thread waits for. *)
+     fixed cost is still part of what the faulting thread waits for.  The
+     histogram is selected by a direct match — this runs per fault, and an
+     assoc lookup here was a measurable slice of the replay (polymorphic
+     compare on the resolution variant). *)
   Enclave.add_on_fault enclave (fun _ (ctx : Enclave.fault_ctx) ->
-      Histogram.add
-        (List.assoc ctx.resolution fault_latency)
+      let h =
+        match ctx.resolution with
+        | Enclave.Already_present -> h_already
+        | Enclave.Waited_in_flight -> h_waited
+        | Enclave.Demand_load -> h_demand
+      in
+      Histogram.add h
         (float_of_int
            (ctx.handled_at - ctx.raised_at + costs.Cost_model.t_eresume)));
   let sip_site =
@@ -129,52 +164,40 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
     | Some plan -> Preload.Sip_instrumenter.site_predicate plan
     | None -> fun _ -> false
   in
-  let now = ref 0 in
-  (* Replay from the compiled arena.  The common (trace-fault-free) path
-     is a tight index loop with no per-access allocation; only a plan
-     that corrupts/truncates the stream itself needs the [Seq] view, and
-     feeds the perturbation the identical stream [Trace.events] would
-     have produced. *)
-  let arena = Workload.Trace_arena.compile trace in
-  let step ~site ~vpage ~compute ~thread =
-    let t = Enclave.compute enclave ~now:!now compute in
-    let t =
-      if sip_site site then Enclave.sip_access ~thread enclave ~now:t vpage
-      else Enclave.access ~thread enclave ~now:t vpage
-    in
-    now := t
-  in
-  (match fault_plan.Fault_plan.trace with
-  | None -> Workload.Trace_arena.iter arena ~f:step
-  | Some _ ->
-    Seq.iter
-      (fun (a : Access.t) ->
-        step ~site:a.site ~vpage:a.vpage ~compute:a.compute ~thread:a.thread)
-      (Fault_plan.perturb_trace fault_plan
-         ~elrange_pages:trace.Trace.elrange_pages
-         (Workload.Trace_arena.to_seq arena)));
-  Enclave.sync enclave ~now:!now;
-  let metrics = Enclave.metrics enclave in
+  {
+    i_scheme = scheme;
+    enclave;
+    log;
+    dfp;
+    fault_latency_h;
+    sip_site;
+    i_costs = costs;
+    now = 0;
+  }
+
+let finalize ~fault_plan ~input_label ~(trace : Trace.t) inst =
+  Enclave.sync inst.enclave ~now:inst.now;
+  let metrics = Enclave.metrics inst.enclave in
   {
     workload = trace.Trace.name;
     input = input_label;
-    scheme = Scheme.name scheme;
+    scheme = Scheme.name inst.i_scheme;
     fault_plan = fault_plan.Fault_plan.name;
     cycles = Metrics.total_cycles metrics;
-    final_now = !now;
-    costs;
+    final_now = inst.now;
+    costs = inst.i_costs;
     metrics;
-    events = Enclave.events enclave;
+    events = Enclave.events inst.enclave;
     diagnostics =
       {
-        events_truncated = Event.truncated log;
-        pending_preloads = Enclave.pending_preload_count enclave;
+        events_truncated = Event.truncated inst.log;
+        pending_preloads = Enclave.pending_preload_count inst.enclave;
         in_flight_preloads =
           (* Both speculative kinds: a SIP-requested load mid-flight at
              run end is as much an unfinished preload as a DFP one.
              Demand loads stay excluded — they resolve a fault, not a
              prediction. *)
-          (match Enclave.in_flight enclave with
+          (match Enclave.in_flight inst.enclave with
           | Some { kind = Sgxsim.Load_channel.(Preload_dfp | Preload_sip); _ }
             ->
             1
@@ -182,17 +205,88 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
         in_flight_kind =
           Option.map
             (fun (l : Sgxsim.Load_channel.inflight) -> l.kind)
-            (Enclave.in_flight enclave);
-        resident_at_end = Enclave.resident_count enclave;
+            (Enclave.in_flight inst.enclave);
+        resident_at_end = Enclave.resident_count inst.enclave;
       };
-    fault_latency;
-    dfp_stopped = (match dfp with Some d -> Preload.Dfp.stopped d | None -> false);
+    fault_latency = inst.fault_latency_h;
+    dfp_stopped =
+      (match inst.dfp with Some d -> Preload.Dfp.stopped d | None -> false);
     instrumentation_points =
-      (match Scheme.sip_plan scheme with
+      (match Scheme.sip_plan inst.i_scheme with
       | Some plan -> Preload.Sip_instrumenter.instrumentation_points plan
       | None -> 0);
-    epc_capacity = Enclave.epc_capacity enclave;
+    epc_capacity = Enclave.epc_capacity inst.enclave;
   }
+
+let step inst ~site ~vpage ~compute ~thread =
+  let t = Enclave.compute inst.enclave ~now:inst.now compute in
+  let t =
+    if inst.sip_site site then
+      Enclave.sip_access ~thread inst.enclave ~now:t vpage
+    else Enclave.access ~thread inst.enclave ~now:t vpage
+  in
+  inst.now <- t
+
+let run_fused ?(config = default_config) ?(fault_plan = Fault_plan.none)
+    ?(input_label = "") ~schemes trace =
+  let instances =
+    Array.of_list
+      (List.map (make_instance ~config ~fault_plan ~trace) schemes)
+  in
+  let n = Array.length instances in
+  (* Replay from the compiled arena, fanning each access out to every
+     instance.  Instances advance their private clocks independently and
+     share nothing mutable, so ANY replay interleaving produces, per
+     instance, the exact event sequence a solo pass would — the trace is
+     decoded once instead of [n] times.  The fan-out is chunked, not
+     per-event: each instance replays a cache-sized block of the packed
+     columns before the next instance takes the same block.  Per-event
+     round-robin would drag [n] enclaves' page tables through the cache
+     between consecutive accesses of each one; per-block, an instance's
+     working set stays hot for the whole block and the block's columns
+     (four int columns, ~2 MB at this size) stay hot across the [n]
+     replays of it.  Only a plan that corrupts/truncates the stream
+     itself needs the [Seq] view, which is one-shot and therefore fans
+     out per event; [perturb_trace] draws are keyed by event index, so
+     the one shared perturbed stream is identical to the stream each
+     solo run would have drawn. *)
+  let arena = Workload.Trace_arena.compile trace in
+  (match fault_plan.Fault_plan.trace with
+  | None ->
+    let block = 16384 in
+    let len = Workload.Trace_arena.length arena in
+    let lo = ref 0 in
+    while !lo < len do
+      let hi = min len (!lo + block) in
+      for i = 0 to n - 1 do
+        let inst = instances.(i) in
+        Workload.Trace_arena.iter_range arena ~lo:!lo ~hi
+          ~f:(fun ~site ~vpage ~compute ~thread ->
+            step inst ~site ~vpage ~compute ~thread)
+      done;
+      lo := hi
+    done
+  | Some _ ->
+    let step_all ~site ~vpage ~compute ~thread =
+      for i = 0 to n - 1 do
+        step instances.(i) ~site ~vpage ~compute ~thread
+      done
+    in
+    Seq.iter
+      (fun (a : Access.t) ->
+        step_all ~site:a.site ~vpage:a.vpage ~compute:a.compute
+          ~thread:a.thread)
+      (Fault_plan.perturb_trace fault_plan
+         ~elrange_pages:trace.Trace.elrange_pages
+         (Workload.Trace_arena.to_seq arena)));
+  List.map
+    (finalize ~fault_plan ~input_label ~trace)
+    (Array.to_list instances)
+
+let run ?config ?fault_plan ?input_label ~scheme trace =
+  match run_fused ?config ?fault_plan ?input_label ~schemes:[ scheme ] trace with
+  | [ r ] -> r
+  | _ -> assert false
 
 let normalized_time ~baseline result =
   if baseline.cycles = 0 then invalid_arg "Runner.normalized_time: empty baseline";

@@ -70,11 +70,27 @@ val run :
 (** Replay the trace once, from its compiled {!Workload.Trace_arena}
     (compiling it on first use; see the arena's memo/cache).  [Native]
     schemes run with the native cost model and an effectively unbounded
-    EPC (the machine's RAM).
+    EPC (the machine's RAM); fault-plan EPC-budget and channel-jitter
+    hooks do not apply to it (there is no enclave to perturb), so Native
+    cycles are invariant across fault plans up to trace corruption.
     [fault_plan] (default {!Fault_plan.none}) perturbs the run at the
     plan's injection points; a stale plan scrambles the SIP plan before
     attachment, and corrupted traces are corrupted identically on every
     replay (the draws are seeded by event index). *)
+
+val run_fused :
+  ?config:config -> ?fault_plan:Fault_plan.t -> ?input_label:string ->
+  schemes:Preload.Scheme.t list -> Workload.Trace.t -> result list
+(** Replay the trace {e once}, driving one independent simulation
+    instance per scheme off the single pass.  Results come back in
+    [schemes] order and are field-for-field identical to
+    [List.map (fun s -> run ~scheme:s trace) schemes]: instances share
+    nothing mutable, each advances its own clock, and under a
+    trace-corrupting plan all instances consume the same perturbed
+    stream each solo run would have drawn (draws are keyed by event
+    index).  The win is wall-clock: the arena is decoded and iterated
+    once per trace instead of once per cell.  [run] is the singleton
+    case. *)
 
 val improvement : baseline:result -> result -> float
 (** Fractional improvement of a result over the baseline run

@@ -29,6 +29,8 @@ let push_back t x =
 
 let peek_front t = if t.len = 0 then None else Some t.buf.(t.head)
 
+let front t = if t.len = 0 then t.dummy else t.buf.(t.head)
+
 let pop_front t =
   if t.len = 0 then None
   else begin

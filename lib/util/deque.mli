@@ -23,6 +23,11 @@ val push_back : 'a t -> 'a -> unit
 val peek_front : 'a t -> 'a option
 val pop_front : 'a t -> 'a option
 
+val front : 'a t -> 'a
+(** Head element without the option box — the allocation-free
+    {!peek_front} for hot paths.  Returns [dummy] when empty, so callers
+    must check {!is_empty} first or use a recognizable dummy. *)
+
 val clear : 'a t -> unit
 (** Drop every element (slots are reset to [dummy]). *)
 

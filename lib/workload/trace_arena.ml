@@ -37,17 +37,20 @@ let vpage a i = Bigarray.Array1.get a.packed.Codec.vpage i
 let compute a i = Bigarray.Array1.get a.packed.Codec.compute i
 let thread a i = Bigarray.Array1.get a.packed.Codec.thread i
 
-let iter a ~f =
+let iter_range a ~lo ~hi ~f =
+  let lo = max lo 0 and hi = min hi (length a) in
   let p = a.packed in
   let s = p.Codec.site and v = p.Codec.vpage in
   let c = p.Codec.compute and th = p.Codec.thread in
-  for i = 0 to length a - 1 do
+  for i = lo to hi - 1 do
     f
       ~site:(Bigarray.Array1.unsafe_get s i)
       ~vpage:(Bigarray.Array1.unsafe_get v i)
       ~compute:(Bigarray.Array1.unsafe_get c i)
       ~thread:(Bigarray.Array1.unsafe_get th i)
   done
+
+let iter a ~f = iter_range a ~lo:0 ~hi:(length a) ~f
 
 let fold a ~init ~f =
   let acc = ref init in

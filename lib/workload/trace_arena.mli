@@ -34,6 +34,17 @@ val iter :
 (** In-order replay; the callback receives unboxed ints, so the loop
     allocates nothing per access. *)
 
+val iter_range :
+  t ->
+  lo:int ->
+  hi:int ->
+  f:(site:int -> vpage:int -> compute:int -> thread:int -> unit) ->
+  unit
+(** [iter] over indices [\[max lo 0, min hi (length t))] — the fused
+    replay's chunking primitive (each scheme instance replays one
+    cache-sized block of the columns before the next instance takes
+    it). *)
+
 val fold :
   t ->
   init:'a ->

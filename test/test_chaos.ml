@@ -148,12 +148,14 @@ let test_bank_lookup () =
 (* Degradation metrics                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_best_case plan =
+let run_scheme_best_case plan scheme =
   let trace =
     Experiments.trace_of Experiments.quick "best-case" ~input:(Input.Ref 0)
   in
   let config = { Runner.default_config with epc_pages = 1024 } in
-  Runner.run ~config ~fault_plan:plan ~scheme:Preload.Scheme.dfp_stop trace
+  Runner.run ~config ~fault_plan:plan ~scheme trace
+
+let run_best_case plan = run_scheme_best_case plan Preload.Scheme.dfp_stop
 
 let test_degradation_against_fault_free () =
   let fault_free = run_best_case Fault_plan.none in
@@ -164,9 +166,44 @@ let test_degradation_against_fault_free () =
   checkb "jitter costs cycles" true (d.Report.overhead > 0.0);
   let self = Report.degradation ~fault_free fault_free in
   checkb "self-degradation is zero" true
-    (self.Report.overhead = 0.0 && self.fault_increase = 0.0);
+    (self.Report.overhead = 0.0 && self.fault_increase = Some 0.0);
   Alcotest.(check string) "plan name recorded" "jittery-channel"
     faulted.Runner.fault_plan
+
+let test_native_immune_to_enclave_faults () =
+  (* Native runs outside SGX: there is no EPC for a co-tenant to squeeze,
+     no load channel for jitter to stretch, and no SIP plan to go stale.
+     Regression for the bug where those hooks were installed anyway and
+     the native yardstick drifted with the fault plan.  Only a trace
+     fault (which corrupts the access stream itself, before any enclave)
+     may legitimately change Native, so each bank plan is compared
+     against itself with every non-trace fault stripped. *)
+  let native plan = run_scheme_best_case plan Preload.Scheme.Native in
+  let fault_free = native Fault_plan.none in
+  List.iter
+    (fun (p : Fault_plan.t) ->
+      let stripped =
+        { p with Fault_plan.channel = None; co_tenant = None;
+          stale_sip_plan = false }
+      in
+      let under_plan = native p and under_stripped = native stripped in
+      checki
+        (Printf.sprintf "%s: cycles ignore non-trace faults" p.Fault_plan.name)
+        under_stripped.Runner.cycles under_plan.Runner.cycles;
+      checki
+        (Printf.sprintf "%s: final_now ignores non-trace faults"
+           p.Fault_plan.name)
+        under_stripped.Runner.final_now under_plan.Runner.final_now;
+      checkb
+        (Printf.sprintf "%s: whole result ignores non-trace faults"
+           p.Fault_plan.name)
+        true
+        (under_stripped = under_plan);
+      if p.Fault_plan.trace = None then
+        checki
+          (Printf.sprintf "%s: identical to fault-free" p.Fault_plan.name)
+          fault_free.Runner.cycles under_plan.Runner.cycles)
+    Fault_plan.bank
 
 (* ------------------------------------------------------------------ *)
 (* The chaos matrix                                                    *)
@@ -246,7 +283,11 @@ let () =
           tc "bank lookup" test_bank_lookup;
         ] );
       ( "degradation",
-        [ tc "measured against fault-free" test_degradation_against_fault_free ] );
+        [
+          tc "measured against fault-free" test_degradation_against_fault_free;
+          tc "native immune to enclave-side faults"
+            test_native_immune_to_enclave_faults;
+        ] );
       ( "matrix",
         [
           slow "clean, -j invariant, repeatable" test_matrix_clean_and_j_invariant;

@@ -48,18 +48,22 @@ let test_pt_load_evict_cycle () =
   Page_table.mark_loaded pt 3 ~prov:Page_table.Demand ~slot:0;
   checkb "present" true (Page_table.present pt 3);
   checki "resident" 1 (Page_table.resident_count pt);
-  checkb "demand pages come in hot" true (Page_table.entry pt 3).accessed;
+  checkb "demand pages come in hot" true (Page_table.accessed pt 3);
   Page_table.mark_evicted pt 3;
   checkb "absent" false (Page_table.present pt 3);
   checki "resident" 0 (Page_table.resident_count pt);
-  checki "slot cleared" (-1) (Page_table.entry pt 3).slot
+  checki "slot cleared" (-1) (Page_table.slot pt 3)
 
 let test_pt_preload_comes_in_cold () =
   let pt = Page_table.create ~pages:8 in
-  Page_table.mark_loaded pt 2 ~prov:(Page_table.Preloaded { counted = false }) ~slot:1;
-  checkb "access bit clear" false (Page_table.entry pt 2).accessed;
+  Page_table.mark_loaded pt 2 ~prov:Page_table.Preloaded ~slot:1;
+  checkb "access bit clear" false (Page_table.accessed pt 2);
+  checkb "preloaded" true (Page_table.preloaded pt 2);
+  checkb "not yet counted" false (Page_table.counted pt 2);
   Page_table.touch pt 2;
-  checkb "touched" true (Page_table.entry pt 2).accessed
+  checkb "touched" true (Page_table.accessed pt 2);
+  Page_table.set_counted pt 2;
+  checkb "counted" true (Page_table.counted pt 2)
 
 let test_pt_double_load_rejected () =
   let pt = Page_table.create ~pages:4 in
@@ -78,7 +82,7 @@ let test_pt_out_of_elrange () =
   let pt = Page_table.create ~pages:4 in
   Alcotest.check_raises "oob"
     (Invalid_argument "Page_table: page 4 outside ELRANGE [0,4)") (fun () ->
-      ignore (Page_table.entry pt 4))
+      ignore (Page_table.accessed pt 4))
 
 (* ------------------------------------------------------------------ *)
 (* Clock evictor                                                       *)
@@ -341,6 +345,51 @@ module Ref_queue = struct
   let length m = List.length m.q
 end
 
+(* The compaction invariant: lazy deletion may leave stale slots in the
+   deque, but never more than [max 64 live] of them — so physical length
+   is bounded by [live + max 64 live] after every public operation. *)
+let check_compaction_bound ctx ch =
+  let live = Load_channel.queue_length ch in
+  let stale = Load_channel.physical_length ch - live in
+  if not (stale <= max 64 live) then
+    Alcotest.failf "%s: %d stale slots for %d live (bound %d)" ctx stale live
+      (max 64 live)
+
+let test_channel_compaction_bounds_deque () =
+  (* Regression for unbounded deque growth: queue pages and abort them
+     via lazy removal, never popping the head — [drop_stale] alone would
+     never reclaim anything.  Without compaction the deque grows by one
+     slot per queue/remove round forever. *)
+  let pages = 4096 in
+  let ch = Load_channel.create ~pages in
+  let peak = ref 0 in
+  for round = 0 to 9_999 do
+    let v = round mod pages in
+    Load_channel.queue_preload ch ~vpage:v ~at:round;
+    checkb "removed" true (Load_channel.remove_queued ch v);
+    check_compaction_bound (Printf.sprintf "round %d" round) ch;
+    peak := max !peak (Load_channel.physical_length ch)
+  done;
+  checkb
+    (Printf.sprintf "peak physical length %d stays near the floor" !peak)
+    true (!peak <= 2 * 64 + 2);
+  checki "nothing live at the end" 0 (Load_channel.queue_length ch);
+  (* Same pressure through the batch-abort path, with a live remainder:
+     survivors must come back in exact FIFO order after compactions. *)
+  let ch = Load_channel.create ~pages in
+  let survivors = List.init 40 (fun i -> 4000 + i) in
+  List.iteri (fun i v -> Load_channel.queue_preload ch ~vpage:v ~at:i) survivors;
+  for round = 0 to 999 do
+    let batch = List.init 8 (fun i -> (round * 8 + i) mod 3000) in
+    List.iter (fun v -> Load_channel.queue_preload ch ~vpage:v ~at:round) batch;
+    checki "batch dropped" 8
+      (Load_channel.abort_queued_where ch (fun p -> p < 3000));
+    check_compaction_bound (Printf.sprintf "abort round %d" round) ch
+  done;
+  Alcotest.(check (list int))
+    "survivors keep FIFO order through compactions" survivors
+    (Load_channel.queued ch)
+
 let test_channel_differential_random () =
   let pages = 48 in
   let prng = Repro_util.Prng.create 20260806 in
@@ -350,6 +399,7 @@ let test_channel_differential_random () =
     let ctx msg = Printf.sprintf "step %d: %s" step msg in
     Alcotest.(check (list int)) (ctx "queued") (Ref_queue.queued rf) (Load_channel.queued ch);
     checki (ctx "length") (Ref_queue.length rf) (Load_channel.queue_length ch);
+    check_compaction_bound (ctx "compaction bound") ch;
     for _ = 1 to 4 do
       let v = Repro_util.Prng.int prng pages in
       checkb (ctx "mem") (Ref_queue.mem rf v) (Load_channel.queued_mem ch v)
@@ -515,6 +565,7 @@ let () =
           tc "re-queue after removal goes to tail"
             test_channel_requeue_after_removal_goes_to_tail;
           tc "abort pages" test_channel_abort_pages;
+          tc "compaction bounds the deque" test_channel_compaction_bounds_deque;
           tc "differential vs list model" test_channel_differential_random;
         ]
         @ props channel_qcheck );

@@ -237,8 +237,13 @@ let test_report_breakdown_sums_to_total () =
 let test_report_fault_reduction () =
   let base = run "lbm" Scheme.Baseline in
   let dfp = run "lbm" Scheme.dfp_default in
-  let fr = Report.fault_reduction ~baseline:base dfp in
-  checkb "in (0,1)" true (fr > 0.0 && fr < 1.0)
+  (match Report.fault_reduction ~baseline:base dfp with
+  | None -> Alcotest.fail "baseline had faults, reduction must be defined"
+  | Some fr -> checkb "in (0,1)" true (fr > 0.0 && fr < 1.0));
+  (* A fault-free baseline has no defined reduction. *)
+  checkb "0-of-0 baseline is n/a" true
+    (Report.fault_reduction ~baseline:dfp dfp = None
+    || Sgxsim.Metrics.total_faults dfp.Runner.metrics > 0)
 
 let test_report_geomean () =
   let base = run "lbm" Scheme.Baseline in
