@@ -55,6 +55,15 @@ let ops_tests () =
                (Sgxsim.Clock_evictor.choose_victim evictor
                   ~accessed:(fun v -> accessed.(v))
                   ~clear:(fun v -> accessed.(v) <- false))));
+      Test.make ~name:"clock_victim_owned"
+        (Staged.stage (fun () ->
+             (* The fleet sweep: owner-tagged frames plus a pin check on
+                every hand position. *)
+             ignore
+               (Sgxsim.Clock_evictor.choose_victim_owned evictor
+                  ~pinned:(fun ~owner:_ ~vpage -> vpage land 255 = 17)
+                  ~accessed:(fun ~owner:_ ~vpage -> accessed.(vpage))
+                  ~clear:(fun ~owner:_ ~vpage -> accessed.(vpage) <- false))));
       Test.make ~name:"enclave_hot_access"
         (Staged.stage (fun () ->
              (* Page 0 is resident after the first call; later calls are
@@ -67,6 +76,13 @@ let figure_tests () =
      settings: measures how long regenerating each one takes. *)
   let s = Sim.Experiments.quick in
   let make name f = Test.make ~name (Staged.stage (fun () -> ignore (f s))) in
+  (* A small co-tenant pair: two smoke-sized traces sharing 256 frames
+     under the global CLOCK — the fleet interleaver's throughput. *)
+  let fleet_trace label seed =
+    Sim.Macro_bench.queue_stress
+      { Sim.Macro_bench.smoke with Sim.Macro_bench.label; events = 10_000; seed }
+  in
+  let ta = fleet_trace "bench-fleet-a" 1 and tb = fleet_trace "bench-fleet-b" 2 in
   Test.make_grouped ~name:"figures"
     [
       make "fig2_timelines" Sim.Experiments.fig2_timelines;
@@ -74,6 +90,16 @@ let figure_tests () =
       make "fig6_sweep" Sim.Experiments.fig6_sweep;
       make "fig8_rows" Sim.Experiments.fig8_rows;
       make "fig13_rows" Sim.Experiments.fig13_rows;
+      Test.make ~name:"fleet_shared_pair"
+        (Staged.stage (fun () ->
+             ignore
+               (Sim.Fleet.run
+                  ~config:
+                    { Sim.Fleet.default_config with Sim.Fleet.epc_pages = 256 }
+                  [
+                    Sim.Fleet.tenant ~label:"a" ~scheme:Preload.Scheme.dfp_default ta;
+                    Sim.Fleet.tenant ~label:"b" ~scheme:Preload.Scheme.Baseline tb;
+                  ])));
     ]
 
 let run_bechamel ~quota_s test =

@@ -557,7 +557,7 @@ let chaos_cmd =
     Arg.(value & opt (list string) [] & info [ "workloads" ] ~docv:"NAMES" ~doc)
   in
   let action epc input quick_flag jobs seed plan_names workloads timeout
-      retries keep_going journal resume =
+      retries keep_going journal resume fused =
     let plans =
       List.map
         (fun name ->
@@ -588,6 +588,7 @@ let chaos_cmd =
         keep_going;
         journal_dir = journal;
         resume;
+        fused;
       }
     in
     let outcome =
@@ -612,7 +613,7 @@ let chaos_cmd =
     Term.(
       const action $ epc_chaos_arg $ input_arg $ quick_arg $ jobs_arg
       $ seed_arg $ plans_arg $ workloads_arg $ timeout_arg $ retries_arg
-      $ keep_going_arg $ journal_arg $ resume_arg)
+      $ keep_going_arg $ journal_arg $ resume_arg $ fused_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -620,6 +621,161 @@ let chaos_cmd =
          "Run the scheme matrix under a bank of named fault plans, print \
           graceful-degradation tables, and exit nonzero on any invariant \
           violation or failed cell")
+    term
+
+(* ---------- fleet ---------- *)
+
+let fleet_cmd =
+  let module Fleet = Sim.Fleet in
+  let module Arbiter = Sgxsim.Load_channel.Arbiter in
+  let tenants_arg =
+    let doc =
+      "Tenant workloads, one co-resident enclave each (repeat a name to \
+       run two instances of the same workload)."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let schemes_arg =
+    let doc =
+      "Comma-separated preloading schemes: one applied to every tenant, \
+       or exactly one per tenant in tenant order.  Same grammar as \
+       $(b,run --scheme)."
+    in
+    Arg.(value & opt (list string) [ "baseline" ] & info [ "schemes" ] ~docv:"SCHEMES" ~doc)
+  in
+  let mode_arg =
+    let doc = "EPC mode: $(b,shared), $(b,partitioned), or $(b,both)." in
+    Arg.(value & opt string "shared" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let policy_arg =
+    let doc =
+      "Paging-channel arbitration: $(b,fifo), $(b,fair-share) or \
+       $(b,priority)."
+    in
+    Arg.(value & opt string "fifo" & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let priorities_arg =
+    let doc =
+      "Comma-separated per-tenant priority levels (0 = highest; only \
+       the $(b,priority) policy reads them).  Default: all 1."
+    in
+    Arg.(value & opt (list int) [] & info [ "priorities" ] ~docv:"LEVELS" ~doc)
+  in
+  let fault_plan_arg =
+    let doc = "Run under a named chaos fault plan (see $(b,chaos))." in
+    Arg.(value & opt string "fault-free" & info [ "fault-plan" ] ~docv:"NAME" ~doc)
+  in
+  let summaries_arg =
+    let doc =
+      "Print only the label-prefixed per-tenant summary lines — the \
+       stable surface the CI determinism diff compares."
+    in
+    Arg.(value & flag & info [ "summaries" ] ~doc)
+  in
+  let plan_arg =
+    let doc = "Use a saved instrumentation plan for sip/hybrid schemes." in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let action tenant_names schemes epc input mode_s policy_s priorities
+      fault_plan_name jobs summaries plan_file =
+    List.iter
+      (fun w -> if model_of_name w = None then unknown_workload w)
+      tenant_names;
+    let n = List.length tenant_names in
+    let scheme_strings =
+      match schemes with
+      | [ s ] -> List.map (fun w -> (w, s)) tenant_names
+      | ss when List.length ss = n -> List.combine tenant_names ss
+      | ss ->
+        Printf.eprintf
+          "--schemes wants 1 scheme or exactly one per tenant (%d tenants, \
+           %d schemes)\n"
+          n (List.length ss);
+        exit 1
+    in
+    let priorities =
+      match priorities with
+      | [] -> List.map (fun _ -> 1) tenant_names
+      | ps when List.length ps = n -> ps
+      | ps ->
+        Printf.eprintf "--priorities wants one level per tenant (%d tenants, %d levels)\n"
+          n (List.length ps);
+        exit 1
+    in
+    let modes =
+      match mode_s with
+      | "both" -> [ Fleet.Shared; Fleet.Partitioned ]
+      | s -> (
+        match Fleet.mode_of_string s with
+        | Some m -> [ m ]
+        | None ->
+          Printf.eprintf "unknown mode %S (shared, partitioned, both)\n" s;
+          exit 1)
+    in
+    let policy =
+      match Arbiter.policy_of_string policy_s with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown policy %S (%s)\n" policy_s
+          (String.concat ", " (List.map Arbiter.policy_name Arbiter.policies));
+        exit 1
+    in
+    let fault_plan =
+      match Sim.Fault_plan.find fault_plan_name with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown fault plan %S; known plans:\n  %s\n"
+          fault_plan_name
+          (String.concat "\n  " ("fault-free" :: Sim.Fault_plan.names ()));
+        exit 1
+    in
+    let tenants =
+      List.map2
+        (fun w priority ->
+          let model = Option.get (model_of_name w) in
+          Fleet.tenant ~label:w ~scheme:Scheme.Baseline ~priority
+            (model ~epc_pages:epc ~input))
+        tenant_names priorities
+    in
+    let config =
+      { Fleet.default_config with Fleet.epc_pages = epc; policy }
+    in
+    (* Scheme parsing (and any SIP plan profiling) happens per cell,
+       inside the matrix worker. *)
+    let scheme_for _tag label =
+      parse_scheme ?plan_file ~epc ~workload:label
+        (List.assoc label scheme_strings)
+    in
+    let cells =
+      Fleet.matrix ~jobs ~config ~fault_plan
+        ~input_label:(Input.to_string input) ~scheme_for ~tags:[ "fleet" ]
+        ~modes tenants
+    in
+    List.iter
+      (fun (c : Fleet.cell) ->
+        if summaries then begin
+          if List.length cells > 1 then
+            Printf.printf "# mode=%s\n" (Fleet.mode_name c.Fleet.c_mode);
+          List.iter print_endline (Fleet.summary_lines c.Fleet.c_outcome)
+        end
+        else begin
+          Fleet.print_outcome c.Fleet.c_outcome;
+          print_newline ()
+        end)
+      cells
+  in
+  let term =
+    Term.(
+      const action $ tenants_arg $ schemes_arg $ epc_arg $ input_arg
+      $ mode_arg $ policy_arg $ priorities_arg $ fault_plan_arg $ jobs_arg
+      $ summaries_arg $ plan_arg)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run several enclaves concurrently over one EPC (shared global \
+          CLOCK or static partitions) and report per-tenant slowdown plus \
+          the victim/aggressor interference table")
     term
 
 (* ---------- list ---------- *)
@@ -652,5 +808,5 @@ let () =
           [
             run_cmd; compare_cmd; profile_cmd; stats_cmd; record_cmd;
             replay_cmd; validate_cmd; export_cmd; experiment_cmd; chaos_cmd;
-            list_cmd;
+            fleet_cmd; list_cmd;
           ]))

@@ -1,9 +1,20 @@
+(* Frames are packed (owner, vpage) words: a shared EPC hosts pages from
+   several enclaves at once, and the sweep must know whose page table to
+   consult for each frame's access bit.  The single-enclave case is
+   owner 0 throughout and costs one mask per probe. *)
+
+let owner_bits = 16
+let owner_mask = (1 lsl owner_bits) - 1
+let max_owner = owner_mask - 1
+
 type t = {
-  slots : int array; (* vpage per frame, -1 when free *)
+  slots : int array; (* (vpage lsl owner_bits) lor owner, -1 when free *)
   mutable free : int list;
   mutable hand : int;
   mutable used : int;
 }
+
+exception No_evictable_page
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Clock_evictor.create: capacity must be positive";
@@ -18,12 +29,19 @@ let capacity t = Array.length t.slots
 let used t = t.used
 let is_full t = t.used >= Array.length t.slots
 
-let insert t vpage =
+let pack ~owner vpage = (vpage lsl owner_bits) lor owner
+let frame_owner w = w land owner_mask
+let frame_vpage w = w lsr owner_bits
+
+let insert ?(owner = 0) t vpage =
+  if owner < 0 || owner > max_owner then
+    invalid_arg "Clock_evictor.insert: owner out of range";
+  if vpage < 0 then invalid_arg "Clock_evictor.insert: negative vpage";
   match t.free with
   | [] -> invalid_arg "Clock_evictor.insert: EPC full"
   | slot :: rest ->
     t.free <- rest;
-    t.slots.(slot) <- vpage;
+    t.slots.(slot) <- pack ~owner vpage;
     t.used <- t.used + 1;
     slot
 
@@ -37,35 +55,75 @@ let remove t ~slot =
 
 let advance t = t.hand <- (t.hand + 1) mod Array.length t.slots
 
-let choose_victim t ~accessed ~clear =
+let choose_victim_owned t ~pinned ~accessed ~clear =
   if t.used = 0 then invalid_arg "Clock_evictor.choose_victim: EPC empty";
   (* At most two revolutions: the first may clear every bit, the second
-     must then find a victim. *)
+     must then find a victim.  A pinned frame is passed over without a
+     clear, so it never ages toward victimhood; if every resident frame
+     is pinned the budget runs dry and the typed error surfaces (the
+     old code raised a bare invalid_arg here, which callers could not
+     usefully catch). *)
   let budget = ref (2 * Array.length t.slots) in
   let rec sweep () =
-    if !budget <= 0 then invalid_arg "Clock_evictor.choose_victim: no victim found"
+    if !budget <= 0 then raise No_evictable_page
     else begin
       decr budget;
-      let vpage = t.slots.(t.hand) in
-      if vpage = -1 then begin
-        advance t;
-        sweep ()
-      end
-      else if accessed vpage then begin
-        clear vpage;
+      let w = t.slots.(t.hand) in
+      if w = -1 then begin
         advance t;
         sweep ()
       end
       else begin
-        advance t;
-        vpage
+        let owner = frame_owner w and vpage = frame_vpage w in
+        if pinned ~owner ~vpage then begin
+          advance t;
+          sweep ()
+        end
+        else if accessed ~owner ~vpage then begin
+          clear ~owner ~vpage;
+          advance t;
+          sweep ()
+        end
+        else begin
+          advance t;
+          (owner, vpage)
+        end
       end
     end
   in
   sweep ()
 
+let never_pinned ~owner ~vpage =
+  ignore owner;
+  ignore vpage;
+  false
+
+let choose_victim t ~accessed ~clear =
+  snd
+    (choose_victim_owned t ~pinned:never_pinned
+       ~accessed:(fun ~owner:_ ~vpage -> accessed vpage)
+       ~clear:(fun ~owner:_ ~vpage -> clear vpage))
+
 let scan t f =
-  Array.iter (fun vpage -> if vpage <> -1 then f vpage) t.slots
+  Array.iter (fun w -> if w <> -1 then f (frame_vpage w)) t.slots
+
+let scan_owned t f =
+  Array.iter
+    (fun w -> if w <> -1 then f ~owner:(frame_owner w) ~vpage:(frame_vpage w))
+    t.slots
 
 let resident t =
-  Array.fold_right (fun vpage acc -> if vpage = -1 then acc else vpage :: acc) t.slots []
+  Array.fold_right
+    (fun w acc -> if w = -1 then acc else frame_vpage w :: acc)
+    t.slots []
+
+let resident_by_owner t =
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun w ->
+      if w <> -1 then
+        let o = frame_owner w in
+        Hashtbl.replace counts o
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts o)))
+    t.slots;
+  List.sort compare (Hashtbl.fold (fun o n acc -> (o, n) :: acc) counts [])

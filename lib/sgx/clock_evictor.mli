@@ -5,9 +5,22 @@
     more revolution.  The same structure hosts the periodic service-thread
     scan that clears access bits and — piggybacked, as in §4.2 of the
     paper — harvests "preloaded page was actually used" information for
-    DFP's abort counters. *)
+    DFP's abort counters.
+
+    Frames carry an {e owner} tag so one pool can be shared by a fleet of
+    co-tenant enclaves: the sweep reports (owner, vpage) pairs and its
+    callbacks receive both, letting the caller consult the right page
+    table per frame.  Single-enclave users ignore owners entirely (they
+    default to 0). *)
 
 type t
+
+exception No_evictable_page
+(** The sweep exhausted its two-revolution budget without finding a
+    victim: every resident frame is pinned (or kept permanently
+    accessed).  Raised by {!choose_victim_owned} / {!choose_victim};
+    callers decide whether that is a drop-the-preload situation or a
+    hard error. *)
 
 val create : capacity:int -> t
 (** An empty EPC with [capacity] frames.
@@ -20,26 +33,52 @@ val used : t -> int
 
 val is_full : t -> bool
 
-val insert : t -> int -> int
-(** [insert t vpage] places a page into a free frame and returns the slot
-    index (to be recorded in the page-table entry).
-    @raise Invalid_argument if full. *)
+val insert : ?owner:int -> t -> int -> int
+(** [insert ?owner t vpage] places a page into a free frame and returns
+    the slot index (to be recorded in the owner's page-table entry).
+    [owner] (default 0) tags the frame for shared-pool sweeps.
+    @raise Invalid_argument if full, if [vpage < 0], or if [owner] is
+    outside the 16-bit tag range. *)
 
 val remove : t -> slot:int -> unit
 (** Free a frame by slot index (page evicted or enclave-destroyed).
     @raise Invalid_argument if the slot is already free. *)
 
+val choose_victim_owned :
+  t ->
+  pinned:(owner:int -> vpage:int -> bool) ->
+  accessed:(owner:int -> vpage:int -> bool) ->
+  clear:(owner:int -> vpage:int -> unit) ->
+  int * int
+(** [choose_victim_owned t ~pinned ~accessed ~clear] runs the CLOCK
+    sweep over a (possibly shared) pool: pinned frames are passed over
+    untouched (no second-chance clear — a pinned page is mid-return to
+    a faulting thread and must stay put); pages whose access bit is set
+    (per [accessed]) are given a second chance ([clear] is called and
+    the hand advances); the first page with a clear bit is the victim,
+    returned as [(owner, vpage)] {e without} freeing the slot — callers
+    evict via {!remove} once the write-back completes.
+    @raise Invalid_argument if the EPC is empty.
+    @raise No_evictable_page if two full revolutions find only pinned
+    frames. *)
+
 val choose_victim : t -> accessed:(int -> bool) -> clear:(int -> unit) -> int
-(** [choose_victim t ~accessed ~clear] runs the CLOCK sweep: pages whose
-    access bit is set (per [accessed]) are given a second chance ([clear]
-    is called and the hand advances); the first page with a clear bit is
-    the victim.  Returns the victim's vpage {e without} freeing the slot —
-    callers evict via {!remove} once the write-back completes.
-    @raise Invalid_argument if the EPC is empty. *)
+(** Single-owner view of {!choose_victim_owned}: no frames are pinned
+    and callbacks receive the vpage alone.
+    @raise Invalid_argument if the EPC is empty.
+    @raise No_evictable_page if the sweep budget runs dry ([accessed]
+    held every frame hot through both revolutions). *)
 
 val scan : t -> (int -> unit) -> unit
 (** [scan t f] visits every resident page once (service-thread pass);
     [f] receives the vpage.  Visit order is frame order, not recency. *)
 
+val scan_owned : t -> (owner:int -> vpage:int -> unit) -> unit
+(** {!scan} with the owner tag, for shared-pool walkers. *)
+
 val resident : t -> int list
 (** Resident vpages in frame order (testing/report helper). *)
+
+val resident_by_owner : t -> (int * int) list
+(** [(owner, frames held)] sorted by owner — the shared pool's view of
+    who occupies what, checked by the fleet conservation invariant. *)

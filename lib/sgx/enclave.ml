@@ -14,16 +14,28 @@ type t = {
   costs : Cost_model.t;
   pt : Page_table.t;
   epc : Clock_evictor.t;
+  owner : int;
+      (* This enclave's frame tag in [epc].  0 unless a fleet assigned
+         one; meaningful only when the evictor is shared. *)
   channel : Load_channel.t;
   metrics : Metrics.t;
   bitmap : Bitset.t;
   mutable log : Event.log;
   mutable next_scan : int;
+  mutable peers : t array option;
+      (* Co-tenants sharing [epc], indexed by owner tag; [None] outside a
+         fleet.  Set once by {!link_fleet}; lets the CLOCK sweep consult
+         the right page table for each frame it passes. *)
   mutable protected_vpage : int;
       (* Page being returned to the faulting thread: the handler pins it
-         so a preload-triggered eviction cannot snatch it back before the
-         application's access completes.  -1 when no fault is in
+         (mirrored in the page-table pinned bit) so an eviction sweep —
+         this enclave's or a co-tenant's — cannot snatch it back before
+         the application's access completes.  -1 when no fault is in
          progress. *)
+  mutable on_evict : aggressor:int -> victim:int -> vpage:int -> unit;
+      (* Observation hook for every eviction this enclave's sweeps
+         perform, with the owner tags of both sides — the fleet's
+         interference table.  No-op by default. *)
   mutable on_fault : t -> fault_ctx -> unit;
   mutable on_preload_complete : t -> int -> unit;
   mutable on_preload_hit : t -> int -> unit;
@@ -38,18 +50,28 @@ type t = {
          the full capacity. *)
 }
 
-let create ?(costs = Cost_model.paper) ?(log = Event.null_log) ~epc_pages
-    ~elrange_pages () =
+let create ?(costs = Cost_model.paper) ?(log = Event.null_log) ?epc
+    ?(owner = 0) ~epc_pages ~elrange_pages () =
+  let epc =
+    (* A fleet passes the shared pool in; solo enclaves get a private one
+       of [epc_pages] frames. *)
+    match epc with
+    | Some e -> e
+    | None -> Clock_evictor.create ~capacity:epc_pages
+  in
   {
     costs;
     pt = Page_table.create ~pages:elrange_pages;
-    epc = Clock_evictor.create ~capacity:epc_pages;
+    epc;
+    owner;
     channel = Load_channel.create ~pages:elrange_pages;
     metrics = Metrics.create ();
     bitmap = Bitset.create elrange_pages;
     log;
     next_scan = costs.Cost_model.clock_scan_period;
+    peers = None;
     protected_vpage = -1;
+    on_evict = (fun ~aggressor:_ ~victim:_ ~vpage:_ -> ());
     on_fault = (fun _ _ -> ());
     on_preload_complete = (fun _ _ -> ());
     on_preload_hit = (fun _ _ -> ());
@@ -71,6 +93,16 @@ let set_on_preload_hit t f = t.on_preload_hit <- f
 let set_on_scan t f = t.on_scan <- f
 let set_load_perturb t f = t.load_perturb <- f
 let set_epc_budget t f = t.epc_budget <- f
+let set_on_evict t f = t.on_evict <- f
+let owner t = t.owner
+
+let link_fleet peers =
+  Array.iteri
+    (fun i e ->
+      if e.owner <> i then
+        invalid_arg "Enclave.link_fleet: owner tag must equal array index";
+      e.peers <- Some peers)
+    peers
 
 let record t e = Event.record t.log e
 
@@ -88,43 +120,82 @@ let harvest t vpage =
     t.on_preload_hit t vpage
   end
 
+(* Resolve a frame's owner tag to its enclave.  Outside a fleet only our
+   own tag can appear in the (private) pool. *)
+let enc_of t o =
+  if o = t.owner then t
+  else
+    match t.peers with
+    | Some peers when o >= 0 && o < Array.length peers -> peers.(o)
+    | Some _ | None ->
+      invalid_arg "Enclave: EPC frame owned by an unlinked tenant"
+
 (* Free one EPC frame via the CLOCK sweep.  The victim's state transition
    is applied at [at]; the EWB write-back time is charged to the load that
-   needed the frame (part of the channel busy span). *)
+   needed the frame (part of the channel busy span).  In a shared pool the
+   victim may belong to a co-tenant: its page table, bitmap, metrics and
+   event log take the eviction, while the cycles stay charged to this
+   enclave (the aggressor) — exactly the cross-tenant interference the
+   fleet's table reports via [on_evict]. *)
 let evict_one t ~at =
-  (* The pinned page is treated as permanently accessed so the CLOCK
-     sweep passes it over. *)
-  let accessed v = v = t.protected_vpage || Page_table.accessed t.pt v in
-  let clear v =
-    if v <> t.protected_vpage then begin
-      harvest t v;
-      Page_table.clear_accessed t.pt v
-    end
+  let pinned ~owner ~vpage = Page_table.pinned (enc_of t owner).pt vpage in
+  let accessed ~owner ~vpage = Page_table.accessed (enc_of t owner).pt vpage in
+  let clear ~owner ~vpage =
+    let e = enc_of t owner in
+    harvest e vpage;
+    Page_table.clear_accessed e.pt vpage
   in
-  let victim = Clock_evictor.choose_victim t.epc ~accessed ~clear in
-  if Page_table.preloaded t.pt victim && not (Page_table.counted t.pt victim)
+  let vowner, victim =
+    Clock_evictor.choose_victim_owned t.epc ~pinned ~accessed ~clear
+  in
+  let ve = enc_of t vowner in
+  if Page_table.preloaded ve.pt victim && not (Page_table.counted ve.pt victim)
   then
-    t.metrics.preload_evicted_unused <- t.metrics.preload_evicted_unused + 1;
-  Clock_evictor.remove t.epc ~slot:(Page_table.slot t.pt victim);
-  Page_table.mark_evicted t.pt victim;
-  Bitset.clear t.bitmap victim;
-  t.metrics.evictions <- t.metrics.evictions + 1;
-  record t (Event.Evict { at; vpage = victim })
+    ve.metrics.preload_evicted_unused <- ve.metrics.preload_evicted_unused + 1;
+  Clock_evictor.remove t.epc ~slot:(Page_table.slot ve.pt victim);
+  Page_table.mark_evicted ve.pt victim;
+  Bitset.clear ve.bitmap victim;
+  ve.metrics.evictions <- ve.metrics.evictions + 1;
+  record ve (Event.Evict { at; vpage = victim });
+  t.on_evict ~aggressor:t.owner ~victim:vowner ~vpage:victim
 
-(* The CLOCK sweep treats the pinned page as permanently accessed, so it
-   can never be a victim — and with only the pinned page resident there
-   is no victim at all.  (At most one page is ever pinned.) *)
+(* The CLOCK sweep passes pinned pages over, so they can never be
+   victims — and with only pinned pages resident there is no victim at
+   all.  Pins last for the tail of one access call, so at any instant at
+   most one page is pinned per tenant (and in an interleaved fleet
+   replay, at most one globally). *)
 let evictable t =
-  let pinned_resident =
-    t.protected_vpage >= 0 && Page_table.present t.pt t.protected_vpage
+  let pinned_resident e =
+    e.protected_vpage >= 0 && Page_table.present e.pt e.protected_vpage
   in
-  Clock_evictor.used t.epc > if pinned_resident then 1 else 0
+  let pinned =
+    match t.peers with
+    | None -> if pinned_resident t then 1 else 0
+    | Some peers ->
+      (* Only tenants sharing this pool can pin frames in it. *)
+      Array.fold_left
+        (fun n e -> if e.epc == t.epc && pinned_resident e then n + 1 else n)
+        0 peers
+  in
+  Clock_evictor.used t.epc > pinned
 
 (* Frames this enclave may occupy at [at]: full capacity unless a fault
    plan installed a co-tenant.  Never below one frame. *)
 let budget_at t ~at =
   let cap = Clock_evictor.capacity t.epc in
   max 1 (min cap (t.epc_budget ~at cap))
+
+(* Evict until residency fits the (possibly co-tenant-shrunk) frame
+   budget.  Like the scan's reclaim — and unlike the evictions a load
+   triggers in [start_load] — the write-backs ride the co-tenant's own
+   channel, so no cycles are charged here.  Called from [run_scan] and
+   from every [sync]: a budget shrink used to go unreconciled until the
+   next fault or scan, leaving resident > budget for whole access bursts. *)
+let reconcile_budget t ~at =
+  let budget = budget_at t ~at in
+  while Clock_evictor.used t.epc > budget && evictable t do
+    evict_one t ~at
+  done
 
 (* Begin a load on the (idle) channel at [at]; evicts first if the EPC —
    or the co-tenant-shrunk budget — leaves no free frame for the incoming
@@ -155,7 +226,14 @@ let complete_load t (l : Load_channel.inflight) =
       | Demand | Preload_sip -> Page_table.Demand
       | Preload_dfp -> Page_table.Preloaded
     in
-    let slot = Clock_evictor.insert t.epc l.vpage in
+    (* In a shared pool a co-tenant may have claimed the frame this load
+       was started against; make room again at completion time.  Dead
+       code for a private pool: the exclusive channel means nothing can
+       fill the EPC between [start_load] and here. *)
+    while Clock_evictor.is_full t.epc && evictable t do
+      evict_one t ~at:l.finishes
+    done;
+    let slot = Clock_evictor.insert ~owner:t.owner t.epc l.vpage in
     Page_table.mark_loaded t.pt l.vpage ~prov ~slot;
     Bitset.set t.bitmap l.vpage;
     match l.kind with
@@ -180,10 +258,7 @@ let run_scan t ~at =
      channel does the write-backs, so — unlike the evictions a load
      triggers in [start_load] — no cycles are charged to this enclave;
      it just finds itself with fewer resident pages. *)
-  let budget = budget_at t ~at in
-  while Clock_evictor.used t.epc > budget && evictable t do
-    evict_one t ~at
-  done;
+  reconcile_budget t ~at;
   t.next_scan <- at + t.costs.Cost_model.clock_scan_period;
   t.on_scan t at
 
@@ -235,21 +310,23 @@ let rec pump t ~now ~preload_bound =
   else if start_at < max_int then begin
     ignore (Load_channel.pop_queued t.channel);
     (* The page may have been demand-loaded while it waited in the queue;
-       the kernel thread re-checks presence cheaply and skips it.  A
-       single-frame EPC whose only frame is pinned has no victim, so the
-       preload is dropped rather than started. *)
-    let no_victim =
-      Clock_evictor.is_full t.epc
-      && Clock_evictor.capacity t.epc = 1
-      && t.protected_vpage >= 0
-    in
+       the kernel thread re-checks presence cheaply and skips it.  An EPC
+       full of nothing but pinned pages has no victim, so the preload is
+       dropped rather than started.  (Outside a fleet that means a
+       single-frame EPC whose only frame is pinned.) *)
+    let no_victim = Clock_evictor.is_full t.epc && not (evictable t) in
     if (not (Page_table.present t.pt start_vpage)) && not no_victim then
       ignore (start_load t ~at:start_at ~vpage:start_vpage ~kind:Load_channel.Preload_dfp)
     else t.metrics.preloads_skipped <- t.metrics.preloads_skipped + 1;
     pump t ~now ~preload_bound
   end
 
-let sync t ~now = pump t ~now ~preload_bound:max_int
+let sync t ~now =
+  pump t ~now ~preload_bound:max_int;
+  (* Satellite fix: a budget shrink between background events must be
+     reconciled now, not at the next fault — otherwise resident > budget
+     holds for every fault-free access until a scan happens by. *)
+  reconcile_budget t ~at:now
 
 (* Complete the access itself once the page is resident. *)
 let finish_access t ~now vpage =
@@ -305,6 +382,11 @@ let fault_path t ~now ~thread vpage =
         (l.finishes, Demand_load)
   in
   t.protected_vpage <- vpage;
+  (* Mirror the pin into the page-table word so a co-tenant's sweep —
+     which consults our table, not our [protected_vpage] — passes the
+     frame over too.  (Guarded: a shrunk-budget scan racing the load
+     completion can have re-evicted the page already.) *)
+  if Page_table.present t.pt vpage then Page_table.pin t.pt vpage;
   t.on_fault t
     { fault_vpage = vpage; fault_thread = thread; raised_at = now; handled_at;
       resolution };
@@ -312,6 +394,7 @@ let fault_path t ~now ~thread vpage =
   let resumed = handled_at + c.Cost_model.t_eresume in
   record t (Event.Eresume { at = resumed; vpage });
   let finished = finish_access t ~now:resumed vpage in
+  Page_table.unpin t.pt vpage;
   t.protected_vpage <- -1;
   finished
 
@@ -441,6 +524,7 @@ let costs t = t.costs
 let metrics t = t.metrics
 let elrange_pages t = Page_table.pages t.pt
 let epc_capacity t = Clock_evictor.capacity t.epc
+let frame_budget t ~at = budget_at t ~at
 let resident_count t = Page_table.resident_count t.pt
 let page_present t vpage = Page_table.present t.pt vpage
 let bitmap_present t vpage = Bitset.mem t.bitmap vpage

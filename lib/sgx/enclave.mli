@@ -42,10 +42,30 @@ type fault_ctx = {
 type t
 
 val create :
-  ?costs:Cost_model.t -> ?log:Event.log -> epc_pages:int -> elrange_pages:int -> unit -> t
-(** Fresh enclave with an empty EPC of [epc_pages] frames and an ELRANGE
-    of [elrange_pages] virtual pages.  [costs] defaults to
-    {!Cost_model.paper}. *)
+  ?costs:Cost_model.t ->
+  ?log:Event.log ->
+  ?epc:Clock_evictor.t ->
+  ?owner:int ->
+  epc_pages:int ->
+  elrange_pages:int ->
+  unit ->
+  t
+(** Fresh enclave with an EPC of [epc_pages] frames and an ELRANGE of
+    [elrange_pages] virtual pages.  [costs] defaults to
+    {!Cost_model.paper}.  A fleet passes a shared [epc] pool and a
+    distinct [owner] frame tag per tenant (and must then {!link_fleet});
+    by default the enclave gets a private pool and tag 0, in which case
+    [epc_pages] is its capacity ([epc_pages] is ignored when [epc] is
+    supplied). *)
+
+val link_fleet : t array -> unit
+(** Wire co-tenants together: each enclave learns the full fleet so the
+    shared pool's CLOCK sweep can consult the right page table for each
+    frame's owner tag.  @raise Invalid_argument unless every enclave's
+    [owner] equals its array index. *)
+
+val owner : t -> int
+(** This enclave's frame tag in its EPC pool. *)
 
 (** {1 Hooks (scheme attachment points)} *)
 
@@ -81,9 +101,15 @@ val set_epc_budget : t -> (at:int -> int -> int) -> unit
 (** Fault-injection point: frames available to this enclave at a given
     cycle once a co-tenant has taken its slice.  The result is clamped
     to [[1, capacity]].  Loads evict down to the budget (charging one
-    write-back each); the periodic scan squeezes residency to the budget
-    for free (the co-tenant's own channel pays those write-backs).
-    Defaults to the full capacity. *)
+    write-back each); every {!sync} and periodic scan squeezes residency
+    to the budget for free (the co-tenant's own channel pays those
+    write-backs), so a shrink is reconciled at the next simulated
+    instant, not at the next fault.  Defaults to the full capacity. *)
+
+val set_on_evict : t -> (aggressor:int -> victim:int -> vpage:int -> unit) -> unit
+(** Observe every eviction this enclave's sweeps perform, with the owner
+    tags of both sides — in a shared pool the victim may be a co-tenant.
+    Feeds the fleet's interference table.  No-op by default. *)
 
 (** {1 Application-side operations} *)
 
@@ -133,6 +159,12 @@ val costs : t -> Cost_model.t
 val metrics : t -> Metrics.t
 val elrange_pages : t -> int
 val epc_capacity : t -> int
+
+val frame_budget : t -> at:int -> int
+(** Frames this enclave may occupy at [at] under the installed
+    [epc_budget] hook, clamped to [[1, capacity]] — what residency is
+    reconciled against (regression hook for the budget-shrink fix). *)
+
 val resident_count : t -> int
 val page_present : t -> int -> bool
 val bitmap_present : t -> int -> bool

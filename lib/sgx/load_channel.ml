@@ -191,3 +191,111 @@ let abort_queued_where t pred =
     t.q;
   maybe_compact t;
   !n
+
+(* ------------------------------------------------------------------ *)
+(* Fleet arbiter: contention across co-tenant channels                  *)
+(* ------------------------------------------------------------------ *)
+
+module Arbiter = struct
+  type policy = Fifo | Fair_share | Priority
+
+  let policy_name = function
+    | Fifo -> "fifo"
+    | Fair_share -> "fair-share"
+    | Priority -> "priority"
+
+  let policy_of_string = function
+    | "fifo" -> Some Fifo
+    | "fair-share" | "fair" -> Some Fair_share
+    | "priority" -> Some Priority
+    | _ -> None
+
+  let policies = [ Fifo; Fair_share; Priority ]
+
+  type t = {
+    policy : policy;
+    priorities : int array;
+    busy : int array;
+    waits : int array;
+    mutable free_at : int;
+    mutable contentions : int;
+  }
+
+  let create ?priorities ~policy n =
+    if n <= 0 then invalid_arg "Load_channel.Arbiter.create: no tenants";
+    let priorities =
+      match priorities with
+      | None -> Array.make n 0
+      | Some p ->
+        if Array.length p <> n then
+          invalid_arg "Load_channel.Arbiter.create: priorities length mismatch";
+        Array.iter
+          (fun x ->
+            if x < 0 then
+              invalid_arg "Load_channel.Arbiter.create: negative priority")
+          p;
+        Array.copy p
+    in
+    {
+      policy;
+      priorities;
+      busy = Array.make n 0;
+      waits = Array.make n 0;
+      free_at = 0;
+      contentions = 0;
+    }
+
+  let tenants t = Array.length t.busy
+
+  (* One load of clean duration [d] requested by [owner] at [at]: the
+     returned duration (>= d) folds in the wait for the shared physical
+     channel.  All arithmetic is integer and state-deterministic, so a
+     fleet replay is reproducible at any worker count.
+
+     The base wait is FIFO (the channel frees at [free_at]); the other
+     policies scale the *contended* portion only, so an uncontended
+     channel behaves identically under every policy — which is also what
+     makes a fleet of one collapse to the solo runner byte-for-byte:
+     a single tenant's own exclusive channel already serializes its
+     loads, so [at >= free_at] always and the wait is zero.
+
+     Fair-share penalizes a tenant in proportion to how far its
+     cumulative channel occupancy exceeds the fleet average; Priority
+     multiplies the contended wait by the tenant's priority level
+     (0 = highest, plain FIFO). *)
+  let request t ~owner ~at d =
+    if d < 0 then invalid_arg "Load_channel.Arbiter.request: negative duration";
+    if owner < 0 || owner >= Array.length t.busy then
+      invalid_arg "Load_channel.Arbiter.request: owner out of range";
+    let wait0 = max 0 (t.free_at - at) in
+    let extra =
+      if wait0 = 0 then 0
+      else
+        match t.policy with
+        | Fifo -> 0
+        | Priority -> t.priorities.(owner) * wait0
+        | Fair_share ->
+          let total = Array.fold_left ( + ) 0 t.busy in
+          if total = 0 then 0
+          else
+            let n = Array.length t.busy in
+            max 0 ((t.busy.(owner) * n) - total) * wait0 / total
+    in
+    let wait = wait0 + extra in
+    if wait > 0 then t.contentions <- t.contentions + 1;
+    t.waits.(owner) <- t.waits.(owner) + wait;
+    t.busy.(owner) <- t.busy.(owner) + d;
+    (* The physical channel is occupied by this load alone, so it frees
+       [d] after the FIFO backlog drains.  [extra] delays only the
+       requester — it models being overtaken, and the overtakers' own
+       service occupies the channel during that window.  Folding [extra]
+       into [free_at] would double-charge the channel and compound
+       penalized waits geometrically (each inflated [free_at] raising
+       the next tenant's [wait0], which gets penalized again). *)
+    t.free_at <- at + wait0 + d;
+    wait + d
+
+  let busy_of t owner = t.busy.(owner)
+  let wait_of t owner = t.waits.(owner)
+  let contentions t = t.contentions
+end

@@ -107,3 +107,63 @@ val remove_queued : t -> int -> bool
 
 val queued_mem : t -> int -> bool
 (** Whether a page is waiting in the pending FIFO. *)
+
+(** Cross-tenant contention over the {e physical} paging channel.
+
+    Each enclave still owns a logical {!t} (its loads serialize against
+    themselves exactly as before), but in a fleet every tenant's loads
+    also share one physical channel.  The arbiter is the deterministic
+    bookkeeping for that sharing: each load asks for the channel with
+    its clean duration and gets back a (possibly longer) duration that
+    folds in the cross-tenant wait, scheduled under a policy.  Installed
+    through {!Enclave.set_load_perturb}, so the enclave's own clamp
+    ([duration >= base]) applies on top.
+
+    With a single tenant the arbiter is the identity — the tenant's own
+    exclusive channel already serializes its loads — which is what lets
+    a fleet of one reproduce the solo runner byte-for-byte. *)
+module Arbiter : sig
+  type policy =
+    | Fifo  (** First-come-first-served: wait for the channel, no bias. *)
+    | Fair_share
+        (** The contended wait grows with the tenant's cumulative channel
+            occupancy above the fleet average — hogs queue longer. *)
+    | Priority
+        (** The contended wait is multiplied by the tenant's priority
+            level (0 = highest = plain FIFO, higher = slower). *)
+
+  val policy_name : policy -> string
+  val policy_of_string : string -> policy option
+  val policies : policy list
+
+  type t
+
+  val create : ?priorities:int array -> policy:policy -> int -> t
+  (** Arbiter for [n] tenants (owners [0 .. n-1]).  [priorities]
+      (default all 0) is only consulted by the [Priority] policy.
+      @raise Invalid_argument on [n <= 0], a length mismatch, or a
+      negative priority. *)
+
+  val tenants : t -> int
+
+  val request : t -> owner:int -> at:int -> int -> int
+  (** [request t ~owner ~at d] books a load of clean duration [d]
+      starting no earlier than [at]; returns the effective duration
+      ([>= d]) including any cross-tenant wait.  The channel's free time
+      advances by the FIFO backlog plus [d] only — a policy penalty
+      delays the {e requester} (it models being overtaken by co-tenant
+      loads, whose own service fills the channel meanwhile), so
+      penalties never compound into later tenants' waits.  Deterministic:
+      same call sequence, same results; with a single tenant whose own
+      exclusive channel already serializes its loads, the wait is always
+      zero and [request] is the identity on [d]. *)
+
+  val busy_of : t -> int -> int
+  (** Cumulative channel occupancy (sum of clean durations) per tenant. *)
+
+  val wait_of : t -> int -> int
+  (** Cumulative cross-tenant wait cycles charged to the tenant. *)
+
+  val contentions : t -> int
+  (** Number of requests that found the channel busy. *)
+end

@@ -16,15 +16,17 @@
      bit 1   accessed   PTE access bit, cleared by the service scan
      bit 2   preloaded  provenance: came in via DFP speculation
      bit 3   counted    scan already credited this page (AccPreloadCounter)
-     bits 4+ slot + 1   EPC frame index, 0 meaning "no slot" (-1) *)
+     bit 4   pinned     mid-return to a faulting thread; not evictable
+     bits 5+ slot + 1   EPC frame index, 0 meaning "no slot" (-1) *)
 
 type provenance = Demand | Preloaded
 
-let bit_present = 0b0001
-let bit_accessed = 0b0010
-let bit_preloaded = 0b0100
-let bit_counted = 0b1000
-let slot_shift = 4
+let bit_present = 0b00001
+let bit_accessed = 0b00010
+let bit_preloaded = 0b00100
+let bit_counted = 0b01000
+let bit_pinned = 0b10000
+let slot_shift = 5
 
 type words = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
@@ -65,6 +67,7 @@ let set_word t vpage w = Bigarray.Array1.unsafe_set t.words vpage w
 
 let present t vpage = word t vpage land bit_present <> 0
 let accessed t vpage = word t vpage land bit_accessed <> 0
+let pinned t vpage = word t vpage land bit_pinned <> 0
 let preloaded t vpage = word t vpage land bit_preloaded <> 0
 let counted t vpage = word t vpage land bit_counted <> 0
 let slot t vpage = (word t vpage lsr slot_shift) - 1
@@ -137,6 +140,16 @@ let touch t vpage =
 let clear_accessed t vpage =
   let w = word t vpage in
   set_word t vpage (w land lnot bit_accessed)
+
+let pin t vpage =
+  let w = word t vpage in
+  if w land bit_present = 0 then
+    invalid_arg (Printf.sprintf "Page_table.pin: page %d not present" vpage);
+  set_word t vpage (w lor bit_pinned)
+
+let unpin t vpage =
+  let w = word t vpage in
+  set_word t vpage (w land lnot bit_pinned)
 
 let set_counted t vpage =
   let w = word t vpage in

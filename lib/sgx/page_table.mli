@@ -67,6 +67,17 @@ val touch : t -> int -> unit
 val clear_accessed : t -> int -> unit
 (** Clear the access bit (CLOCK sweep's second-chance clear). *)
 
+val pinned : t -> int -> bool
+(** Whether the page is pinned: mid-return to a faulting thread, so the
+    CLOCK sweep must pass it over (see {!Clock_evictor.choose_victim_owned}).
+    The bit lives in the same packed word as presence and the slot. *)
+
+val pin : t -> int -> unit
+(** Pin a present page.  @raise Invalid_argument if absent. *)
+
+val unpin : t -> int -> unit
+(** Clear the pinned bit (no-op if it was clear). *)
+
 val drain_touched : t -> f:(int -> unit) -> unit
 (** Visit every page whose access bit is currently set, then clear the
     bit — the service scan's harvest-and-clear sweep, at O(pages touched

@@ -17,6 +17,10 @@ type settings = {
   keep_going : bool;
   journal_dir : string option;
   resume : bool;
+  fused : bool;
+      (* Collapse the four scheme cells of every (workload, plan) pair
+         into one fused single-pass replay (the default); [--no-fused]
+         is the per-cell cross-check reference CI diffs against. *)
 }
 
 let default_workloads ~quick =
@@ -36,6 +40,7 @@ let default =
     keep_going = false;
     journal_dir = None;
     resume = false;
+    fused = true;
   }
 
 let quick = { default with quick = true; workloads = default_workloads ~quick:true }
@@ -57,7 +62,9 @@ type cell = {
 }
 
 type outcome = {
-  cells : cell list;  (** Submission order: workload-major, plan-minor. *)
+  cells : cell list;
+      (** Grid order — workload-major, scheme, plan-minor — whether the
+          cells were computed per-cell or reassembled from fused jobs. *)
   failed : Job_pool.failure list;
   violation_count : int;
 }
@@ -91,29 +98,12 @@ let exp_settings settings =
     keep_going = true;
     journal_dir = settings.journal_dir;
     resume = settings.resume;
-    (* The chaos matrix runs one (scheme, plan) pair per cell — there is
-       no scheme grid to fuse. *)
-    fused = false;
+    (* Flows into {!Experiments.settings_key}, so fused and per-cell
+       runs never satisfy each other's journals. *)
+    fused = settings.fused;
   }
 
-let run_cell es ~workload ~scheme_tag ~plan () =
-  let sip_plan =
-    (* The profiling step is pure and cheap relative to the measured run;
-       recomputing it inside the cell keeps the cell self-contained (a
-       Sip plan would otherwise have to travel into every closure). *)
-    if scheme_tag = "SIP" || scheme_tag = "hybrid" then
-      Experiments.plan_for es workload
-    else Preload.Sip_instrumenter.empty_plan ~workload
-  in
-  let scheme = scheme_of scheme_tag sip_plan in
-  let trace = Experiments.trace_of es workload ~input:es.Experiments.ref_input in
-  let config =
-    { Runner.default_config with epc_pages = es.Experiments.epc_pages; log_capacity }
-  in
-  let r =
-    Runner.run ~config ~fault_plan:plan
-      ~input_label:(Input.to_string es.Experiments.ref_input) ~scheme trace
-  in
+let cell_of_result ~workload ~plan (r : Runner.result) =
   let m = r.Runner.metrics in
   {
     workload;
@@ -132,11 +122,48 @@ let run_cell es ~workload ~scheme_tag ~plan () =
         (Validate.check r);
   }
 
-let grid settings =
-  let plans =
-    Fault_plan.none
-    :: List.map (fun p -> Fault_plan.with_seed p settings.seed) settings.plans
+let runner_config es =
+  { Runner.default_config with epc_pages = es.Experiments.epc_pages; log_capacity }
+
+let run_cell es ~workload ~scheme_tag ~plan () =
+  let sip_plan =
+    (* The profiling step is pure and cheap relative to the measured run;
+       recomputing it inside the cell keeps the cell self-contained (a
+       Sip plan would otherwise have to travel into every closure). *)
+    if scheme_tag = "SIP" || scheme_tag = "hybrid" then
+      Experiments.plan_for es workload
+    else Preload.Sip_instrumenter.empty_plan ~workload
   in
+  let scheme = scheme_of scheme_tag sip_plan in
+  let trace = Experiments.trace_of es workload ~input:es.Experiments.ref_input in
+  let r =
+    Runner.run ~config:(runner_config es) ~fault_plan:plan
+      ~input_label:(Input.to_string es.Experiments.ref_input) ~scheme trace
+  in
+  cell_of_result ~workload ~plan r
+
+(* One fused job per (workload, plan): the trace is decoded and replayed
+   once for all four schemes instead of once per cell.  [run_fused] is
+   contractually equal to per-cell [run], and the SIP plan profiled here
+   is the same pure function of the trace each SIP/hybrid cell would
+   recompute, so the resulting cells are field-for-field the ones the
+   per-cell path produces (the CI fused/per-cell diff locks this). *)
+let run_group es ~workload ~plan () =
+  let sip_plan = Experiments.plan_for es workload in
+  let schemes = List.map (fun tag -> scheme_of tag sip_plan) scheme_names in
+  let trace = Experiments.trace_of es workload ~input:es.Experiments.ref_input in
+  let rs =
+    Runner.run_fused ~config:(runner_config es) ~fault_plan:plan
+      ~input_label:(Input.to_string es.Experiments.ref_input) ~schemes trace
+  in
+  List.map (cell_of_result ~workload ~plan) rs
+
+let plans_of settings =
+  Fault_plan.none
+  :: List.map (fun p -> Fault_plan.with_seed p settings.seed) settings.plans
+
+let grid settings =
+  let plans = plans_of settings in
   List.concat_map
     (fun workload ->
       List.concat_map
@@ -147,23 +174,12 @@ let grid settings =
 
 let run settings =
   let es = exp_settings settings in
-  let g = grid settings in
-  let jobs =
-    List.map
-      (fun (workload, scheme_tag, plan) ->
-        Job_pool.job
-          ~label:
-            (Printf.sprintf "chaos/%s/%s/%s" workload scheme_tag
-               plan.Fault_plan.name)
-          (run_cell es ~workload ~scheme_tag ~plan))
-      g
-  in
   let journal =
     Option.map
       (fun dir -> Filename.concat dir "chaos.journal")
       settings.journal_dir
   in
-  let results =
+  let pool jobs =
     Job_pool.run_hardened ~jobs:settings.jobs ?timeout:settings.cell_timeout
       ~retries:settings.retries ?journal ~resume:settings.resume
       ~journal_key:
@@ -171,9 +187,63 @@ let run settings =
            settings.seed)
       jobs
   in
-  let cells = List.filter_map (function Ok c -> Some c | Error _ -> None) results in
-  let failed =
-    List.filter_map (function Error f -> Some f | Ok _ -> None) results
+  let cells, failed =
+    if not settings.fused then begin
+      let results =
+        pool
+          (List.map
+             (fun (workload, scheme_tag, plan) ->
+               Job_pool.job
+                 ~label:
+                   (Printf.sprintf "chaos/%s/%s/%s" workload scheme_tag
+                      plan.Fault_plan.name)
+                 (run_cell es ~workload ~scheme_tag ~plan))
+             (grid settings))
+      in
+      ( List.filter_map (function Ok c -> Some c | Error _ -> None) results,
+        List.filter_map (function Error f -> Some f | Ok _ -> None) results )
+    end
+    else begin
+      let groups =
+        List.concat_map
+          (fun workload ->
+            List.map (fun plan -> (workload, plan)) (plans_of settings))
+          settings.workloads
+      in
+      let results =
+        pool
+          (List.map
+             (fun (workload, plan) ->
+               Job_pool.job
+                 ~label:
+                   (Printf.sprintf "chaos/%s/fused[%s]/%s" workload
+                      (String.concat "," scheme_names)
+                      plan.Fault_plan.name)
+                 (run_group es ~workload ~plan))
+             groups)
+      in
+      (* Fused jobs come back (workload, plan)-major with the scheme
+         cells inside; the report wants the per-cell grid order
+         (workload / scheme / plan), so reassemble.  A failed group
+         drops all of its cells, exactly as each would have failed
+         individually. *)
+      let by_cell = Hashtbl.create 64 in
+      List.iter2
+        (fun (workload, plan) res ->
+          match res with
+          | Ok cs ->
+            List.iter2
+              (fun tag c ->
+                Hashtbl.replace by_cell (workload, tag, plan.Fault_plan.name) c)
+              scheme_names cs
+          | Error _ -> ())
+        groups results;
+      ( List.filter_map
+          (fun (workload, scheme_tag, plan) ->
+            Hashtbl.find_opt by_cell (workload, scheme_tag, plan.Fault_plan.name))
+          (grid settings),
+        List.filter_map (function Error f -> Some f | Ok _ -> None) results )
+    end
   in
   if failed <> [] && not settings.keep_going then
     raise (Experiments.Cells_failed failed);

@@ -27,6 +27,16 @@ type settings = {
   keep_going : bool;  (** Report failed cells instead of raising. *)
   journal_dir : string option;
   resume : bool;
+  fused : bool;
+      (** Collapse the four scheme cells of each (workload, plan) pair
+          into one fused single-pass replay ({!Runner.run_fused}; the
+          default) — the trace is decoded once per pair instead of once
+          per cell, and [Job_pool] parallelism moves up to the pair
+          level.  Off, the matrix degrades to one job per cell, the
+          cross-check reference the fused output is contractually
+          byte-identical to (CI diffs the two).  Part of the journal
+          key, so fused and per-cell runs never satisfy each other's
+          journals. *)
 }
 
 val default : settings
@@ -49,7 +59,9 @@ type cell = {
 }
 
 type outcome = {
-  cells : cell list;  (** Submission order: workload-major, plan-minor. *)
+  cells : cell list;
+      (** Grid order — workload-major, scheme, plan-minor — whether the
+          cells were computed per-cell or reassembled from fused jobs. *)
   failed : Job_pool.failure list;
   violation_count : int;
 }

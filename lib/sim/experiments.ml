@@ -1368,6 +1368,57 @@ let print_ablation_oram settings =
      (LOADLENGTH+1)-pages bound.\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* E-fleet — multi-enclave co-tenancy (the §5.6 future work, made real) *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_workloads settings =
+  if settings.quick then [ "lbm"; "deepsjeng" ]
+  else [ "lbm"; "deepsjeng"; "mcf"; "xz" ]
+
+let fleet_cells settings =
+  let names = fleet_workloads settings in
+  prewarm settings names;
+  let tenants =
+    List.map
+      (fun name ->
+        (* Placeholder scheme; [scheme_for] supplies the real one per cell. *)
+        Fleet.tenant ~label:name ~scheme:Scheme.Baseline
+          (trace_of settings name ~input:settings.ref_input))
+      names
+  in
+  let config =
+    { Fleet.default_config with Fleet.epc_pages = settings.epc_pages }
+  in
+  let scheme_for tag label =
+    match tag with
+    | "baseline" -> Scheme.Baseline
+    | "dfp-stop" -> Scheme.dfp_stop
+    | "SIP" -> Scheme.Sip (plan_for settings label)
+    | "hybrid" ->
+      Scheme.Hybrid (Dfp.with_stop Dfp.default_config, plan_for settings label)
+    | t -> invalid_arg ("Experiments.fleet: unknown scheme tag " ^ t)
+  in
+  Fleet.matrix ~jobs:settings.jobs ~config
+    ~input_label:(Input.to_string settings.ref_input) ~scheme_for
+    ~tags:[ "baseline"; "dfp-stop"; "SIP"; "hybrid" ]
+    ~modes:[ Fleet.Shared; Fleet.Partitioned ]
+    tenants
+
+let print_fleet settings =
+  Printf.printf
+    "## E-fleet — co-tenant fleet: shared EPC vs static partitions\n\n";
+  Fleet.print_cells (fleet_cells settings);
+  print_string
+    "\nEvery tenant runs its full trace under one EPC: shared mode sweeps a\n\
+     single global CLOCK over owner-tagged frames (a fault in one enclave\n\
+     can evict a co-tenant's page — the interference tables above), while\n\
+     partitioned mode gives each tenant capacity/N private frames.  The\n\
+     paper measures one enclave at a time and defers sharing fairness to\n\
+     future work (S5.6); here preloading's cost under co-tenancy is the\n\
+     aggressor column: DFP's speculative loads evict neighbours' pages\n\
+     more often than demand faulting alone, and the stop valve bounds it.\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1395,6 +1446,7 @@ let catalog =
     ("abl-share", "Ablation: EPC sharing (§5.6)", print_ablation_share);
     ("abl-sip-all", "Ablation: SIP vs instrument-everything", print_ablation_sip_all);
     ("abl-oram", "Ablation: ORAM / adversarial / ideal boundary workloads", print_ablation_oram);
+    ("fleet", "Multi-enclave fleet: shared vs partitioned EPC interference", print_fleet);
   ]
 
 let all = List.map (fun (id, descr, _) -> (id, descr)) catalog

@@ -58,7 +58,8 @@ type instance = {
   mutable now : int;
 }
 
-let make_instance ~(config : config) ~fault_plan ~(trace : Trace.t) scheme =
+let make_instance ?epc ?owner ~(config : config) ~fault_plan ~(trace : Trace.t)
+    scheme =
   (* A stale profile perturbs the scheme itself, before anything else
      sees it: SIP/Hybrid run with the scrambled plan throughout. *)
   let scheme =
@@ -82,9 +83,13 @@ let make_instance ~(config : config) ~fault_plan ~(trace : Trace.t) scheme =
     if config.log_capacity > 0 then Event.make_log ~capacity:config.log_capacity
     else Event.null_log
   in
+  (* Native models unconstrained RAM: it must never join a shared EPC
+     pool even inside a fleet, so the pass-through is suppressed (its
+     private pool spans the whole ELRANGE and nothing evicts). *)
+  let epc = match scheme with Scheme.Native -> None | _ -> epc in
   let enclave =
-    Enclave.create ~costs ~log ~epc_pages ~elrange_pages:trace.Trace.elrange_pages
-      ()
+    Enclave.create ~costs ~log ?epc ?owner ~epc_pages
+      ~elrange_pages:trace.Trace.elrange_pages ()
   in
   (* Install fault hooks only when the respective fault is present, so a
      fault-free run is the exact pre-fault-plan simulation.  Native runs

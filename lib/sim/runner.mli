@@ -92,6 +92,57 @@ val run_fused :
     once per trace instead of once per cell.  [run] is the singleton
     case. *)
 
+(** {1 Single-instance machinery}
+
+    The pieces [run_fused] is built from, exposed so {!Fleet} can drive
+    several enclaves against {e different} traces under one shared EPC —
+    a shape the scheme-fan-out of [run_fused] (one trace, many schemes)
+    cannot express.  The contract: [make_instance] + per-event [step]s
+    + [finalize] is exactly one [run]. *)
+
+type instance = {
+  i_scheme : Preload.Scheme.t;  (** Post stale-plan scramble. *)
+  enclave : Sgxsim.Enclave.t;
+  log : Sgxsim.Event.log;
+  dfp : Preload.Dfp.t option;
+  fault_latency_h :
+    (Sgxsim.Enclave.fault_resolution * Repro_util.Histogram.t) list;
+  sip_site : int -> bool;
+  i_costs : Sgxsim.Cost_model.t;
+  mutable now : int;  (** The instance's private simulated clock. *)
+}
+(** One scheme's complete simulation state within a (possibly fused or
+    fleet) replay.  Instances never share mutable state beyond an
+    explicitly shared EPC pool. *)
+
+val make_instance :
+  ?epc:Sgxsim.Clock_evictor.t ->
+  ?owner:int ->
+  config:config ->
+  fault_plan:Fault_plan.t ->
+  trace:Workload.Trace.t ->
+  Preload.Scheme.t ->
+  instance
+(** Build a ready-to-step instance: scrambles a stale SIP plan, creates
+    the enclave, installs fault-plan hooks (non-Native only), attaches
+    the preloader and the latency histograms.  A fleet passes the shared
+    [epc] pool and per-tenant [owner] tag; both are ignored for Native
+    (which models unconstrained RAM and must not contend for EPC). *)
+
+val step :
+  instance -> site:int -> vpage:int -> compute:int -> thread:int -> unit
+(** Replay one trace event: compute span, then the (SIP-checked or
+    plain) access, advancing the instance's private clock. *)
+
+val finalize :
+  fault_plan:Fault_plan.t ->
+  input_label:string ->
+  trace:Workload.Trace.t ->
+  instance ->
+  result
+(** Drain background work at the instance's final clock and package the
+    {!result}. *)
+
 val improvement : baseline:result -> result -> float
 (** Fractional improvement of a result over the baseline run
     ([0.114] = 11.4% faster; negative = overhead). *)

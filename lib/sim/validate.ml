@@ -376,6 +376,82 @@ let check (r : Runner.result) =
   if r.events = [] || r.diagnostics.Runner.events_truncated then []
   else check_event_counters r @ check_events ~costs:r.costs r.events
 
+(* Fleet invariants take unpacked arrays rather than a [Fleet] record so
+   [Fleet] can depend on this module (and not the other way round). *)
+let check_fleet ~epc_pages ~shared ~interference ~triggered results =
+  let n = List.length results in
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  if
+    Array.length shared <> n
+    || Array.length triggered <> n
+    || Array.length interference <> n
+    || Array.exists (fun row -> Array.length row <> n) interference
+  then
+    add
+      (v "fleet-shape" "ownership/interference arrays do not match %d tenant(s)"
+         n)
+  else begin
+    (* Every tenant's run must stand on its own first. *)
+    List.iteri
+      (fun i r ->
+        List.iter
+          (fun x ->
+            add { x with check = Printf.sprintf "tenant%d:%s" i x.check })
+          (check r))
+      results;
+    (* Frame conservation across the shared pool: co-tenants can squeeze
+       each other but can never mint frames. *)
+    let total =
+      List.fold_left ( + ) 0
+        (List.mapi
+           (fun i (r : Runner.result) ->
+             if shared.(i) then r.diagnostics.Runner.resident_at_end else 0)
+           results)
+    in
+    if total > epc_pages then
+      add
+        (v "fleet-conservation"
+           "shared tenants hold %d frames together, pool has %d" total
+           epc_pages);
+    Array.iteri
+      (fun vi row ->
+        Array.iteri
+          (fun ai x ->
+            if x < 0 then
+              add
+                (v "fleet-interference"
+                   "negative entry at victim %d, aggressor %d" vi ai))
+          row)
+      interference;
+    (* The interference table is double-entry bookkeeping over the same
+       evictions the per-tenant counters record: each row must sum to its
+       victim's eviction counter, each column to its aggressor's trigger
+       counter. *)
+    List.iteri
+      (fun vi (r : Runner.result) ->
+        let row_sum = Array.fold_left ( + ) 0 interference.(vi) in
+        let evictions = r.metrics.Metrics.evictions in
+        if row_sum <> evictions then
+          add
+            (v "fleet-interference"
+               "victim %d: row sum %d <> evictions counter %d" vi row_sum
+               evictions))
+      results;
+    for ai = 0 to n - 1 do
+      let col = ref 0 in
+      for vi = 0 to n - 1 do
+        col := !col + interference.(vi).(ai)
+      done;
+      if !col <> triggered.(ai) then
+        add
+          (v "fleet-interference"
+             "aggressor %d: column sum %d <> triggered counter %d" ai !col
+             triggered.(ai))
+    done
+  end;
+  List.rev !violations
+
 exception Invalid of violation list
 
 let assert_valid r =

@@ -51,6 +51,24 @@ val check : Runner.result -> violation list
 (** All applicable checks for one finished run.  Event-derived checks are
     skipped when the run logged nothing or the log ring overflowed. *)
 
+val check_fleet :
+  epc_pages:int ->
+  shared:bool array ->
+  interference:int array array ->
+  triggered:int array ->
+  Runner.result list ->
+  violation list
+(** Fleet invariants over one co-tenant run ({!Fleet} packages the
+    arguments; they are unpacked here so [Fleet] can depend on this
+    module).  Runs the full per-tenant battery (violations prefixed
+    [tenant<i>:]), then the cross-tenant conservation laws: shared
+    tenants' end-of-run residency sums to at most the pool ([shared.(i)]
+    marks tenants in the shared pool; partitioned or Native tenants are
+    excluded), and the [interference.(victim).(aggressor)] table is
+    double-entry consistent — every row sums to its victim's eviction
+    counter, every column to [triggered.(aggressor)], no entry
+    negative. *)
+
 exception Invalid of violation list
 
 val assert_valid : Runner.result -> unit

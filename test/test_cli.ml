@@ -73,13 +73,18 @@ let test_chaos_unknown_plan_rejected () =
 
 let test_chaos_failed_cells_exit_nonzero () =
   let env = [ ("SGX_PRELOAD_FAIL_CELL", "/SIP/") ] in
+  (* --no-fused: the "/SIP/" pattern targets per-cell job labels; the
+     fused path groups a plan's schemes into one job (its failure
+     containment is covered in test_chaos.ml). *)
   (* Without --keep-going the failures abort the matrix... *)
-  let code, _, err = run_cli ~env (tiny_chaos [ "-j"; "2" ]) in
+  let code, _, err = run_cli ~env (tiny_chaos [ "--no-fused"; "-j"; "2" ]) in
   checkb "abort: exit nonzero" true (code <> 0);
   checkb "abort: stderr names a lost cell" true (contains err "/SIP/");
   (* ...with it, the rest of the matrix still prints, but the exit code
      must stay nonzero. *)
-  let code, out, _ = run_cli ~env (tiny_chaos [ "-j"; "2"; "--keep-going" ]) in
+  let code, out, _ =
+    run_cli ~env (tiny_chaos [ "--no-fused"; "-j"; "2"; "--keep-going" ])
+  in
   checkb "keep-going: exit nonzero" true (code <> 0);
   checkb "keep-going: survivors reported" true
     (contains out "8 cells, 0 invariant violation(s), 2 failed cell(s)")
@@ -99,15 +104,18 @@ let test_chaos_interrupt_and_resume () =
         (Sys.readdir dir);
       Unix.rmdir dir)
     (fun () ->
-      let _, clean, _ = run_cli (tiny_chaos []) in
+      (* --no-fused throughout: the "/SIP/" kill pattern matches per-cell
+         job labels, and the resumed run must share the interrupted run's
+         journal key (the fused flag is part of it). *)
+      let _, clean, _ = run_cli (tiny_chaos [ "--no-fused" ]) in
       let code, _, _ =
         run_cli
           ~env:[ ("SGX_PRELOAD_FAIL_CELL", "/SIP/") ]
-          (tiny_chaos [ "--keep-going"; "--journal"; dir ])
+          (tiny_chaos [ "--no-fused"; "--keep-going"; "--journal"; dir ])
       in
       checkb "interrupted run exits nonzero" true (code <> 0);
       let code, resumed, _ =
-        run_cli (tiny_chaos [ "--journal"; dir; "--resume" ])
+        run_cli (tiny_chaos [ "--no-fused"; "--journal"; dir; "--resume" ])
       in
       checki "resumed run exits 0" 0 code;
       checkb "resumed stdout identical to a clean run" true (clean = resumed))

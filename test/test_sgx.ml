@@ -188,6 +188,68 @@ let clock_qcheck =
         victim >= 0 && victim < cap);
   ]
 
+(* Pinned frames and owner tags: the shared-pool sweep added for fleet
+   co-tenancy. *)
+
+let never_pinned ~owner:_ ~vpage:_ = false
+
+let test_clock_pinned_interleaved () =
+  let c = Clock_evictor.create ~capacity:3 in
+  ignore (Clock_evictor.insert c 0);
+  ignore (Clock_evictor.insert c 1);
+  ignore (Clock_evictor.insert c 2);
+  (* 0 and 2 pinned, 1 hot: the sweep must pass over the pinned frames
+     without touching their access bits, burn 1's second chance, and
+     come back to victimize 1. *)
+  let hot = ref [ 1 ] in
+  let cleared = ref [] in
+  let owner, victim =
+    Clock_evictor.choose_victim_owned c
+      ~pinned:(fun ~owner:_ ~vpage -> vpage = 0 || vpage = 2)
+      ~accessed:(fun ~owner:_ ~vpage -> List.mem vpage !hot)
+      ~clear:(fun ~owner:_ ~vpage ->
+        cleared := vpage :: !cleared;
+        hot := List.filter (fun v -> v <> vpage) !hot)
+  in
+  checki "victim is the only unpinned page" 1 victim;
+  checki "default owner" 0 owner;
+  Alcotest.(check (list int)) "pinned frames never cleared" [ 1 ] !cleared
+
+let test_clock_all_pinned_raises () =
+  let c = Clock_evictor.create ~capacity:2 in
+  ignore (Clock_evictor.insert c 0);
+  ignore (Clock_evictor.insert c 1);
+  Alcotest.check_raises "all pinned" Clock_evictor.No_evictable_page
+    (fun () ->
+      ignore
+        (Clock_evictor.choose_victim_owned c
+           ~pinned:(fun ~owner:_ ~vpage:_ -> true)
+           ~accessed:(fun ~owner:_ ~vpage:_ -> false)
+           ~clear:(fun ~owner:_ ~vpage:_ -> ())))
+
+let test_clock_owner_roundtrip () =
+  let c = Clock_evictor.create ~capacity:4 in
+  ignore (Clock_evictor.insert ~owner:2 c 40);
+  ignore (Clock_evictor.insert ~owner:5 c 41);
+  ignore (Clock_evictor.insert ~owner:2 c 42);
+  Alcotest.(check (list (pair int int)))
+    "frames per owner" [ (2, 2); (5, 1) ]
+    (Clock_evictor.resident_by_owner c);
+  let seen = ref [] in
+  Clock_evictor.scan_owned c (fun ~owner ~vpage -> seen := (owner, vpage) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "scan reports owner tags" [ (2, 40); (2, 42); (5, 41) ]
+    (List.sort compare !seen);
+  (* The sweep returns the victim's owner alongside the vpage. *)
+  let owner, victim =
+    Clock_evictor.choose_victim_owned c ~pinned:never_pinned
+      ~accessed:(fun ~owner:_ ~vpage:_ -> false)
+      ~clear:(fun ~owner:_ ~vpage:_ -> ())
+  in
+  checkb "victim tagged with its inserter"
+    true
+    (List.mem (owner, victim) [ (2, 40); (2, 42); (5, 41) ])
+
 (* ------------------------------------------------------------------ *)
 (* Load channel                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -522,6 +584,86 @@ let test_event_accessors () =
     (Event.vpage (Event.Scan { at = 0 }))
 
 (* ------------------------------------------------------------------ *)
+(* Fleet arbiter                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_arbiter_fifo_and_solo_identity () =
+  let open Load_channel.Arbiter in
+  let a = create ~policy:Fifo 2 in
+  checki "clean load is the identity" 10 (request a ~owner:0 ~at:0 10);
+  (* Channel frees at 10; owner 1 asks at 5 → 5 cycles queued. *)
+  checki "contended load queues" 15 (request a ~owner:1 ~at:5 10);
+  checki "one contention" 1 (contentions a);
+  checki "wait charged to the queuer" 5 (wait_of a 1);
+  checki "no wait for the first" 0 (wait_of a 0);
+  (* A lone tenant's own exclusive channel serializes its loads, so it
+     always arrives at or after free_at: every request is the identity —
+     the fleet-of-1 lock at the arbiter level. *)
+  let solo = create ~policy:Priority ~priorities:[| 7 |] 1 in
+  let at = ref 0 in
+  for d = 1 to 20 do
+    let eff = request solo ~owner:0 ~at:!at d in
+    checki "solo identity" d eff;
+    at := !at + eff + 3
+  done;
+  checki "solo never contends" 0 (contentions solo)
+
+let test_arbiter_penalty_does_not_compound () =
+  let open Load_channel.Arbiter in
+  let p = create ~priorities:[| 0; 3 |] ~policy:Priority 2 in
+  checki "priority 0 is plain fifo" 10 (request p ~owner:0 ~at:0 10);
+  (* wait0 = 5, extra = 3 * 5: the penalized tenant waits 20, loads 10. *)
+  checki "penalized wait" 30 (request p ~owner:1 ~at:5 10);
+  (* The channel freed at 5 + 5 + 10 = 20, NOT at 5 + 30: the penalty
+     delays the requester, never later tenants — penalized waits must
+     not compound into the fleet's virtual clocks. *)
+  checki "channel free once backlog + load drain" 10
+    (request p ~owner:0 ~at:20 10);
+  (* Fair-share: a tenant whose occupancy exceeds the fleet average pays
+     extra; a light tenant queues plain FIFO. *)
+  let f = create ~policy:Fair_share 2 in
+  checki "first" 10 (request f ~owner:0 ~at:0 10);
+  checki "back-to-back still clean" 10 (request f ~owner:0 ~at:10 10);
+  (* Owner 1 has no occupancy: backlog only (free_at 20, wait0 8). *)
+  checki "light tenant waits the backlog" 18 (request f ~owner:1 ~at:12 10);
+  (* Owner 0 now holds 20 of 30 busy cycles; wait0 = 30 - 14 = 16,
+     overuse (20*2 - 30) = 10 → extra 10*16/30 = 5. *)
+  checki "hog penalized beyond the backlog" 31 (request f ~owner:0 ~at:14 10)
+
+let arbiter_qcheck =
+  [
+    (* The channel-time conservation lock: [free_at] follows the same
+       backlog + d recurrence under every policy, so a policy penalty is
+       invisible to later requests.  Observable in lockstep against a
+       FIFO twin fed the identical sequence: the policy arbiter's wait
+       is the FIFO wait plus a non-negative extra, and a request the
+       FIFO twin serves cleanly is served cleanly under any policy.  The
+       hang regression (penalties folded into [free_at]) breaks this —
+       the trajectories diverge and an uncontended-under-FIFO request
+       starts waiting. *)
+    QCheck2.Test.make ~name:"arbiter: penalties never leak into later waits"
+      ~count:300
+      QCheck2.Gen.(
+        triple (int_range 0 2)
+          (array_size (int_range 1 5) (int_range 0 4))
+          (small_list (triple (int_range 0 4) (int_range 0 50) (int_range 0 40))))
+      (fun (policy_i, priorities, reqs) ->
+        let open Load_channel.Arbiter in
+        let n = Array.length priorities in
+        let a = create ~priorities ~policy:(List.nth policies policy_i) n in
+        let fifo = create ~priorities ~policy:Fifo n in
+        let now = ref 0 in
+        List.for_all
+          (fun (owner, gap, d) ->
+            let owner = owner mod n in
+            now := !now + gap;
+            let ea = request a ~owner ~at:!now d in
+            let eb = request fifo ~owner ~at:!now d in
+            ea >= eb && (eb > d || ea = eb))
+          reqs);
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -549,6 +691,9 @@ let () =
           tc "empty rejects victim" test_clock_empty_rejects_victim;
           tc "scan visits all" test_clock_scan_visits_all;
           tc "resident" test_clock_resident;
+          tc "pinned frames interleaved" test_clock_pinned_interleaved;
+          tc "all pinned raises" test_clock_all_pinned_raises;
+          tc "owner tags round-trip" test_clock_owner_roundtrip;
         ]
         @ props clock_qcheck );
       ( "load_channel",
@@ -567,8 +712,11 @@ let () =
           tc "abort pages" test_channel_abort_pages;
           tc "compaction bounds the deque" test_channel_compaction_bounds_deque;
           tc "differential vs list model" test_channel_differential_random;
+          tc "arbiter fifo + solo identity" test_arbiter_fifo_and_solo_identity;
+          tc "arbiter penalties do not compound"
+            test_arbiter_penalty_does_not_compound;
         ]
-        @ props channel_qcheck );
+        @ props (channel_qcheck @ arbiter_qcheck) );
       ( "metrics_event",
         [
           tc "metrics totals" test_metrics_totals;
