@@ -59,6 +59,7 @@ let build_plan ~epc name =
   let train = model ~epc_pages:epc ~input:Input.Train in
   let profile =
     Preload.Sip_profiler.profile
+      ~input:(Input.to_string Input.Train)
       (Preload.Sip_profiler.default_config ~residency_pages:epc)
       train
   in
@@ -204,6 +205,7 @@ let profile_cmd =
       let trace = model ~epc_pages:epc ~input in
       let profile =
         Preload.Sip_profiler.profile
+          ~input:(Input.to_string input)
           (Preload.Sip_profiler.default_config ~residency_pages:epc)
           trace
       in
@@ -778,6 +780,140 @@ let fleet_cmd =
           the victim/aggressor interference table")
     term
 
+(* ---------- service ---------- *)
+
+let service_cmd =
+  let module Service = Sim.Service in
+  let schemes_arg =
+    let doc =
+      "Comma-separated preloading schemes to serve with, one warm pool \
+       per scheme.  Same grammar as $(b,run --scheme)."
+    in
+    Arg.(
+      value
+      & opt (list string) [ "baseline"; "dfp-stop" ]
+      & info [ "schemes" ] ~docv:"SCHEMES" ~doc)
+  in
+  let requests_arg =
+    let doc = "Requests to dispatch (open loop)." in
+    Arg.(
+      value
+      & opt int Service.default_config.Service.requests
+      & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let pool_arg =
+    let doc = "Warm enclave instances serving in parallel." in
+    Arg.(
+      value
+      & opt int Service.default_config.Service.pool
+      & info [ "pool" ] ~docv:"N" ~doc)
+  in
+  let events_arg =
+    let doc = "Trace events replayed per request." in
+    Arg.(
+      value
+      & opt int Service.default_config.Service.request_events
+      & info [ "request-events" ] ~docv:"N" ~doc)
+  in
+  let gap_arg =
+    let doc = "Mean inter-arrival gap in cycles (lower = more load)." in
+    Arg.(
+      value
+      & opt int Service.default_config.Service.mean_gap
+      & info [ "gap" ] ~docv:"CYCLES" ~doc)
+  in
+  let arrivals_arg =
+    let doc = "Arrival process: $(b,poisson), $(b,bursty) or $(b,diurnal)." in
+    Arg.(value & opt string "poisson" & info [ "arrivals" ] ~docv:"PROCESS" ~doc)
+  in
+  let slo_arg =
+    let doc = "Latency objective in cycles; slower requests count as violations." in
+    Arg.(
+      value
+      & opt int Service.default_config.Service.slo
+      & info [ "slo" ] ~docv:"CYCLES" ~doc)
+  in
+  let seed_arg =
+    let doc = "Arrival-generator seed; same seed = same arrivals, same table." in
+    Arg.(value & opt int Service.default_config.Service.seed & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let switchless_arg =
+    let doc =
+      "Use switchless enclave calls: charge the mailbox notification \
+       instead of EENTER+EEXIT per request."
+    in
+    Arg.(value & flag & info [ "switchless" ] ~doc)
+  in
+  let fault_plan_arg =
+    let doc = "Run under a named chaos fault plan (see $(b,chaos))." in
+    Arg.(value & opt string "fault-free" & info [ "fault-plan" ] ~docv:"NAME" ~doc)
+  in
+  let plan_arg =
+    let doc = "Use a saved instrumentation plan for sip/hybrid schemes." in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let action workload schemes epc input requests pool events gap arrivals_s
+      slo seed switchless fault_plan_name jobs plan_file =
+    let model =
+      match model_of_name workload with
+      | Some m -> m
+      | None -> unknown_workload workload
+    in
+    let arrivals =
+      match Service.arrival_of_string arrivals_s with
+      | Ok a -> a
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    let fault_plan =
+      match Sim.Fault_plan.find fault_plan_name with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown fault plan %S; known plans:\n  %s\n"
+          fault_plan_name
+          (String.concat "\n  " ("fault-free" :: Sim.Fault_plan.names ()));
+        exit 1
+    in
+    let config =
+      {
+        Service.default_config with
+        Service.epc_pages = epc;
+        pool;
+        requests;
+        request_events = events;
+        mean_gap = gap;
+        arrivals;
+        seed;
+        slo;
+        switchless;
+      }
+    in
+    let trace = model ~epc_pages:epc ~input in
+    (* Scheme parsing (and any SIP plan profiling) happens per cell,
+       inside the matrix worker. *)
+    let scheme_for tag = parse_scheme ?plan_file ~epc ~workload tag in
+    let cells =
+      Service.matrix ~jobs ~config ~fault_plan
+        ~input_label:(Input.to_string input) ~scheme_for ~tags:schemes trace
+    in
+    Service.print_cells cells
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ schemes_arg $ epc_arg $ input_arg
+      $ requests_arg $ pool_arg $ events_arg $ gap_arg $ arrivals_arg
+      $ slo_arg $ seed_arg $ switchless_arg $ fault_plan_arg $ jobs_arg
+      $ plan_arg)
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:
+         "Serve seeded open-loop request traffic through a pool of warm \
+          enclave instances and report per-scheme p50/p95/p99/p999 \
+          request latency, throughput and SLO violations")
+    term
+
 (* ---------- list ---------- *)
 
 let list_cmd =
@@ -808,5 +944,5 @@ let () =
           [
             run_cmd; compare_cmd; profile_cmd; stats_cmd; record_cmd;
             replay_cmd; validate_cmd; export_cmd; experiment_cmd; chaos_cmd;
-            fleet_cmd; list_cmd;
+            fleet_cmd; service_cmd; list_cmd;
           ]))

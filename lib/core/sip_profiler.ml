@@ -48,7 +48,7 @@ let classify_one predictor cache ~load_length page =
     cls
   end
 
-let profile config trace =
+let profile ?(input = "") config trace =
   let predictor =
     Stream_predictor.create ~stream_list_length:config.stream_list_length
       ~load_length:config.load_length ()
@@ -57,7 +57,7 @@ let profile config trace =
   let t =
     {
       workload = trace.Trace.name;
-      input = "";
+      input;
       config;
       per_site = Hashtbl.create 64;
       total_accesses = 0;

@@ -41,8 +41,10 @@ type t = {
   mutable total_accesses : int;
 }
 
-val profile : config -> Workload.Trace.t -> t
-(** Replay the trace and classify every access. *)
+val profile : ?input:string -> config -> Workload.Trace.t -> t
+(** Replay the trace and classify every access.  [input] labels which
+    workload input produced the trace (e.g. ["train"]) and is carried
+    verbatim into the profile's [input] field; default [""]. *)
 
 val classify_one :
   Stream_predictor.t -> Page_lru.t -> load_length:int -> int -> access_class

@@ -7,6 +7,8 @@ type t = {
   t_bitmap_check : int;
   t_notify : int;
   t_access : int;
+  t_eenter : int;
+  t_eexit : int;
   clock_scan_period : int;
 }
 
@@ -24,6 +26,12 @@ let paper =
     t_bitmap_check = 120;
     t_notify = 3_000;
     t_access = 6;
+    (* Synchronous enclave call boundary: EENTER flushes and re-checks
+       more state than EEXIT, so the round trip is asymmetric and lands
+       in the ~13k-cycle range the switchless-call literature measures
+       for a world switch. *)
+    t_eenter = 7_000;
+    t_eexit = 6_000;
     clock_scan_period = 2_000_000;
   }
 
@@ -38,14 +46,19 @@ let native =
     t_evict = 0;
     t_bitmap_check = 0;
     t_notify = 0;
+    t_eenter = 0;
+    t_eexit = 0;
   }
 
 let fault_cost t ~evict =
   t.t_aex + (if evict then t.t_evict else 0) + t.t_load + t.t_eresume
 
+let transition_cost t ~switchless =
+  if switchless then t.t_notify else t.t_eenter + t.t_eexit
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>AEX=%d ERESUME=%d load=%d evict=%d native-fault=%d@ \
-     bitmap-check=%d notify=%d access=%d scan-period=%d@]"
+     bitmap-check=%d notify=%d access=%d EENTER=%d EEXIT=%d scan-period=%d@]"
     t.t_aex t.t_eresume t.t_load t.t_evict t.t_fault_native t.t_bitmap_check
-    t.t_notify t.t_access t.clock_scan_period
+    t.t_notify t.t_access t.t_eenter t.t_eexit t.clock_scan_period

@@ -31,6 +31,11 @@ type t = {
           write + kernel-thread pickup latency (§3.2, Fig. 4). *)
   t_access : int;
       (** An in-EPC memory access (amortised, page-granular event). *)
+  t_eenter : int;
+      (** EENTER for a synchronous enclave call (ecall entry): TLB flush,
+          state checks, stack switch. *)
+  t_eexit : int;
+      (** EEXIT back to untrusted code at the end of a synchronous call. *)
   clock_scan_period : int;
       (** Period, in cycles, of the SGX-driver service thread that scans
           and clears page-table access bits (§4.2). *)
@@ -48,5 +53,12 @@ val native : t
 val fault_cost : t -> evict:bool -> int
 (** End-to-end demand-fault cost when the channel is free:
     AEX + (evict?) + load + ERESUME. *)
+
+val transition_cost : t -> switchless:bool -> int
+(** Per-request enclave call boundary cost.  Synchronous calls pay
+    [t_eenter + t_eexit]; with [~switchless:true] the request is handed
+    over through a shared-memory mailbox to a thread already resident in
+    the enclave, so only [t_notify] is charged (zero under {!native},
+    where there is no boundary to cross either way). *)
 
 val pp : Format.formatter -> t -> unit

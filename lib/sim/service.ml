@@ -1,0 +1,334 @@
+module Prng = Repro_util.Prng
+module Stats = Repro_util.Stats
+module Histogram = Repro_util.Histogram
+module Cost_model = Sgxsim.Cost_model
+module Trace = Workload.Trace
+module Trace_arena = Workload.Trace_arena
+module Access = Workload.Access
+module Scheme = Preload.Scheme
+
+type arrival_process =
+  | Poisson
+  | Bursty of { burst : int }
+  | Diurnal of { period : int; swing : float }
+
+type config = {
+  epc_pages : int;
+  costs : Cost_model.t;
+  pool : int;
+  requests : int;
+  request_events : int;
+  mean_gap : int;
+  arrivals : arrival_process;
+  seed : int;
+  slo : int;
+  switchless : bool;
+  horizon : int option;
+}
+
+let default_config =
+  {
+    epc_pages = 2048;
+    costs = Cost_model.paper;
+    pool = 4;
+    requests = 400;
+    request_events = 400;
+    mean_gap = 2_500_000;
+    arrivals = Poisson;
+    seed = 1;
+    slo = 30_000_000;
+    switchless = false;
+    horizon = None;
+  }
+
+let arrival_name = function
+  | Poisson -> "poisson"
+  | Bursty _ -> "bursty"
+  | Diurnal _ -> "diurnal"
+
+let arrival_of_string s =
+  match String.lowercase_ascii s with
+  | "poisson" -> Ok Poisson
+  | "bursty" -> Ok (Bursty { burst = 8 })
+  | "diurnal" -> Ok (Diurnal { period = 200_000_000; swing = 0.8 })
+  | _ ->
+    Error
+      (Printf.sprintf "unknown arrival process %S (known: poisson, bursty, diurnal)" s)
+
+let validate_config c =
+  if c.pool <= 0 then invalid_arg "Service: pool must be positive";
+  if c.requests < 0 then invalid_arg "Service: requests must be non-negative";
+  if c.request_events < 0 then
+    invalid_arg "Service: request_events must be non-negative";
+  if c.mean_gap <= 0 then invalid_arg "Service: mean_gap must be positive";
+  if c.slo <= 0 then invalid_arg "Service: slo must be positive";
+  (match c.arrivals with
+  | Poisson -> ()
+  | Bursty { burst } ->
+    if burst <= 0 then invalid_arg "Service: burst must be positive"
+  | Diurnal { period; swing } ->
+    if period <= 0 then invalid_arg "Service: diurnal period must be positive";
+    if not (swing >= 0.0 && swing < 1.0) then
+      invalid_arg "Service: diurnal swing must be in [0, 1)");
+  c
+
+(* One exponential inter-arrival draw with the given mean, in whole
+   cycles.  [1 - u] keeps the log argument in (0, 1]. *)
+let exponential_gap prng mean =
+  let u = Prng.float prng 1.0 in
+  int_of_float (Float.round (-.mean *. Float.log1p (-.u)))
+
+let arrival_times config =
+  let c = validate_config config in
+  let prng = Prng.create c.seed in
+  let times = Array.make c.requests 0 in
+  let now = ref 0 in
+  (match c.arrivals with
+  | Poisson ->
+    for k = 0 to c.requests - 1 do
+      now := !now + exponential_gap prng (float_of_int c.mean_gap);
+      times.(k) <- !now
+    done
+  | Bursty { burst } ->
+    (* Whole bursts arrive at one instant; inter-burst gaps stretch by
+       the burst size so the offered load matches the Poisson process
+       with the same [mean_gap]. *)
+    let k = ref 0 in
+    while !k < c.requests do
+      now := !now + exponential_gap prng (float_of_int (c.mean_gap * burst));
+      let n = min burst (c.requests - !k) in
+      for i = 0 to n - 1 do
+        times.(!k + i) <- !now
+      done;
+      k := !k + n
+    done
+  | Diurnal { period; swing } ->
+    (* Sinusoidally modulated rate: the local mean gap swells and
+       shrinks around [mean_gap] over one [period], compressing a
+       rush-hour's arrivals and stretching the quiet phase. *)
+    for k = 0 to c.requests - 1 do
+      let phase =
+        2.0 *. Float.pi
+        *. (float_of_int (!now mod period) /. float_of_int period)
+      in
+      let local_mean =
+        float_of_int c.mean_gap *. (1.0 +. (swing *. Float.sin phase))
+      in
+      now := !now + exponential_gap prng local_mean;
+      times.(k) <- !now
+    done);
+  times
+
+type outcome = {
+  scheme : string;
+  fault_plan : string;
+  switchless : bool;
+  arrivals : string;
+  dispatched : int;
+  completed : int;
+  in_flight : int;
+  latencies : float array;
+  latency_h : Histogram.t;
+  slo : int;
+  slo_violations : int;
+  makespan : int;
+  results : Runner.result list;
+}
+
+(* The per-request event source: the (possibly perturbed) compiled
+   stream, sliced by index with wrap-around.  A trace-corrupting plan
+   materialises the perturbed stream once — draws are keyed by event
+   index, so every scheme cell consumes identical corruption. *)
+let event_source fault_plan trace =
+  let arena = Trace_arena.compile trace in
+  match fault_plan.Fault_plan.trace with
+  | None ->
+    let len = Trace_arena.length arena in
+    let get i =
+      ( Trace_arena.site arena i,
+        Trace_arena.vpage arena i,
+        Trace_arena.compute arena i,
+        Trace_arena.thread arena i )
+    in
+    (len, get)
+  | Some _ ->
+    let arr =
+      Array.of_seq
+        (Fault_plan.perturb_trace fault_plan
+           ~elrange_pages:trace.Trace.elrange_pages
+           (Trace_arena.to_seq arena))
+    in
+    let get i =
+      let a = arr.(i) in
+      (a.Access.site, a.Access.vpage, a.Access.compute, a.Access.thread)
+    in
+    (Array.length arr, get)
+
+let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
+    ?(input_label = "") ~scheme trace =
+  let c = validate_config config in
+  let arrivals = arrival_times c in
+  let len, event = event_source fault_plan trace in
+  let runner_config =
+    { Runner.epc_pages = c.epc_pages; costs = c.costs; log_capacity = 0 }
+  in
+  let instances =
+    Array.init c.pool (fun _ ->
+        Runner.make_instance ~config:runner_config ~fault_plan ~trace scheme)
+  in
+  (* The service layer keeps its own timeline: [free_at.(i)] is when
+     instance [i] finishes its current request, *including* the
+     transition cycles charged here.  The instance's private clock
+     [inst.now] advances only through [Runner.step], preserving the
+     cycle identity [Validate.check] enforces on each finalized run. *)
+  let free_at = Array.make c.pool 0 in
+  let latency_h =
+    Histogram.create ~auto_expand:true ~lo:0.0
+      ~hi:(float_of_int (max 1 c.slo)) ~buckets:96 ()
+  in
+  let latencies = Array.make c.requests 0.0 in
+  let completed = ref 0 in
+  let in_flight = ref 0 in
+  let slo_violations = ref 0 in
+  let makespan = ref 0 in
+  Array.iteri
+    (fun k arrival ->
+      (* Earliest-free instance; ties break to the lowest index so the
+         schedule is a pure function of the arrival sequence. *)
+      let best = ref 0 in
+      for i = 1 to c.pool - 1 do
+        if free_at.(i) < free_at.(!best) then best := i
+      done;
+      let i = !best in
+      let inst = instances.(i) in
+      let transition =
+        Cost_model.transition_cost inst.Runner.i_costs ~switchless:c.switchless
+      in
+      let start = max arrival free_at.(i) in
+      let before = inst.Runner.now in
+      if len > 0 then begin
+        let offset = k * c.request_events mod len in
+        for j = 0 to c.request_events - 1 do
+          let site, vpage, compute, thread = event ((offset + j) mod len) in
+          Runner.step inst ~site ~vpage ~compute ~thread
+        done
+      end;
+      let service = inst.Runner.now - before in
+      let finish = start + transition + service in
+      free_at.(i) <- finish;
+      if finish > !makespan then makespan := finish;
+      let latency = finish - arrival in
+      match c.horizon with
+      | Some h when finish > h -> incr in_flight
+      | Some _ | None ->
+        latencies.(!completed) <- float_of_int latency;
+        incr completed;
+        Histogram.add latency_h (float_of_int latency);
+        if latency > c.slo then incr slo_violations)
+    arrivals;
+  let results =
+    Array.to_list
+      (Array.map (Runner.finalize ~fault_plan ~input_label ~trace) instances)
+  in
+  {
+    scheme = Scheme.name scheme;
+    fault_plan = fault_plan.Fault_plan.name;
+    switchless = c.switchless;
+    arrivals = arrival_name c.arrivals;
+    dispatched = c.requests;
+    completed = !completed;
+    in_flight = !in_flight;
+    latencies = Array.sub latencies 0 !completed;
+    latency_h;
+    slo = c.slo;
+    slo_violations = !slo_violations;
+    makespan = !makespan;
+    results;
+  }
+
+(* Below this many completed requests the exact sorted-array percentile
+   is used; past it, the histogram's interpolated quantile. *)
+let exact_quantile_threshold = 4096
+
+let quantile outcome q =
+  if outcome.completed = 0 then Float.nan
+  else if outcome.completed <= exact_quantile_threshold then
+    Stats.percentile outcome.latencies (q *. 100.0)
+  else Histogram.quantile outcome.latency_h q
+
+let throughput outcome =
+  if outcome.makespan = 0 then 0.0
+  else float_of_int outcome.completed *. 1e6 /. float_of_int outcome.makespan
+
+let check outcome =
+  Validate.check_service ~dispatched:outcome.dispatched
+    ~completed:outcome.completed ~in_flight:outcome.in_flight
+    ~latency:outcome.latency_h outcome.results
+
+let assert_valid outcome =
+  match check outcome with
+  | [] -> ()
+  | violations -> raise (Validate.Invalid violations)
+
+let matrix ?(jobs = 1) ?config ?fault_plan ?input_label ~scheme_for ~tags trace =
+  let jobs_list =
+    List.map
+      (fun tag ->
+        Job_pool.job ~label:("service/" ^ tag) (fun () ->
+            let outcome =
+              run ?config ?fault_plan ?input_label ~scheme:(scheme_for tag)
+                trace
+            in
+            assert_valid outcome;
+            outcome))
+      tags
+  in
+  List.combine tags (Job_pool.run ~jobs jobs_list)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Table = Repro_util.Table
+
+let cell_cycles v =
+  if Float.is_nan v then "-" else Table.cell_int (int_of_float (Float.round v))
+
+let summary_table cells =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("scheme", Table.Left);
+          ("mode", Table.Left);
+          ("done", Table.Right);
+          ("in-flight", Table.Right);
+          ("req/Mcyc", Table.Right);
+          ("p50", Table.Right);
+          ("p95", Table.Right);
+          ("p99", Table.Right);
+          ("p999", Table.Right);
+          ("max", Table.Right);
+          ("SLO-viol", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (tag, o) ->
+      Table.add_row t
+        [
+          tag;
+          (if o.switchless then "switchless" else "sync");
+          Table.cell_int o.completed;
+          Table.cell_int o.in_flight;
+          Table.cell_float ~decimals:3 (throughput o);
+          cell_cycles (quantile o 0.50);
+          cell_cycles (quantile o 0.95);
+          cell_cycles (quantile o 0.99);
+          cell_cycles (quantile o 0.999);
+          cell_cycles (Histogram.max_observed o.latency_h);
+          Table.cell_int o.slo_violations;
+        ])
+    cells;
+  t
+
+let print_cells cells = Table.print (summary_table cells)

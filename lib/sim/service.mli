@@ -1,0 +1,133 @@
+(** Open-loop request serving: preloading as a tail-latency story.
+
+    The paper scores schemes by whole-trace cycle totals, but a
+    production enclave serves {e requests}; what a serving stack buys
+    from preloading is fewer faults on the critical path of each call,
+    i.e. a shorter latency tail.  This harness dispatches short slices
+    of a workload's trace as requests into a pool of warm enclave
+    instances (the {!Runner} single-instance machinery, exactly as the
+    fleet uses it), charges the enclave call boundary
+    ({!Sgxsim.Cost_model.transition_cost}: EENTER+EEXIT, or the
+    switchless mailbox handoff) per request at the service layer, and
+    reports per-scheme latency percentiles, throughput and
+    SLO-violation counts.
+
+    {b Determinism.}  Arrivals are a pure function of the config's seed
+    ({!arrival_times}); the per-instance schedule breaks ties by index;
+    and {!matrix} fans cells through {!Job_pool}, so output is
+    byte-identical at any [-j] and across reruns with the same seed.
+    Transition cycles are charged on the service timeline only — never
+    to the instance clock — so every finalized instance run still
+    satisfies {!Validate.check}'s cycle identity. *)
+
+type arrival_process =
+  | Poisson  (** Exponential inter-arrival gaps with mean [mean_gap]. *)
+  | Bursty of { burst : int }
+      (** Whole bursts of [burst] requests arrive at one instant;
+          inter-burst gaps scale by [burst] to hold offered load. *)
+  | Diurnal of { period : int; swing : float }
+      (** Sinusoidally modulated rate: local mean gap swings by
+          [±swing] around [mean_gap] over one [period] (cycles). *)
+
+type config = {
+  epc_pages : int;  (** EPC frames per warm instance. *)
+  costs : Sgxsim.Cost_model.t;
+  pool : int;  (** Warm enclave instances serving in parallel. *)
+  requests : int;  (** Requests dispatched (the open-loop total). *)
+  request_events : int;  (** Trace events replayed per request. *)
+  mean_gap : int;  (** Mean inter-arrival gap in cycles. *)
+  arrivals : arrival_process;
+  seed : int;  (** Seeds the arrival generator. *)
+  slo : int;  (** Latency objective in cycles; above it is a violation. *)
+  switchless : bool;
+      (** Charge the switchless mailbox handoff instead of EENTER+EEXIT. *)
+  horizon : int option;
+      (** Requests completing past this cycle count as in-flight
+          (latency unrecorded); [None] completes everything. *)
+}
+
+val default_config : config
+(** Poisson arrivals at ~50% pool utilisation for paper-cost traces:
+    pool 4, 400 requests of 400 events, mean gap 2.5M cycles, SLO 30M
+    cycles, seed 1, synchronous calls, no horizon. *)
+
+val arrival_name : arrival_process -> string
+val arrival_of_string : string -> (arrival_process, string) result
+(** Parse ["poisson"] / ["bursty"] / ["diurnal"] (with stock burst and
+    period parameters for the latter two). *)
+
+val arrival_times : config -> int array
+(** The full deterministic arrival schedule (absolute cycles,
+    non-decreasing), exactly as {!run} consumes it: same seed, same
+    arrivals.  Exposed for tests and the CI determinism contract.
+
+    @raise Invalid_argument on a non-positive pool/gap/SLO or
+    out-of-range arrival parameters. *)
+
+type outcome = {
+  scheme : string;
+  fault_plan : string;
+  switchless : bool;
+  arrivals : string;  (** {!arrival_name} of the generator used. *)
+  dispatched : int;
+  completed : int;
+  in_flight : int;  (** Requests unfinished at the horizon. *)
+  latencies : float array;
+      (** Per-completed-request latency (cycles), dispatch order. *)
+  latency_h : Repro_util.Histogram.t;
+      (** Auto-expanding latency histogram (overflow stays empty;
+          {!Validate.check_service} enforces). *)
+  slo : int;
+  slo_violations : int;
+  makespan : int;  (** Cycle the last request finished. *)
+  results : Runner.result list;  (** One finalized run per instance. *)
+}
+
+val run :
+  ?config:config ->
+  ?fault_plan:Fault_plan.t ->
+  ?input_label:string ->
+  scheme:Preload.Scheme.t ->
+  Workload.Trace.t ->
+  outcome
+(** Serve [requests] trace slices through a pool of warm instances of
+    [scheme].  Request [k] replays [request_events] events starting at
+    index [k * request_events mod length], wrapping; its latency is
+    queueing + transition + the instance-clock delta of its steps.
+    Under a trace-corrupting [fault_plan] all schemes consume the same
+    perturbed stream (draws keyed by event index); channel/EPC faults
+    apply inside each instance as in any chaos run, surfacing as
+    degraded-mode tails. *)
+
+val quantile : outcome -> float -> float
+(** [quantile o q] ([0 <= q <= 1]): exact {!Repro_util.Stats.percentile}
+    over the sorted latencies for small runs, {!Repro_util.Histogram.quantile}
+    past 4096 completed requests.  [nan] when nothing completed. *)
+
+val throughput : outcome -> float
+(** Completed requests per million cycles of makespan (0 when idle). *)
+
+val check : outcome -> Validate.violation list
+(** {!Validate.check_service} over this outcome's packaged arguments. *)
+
+val assert_valid : outcome -> unit
+(** @raise Validate.Invalid when {!check} reports anything. *)
+
+val matrix :
+  ?jobs:int ->
+  ?config:config ->
+  ?fault_plan:Fault_plan.t ->
+  ?input_label:string ->
+  scheme_for:(string -> Preload.Scheme.t) ->
+  tags:string list ->
+  Workload.Trace.t ->
+  (string * outcome) list
+(** One {!run} per tag, fanned through {!Job_pool} ([jobs] workers,
+    submission-order merge) with each outcome {!assert_valid}ed in its
+    worker.  Results pair each tag with its outcome, in [tags] order. *)
+
+val summary_table : (string * outcome) list -> Repro_util.Table.t
+(** The per-scheme p50/p95/p99/p999 + SLO table — the stable surface
+    the CI determinism diff compares. *)
+
+val print_cells : (string * outcome) list -> unit

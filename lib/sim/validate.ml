@@ -2,6 +2,7 @@ module Event = Sgxsim.Event
 module Metrics = Sgxsim.Metrics
 module Cost_model = Sgxsim.Cost_model
 module Load_channel = Sgxsim.Load_channel
+module Histogram = Repro_util.Histogram
 
 type violation = { check : string; detail : string }
 
@@ -450,6 +451,52 @@ let check_fleet ~epc_pages ~shared ~interference ~triggered results =
              triggered.(ai))
     done
   end;
+  List.rev !violations
+
+(* Service invariants take unpacked scalars/histograms rather than a
+   [Service] record so [Service] can depend on this module (the same
+   inversion as [check_fleet]). *)
+let check_service ~dispatched ~completed ~in_flight ~latency results =
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  if dispatched < 0 || completed < 0 || in_flight < 0 then
+    add
+      (v "service-conservation"
+         "negative request counter (dispatched=%d completed=%d in-flight=%d)"
+         dispatched completed in_flight);
+  if dispatched <> completed + in_flight then
+    add
+      (v "service-conservation"
+         "dispatched %d <> completed %d + in-flight %d" dispatched completed
+         in_flight);
+  let n = Histogram.count latency in
+  if n <> completed then
+    add
+      (v "service-latency"
+         "latency histogram holds %d observation(s), %d request(s) completed"
+         n completed);
+  if Histogram.nan_count latency <> 0 then
+    add
+      (v "service-latency" "%d nan latency observation(s)"
+         (Histogram.nan_count latency));
+  if Histogram.overflow latency <> 0 then
+    add
+      (v "service-latency"
+         "latency histogram overflowed %d observation(s) despite auto-expand"
+         (Histogram.overflow latency));
+  if completed > 0 && Histogram.min_observed latency < 0.0 then
+    add
+      (v "service-latency" "negative request latency %.0f observed"
+         (Histogram.min_observed latency));
+  (* Every warm instance's run must stand on its own: the service layer
+     charges transition cost outside the instance clock, so the full
+     single-run battery (cycle identity included) still applies. *)
+  List.iteri
+    (fun i r ->
+      List.iter
+        (fun x -> add { x with check = Printf.sprintf "instance%d:%s" i x.check })
+        (check r))
+    results;
   List.rev !violations
 
 exception Invalid of violation list

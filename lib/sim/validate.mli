@@ -69,6 +69,23 @@ val check_fleet :
     counter, every column to [triggered.(aggressor)], no entry
     negative. *)
 
+val check_service :
+  dispatched:int ->
+  completed:int ->
+  in_flight:int ->
+  latency:Repro_util.Histogram.t ->
+  Runner.result list ->
+  violation list
+(** Service-mode invariants over one open-loop run ({!Service} packages
+    the arguments; they are unpacked here so [Service] can depend on
+    this module).  Request conservation
+    ([dispatched = completed + in_flight], all non-negative); the
+    latency histogram holds exactly one non-nan, non-negative
+    observation per completed request with an empty overflow bucket
+    (latency histograms auto-expand); and every warm instance's
+    finalized run passes the full {!check} battery (violations prefixed
+    [instance<i>:]). *)
+
 exception Invalid of violation list
 
 val assert_valid : Runner.result -> unit

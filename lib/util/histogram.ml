@@ -7,6 +7,7 @@ type t = {
   mutable underflow : int;
   mutable overflow : int;
   mutable total : int;
+  mutable nans : int;
   mutable max_seen : float;
   mutable min_seen : float;
 }
@@ -23,6 +24,7 @@ let create ?(auto_expand = false) ~lo ~hi ~buckets () =
     underflow = 0;
     overflow = 0;
     total = 0;
+    nans = 0;
     max_seen = Float.neg_infinity;
     min_seen = Float.infinity;
   }
@@ -41,23 +43,34 @@ let expand t =
 
 let add t x =
   t.total <- t.total + 1;
-  if x > t.max_seen then t.max_seen <- x;
-  if x < t.min_seen then t.min_seen <- x;
-  if x < t.lo then t.underflow <- t.underflow + 1
+  (* nan compares false against every bound below, which used to drop it
+     into bucket 0 via [int_of_float nan = 0]; quarantine it instead so
+     the buckets and extrema describe only real observations. *)
+  if Float.is_nan x then t.nans <- t.nans + 1
   else begin
-    if t.auto_expand && Float.is_finite x then
-      while x >= t.hi do
-        expand t
-      done;
-    if x >= t.hi then t.overflow <- t.overflow + 1
+    if x > t.max_seen then t.max_seen <- x;
+    if x < t.min_seen then t.min_seen <- x;
+    if x < t.lo then t.underflow <- t.underflow + 1
     else begin
-      let i = int_of_float ((x -. t.lo) /. t.width) in
-      let i = min i (Array.length t.counts - 1) in
-      t.counts.(i) <- t.counts.(i) + 1
+      if t.auto_expand && Float.is_finite x then
+        while x >= t.hi do
+          expand t
+        done;
+      if x >= t.hi then t.overflow <- t.overflow + 1
+      else begin
+        let i = int_of_float ((x -. t.lo) /. t.width) in
+        let i = min i (Array.length t.counts - 1) in
+        t.counts.(i) <- t.counts.(i) + 1
+      end
     end
   end
 
 let count t = t.total
+let nan_count t = t.nans
+
+(* Observations that landed somewhere on the real line: the denominator
+   for every distributional summary. *)
+let real_count t = t.total - t.nans
 
 let bucket_count t i =
   if i < 0 || i >= Array.length t.counts then
@@ -67,8 +80,8 @@ let bucket_count t i =
 let underflow t = t.underflow
 let overflow t = t.overflow
 
-let max_observed t = if t.total = 0 then Float.nan else t.max_seen
-let min_observed t = if t.total = 0 then Float.nan else t.min_seen
+let max_observed t = if real_count t = 0 then Float.nan else t.max_seen
+let min_observed t = if real_count t = 0 then Float.nan else t.min_seen
 
 let bucket_range t i =
   if i < 0 || i >= Array.length t.counts then
@@ -77,10 +90,10 @@ let bucket_range t i =
   (lo, lo +. t.width)
 
 let mean t =
-  if t.total = 0 then Float.nan
+  if real_count t = 0 then Float.nan
   else begin
     (* Bucket-midpoint approximation; under/overflow observations are
-       pinned to the histogram's edges. *)
+       pinned to the histogram's edges.  nan observations are excluded. *)
     let sum = ref (float_of_int t.underflow *. t.lo) in
     sum := !sum +. (float_of_int t.overflow *. t.hi);
     Array.iteri
@@ -88,11 +101,11 @@ let mean t =
         let lo, hi = bucket_range t i in
         sum := !sum +. (float_of_int c *. ((lo +. hi) /. 2.0)))
       t.counts;
-    !sum /. float_of_int t.total
+    !sum /. float_of_int (real_count t)
   end
 
 let fraction_below t x =
-  if t.total = 0 then 0.0
+  if real_count t = 0 then 0.0
   else begin
     let below = ref t.underflow in
     Array.iteri
@@ -100,7 +113,48 @@ let fraction_below t x =
         let _, hi = bucket_range t i in
         if hi <= x then below := !below + c)
       t.counts;
-    float_of_int !below /. float_of_int t.total
+    (* Overflow observations live in [hi, ∞); once the threshold has
+       cleared the histogram's upper bound they are all below it under
+       the whole-bucket approximation, so fraction_below t infinity is
+       1.0 even with a nonzero overflow count. *)
+    if x > t.hi then below := !below + t.overflow;
+    float_of_int !below /. float_of_int (real_count t)
+  end
+
+let quantile t q =
+  if Float.is_nan q then invalid_arg "Histogram.quantile: nan quantile";
+  let q = Float.max 0.0 (Float.min 1.0 q) in
+  let n = real_count t in
+  if n = 0 then Float.nan
+  else if q = 0.0 then t.min_seen
+  else if q = 1.0 then t.max_seen
+  else begin
+    (* Find the bucket holding the ceil(q*n)-th smallest observation and
+       interpolate linearly inside it; the result is exact to within one
+       bucket width.  Clamping to the observed extrema keeps the edges
+       honest when the target falls in under/overflow (whose true spread
+       the buckets do not record). *)
+    let target = q *. float_of_int n in
+    let clamp v = Float.max t.min_seen (Float.min t.max_seen v) in
+    if target <= float_of_int t.underflow then t.min_seen
+    else begin
+      let cum = ref (float_of_int t.underflow) in
+      let result = ref Float.nan in
+      (try
+         Array.iteri
+           (fun i c ->
+             let fc = float_of_int c in
+             if c > 0 && target <= !cum +. fc then begin
+               let lo, _ = bucket_range t i in
+               let frac = (target -. !cum) /. fc in
+               result := clamp (lo +. (frac *. t.width));
+               raise Exit
+             end;
+             cum := !cum +. fc)
+           t.counts
+       with Exit -> ());
+      if Float.is_nan !result then t.max_seen else !result
+    end
   end
 
 let pp fmt t =
@@ -115,4 +169,5 @@ let pp fmt t =
   in
   Format.fprintf fmt "[%s] n=%d under=%d over=%d"
     (String.init (Array.length cells) (Array.get cells))
-    t.total t.underflow t.overflow
+    t.total t.underflow t.overflow;
+  if t.nans > 0 then Format.fprintf fmt " nan=%d" t.nans

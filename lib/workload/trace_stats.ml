@@ -21,11 +21,12 @@ let analyse trace =
   let prev = ref None in
   let runs = ref 0 in
   let run_pages = ref 0 in
-  let current_run = ref 1 in
+  let current_run = ref 0 in
   let close_run () =
     if !current_run > 0 then begin
       incr runs;
-      run_pages := !run_pages + !current_run
+      run_pages := !run_pages + !current_run;
+      current_run := 0
     end
   in
   Trace_arena.iter arena ~f:(fun ~site ~vpage ~compute ~thread ->
@@ -38,13 +39,19 @@ let analyse trace =
       | Some p when abs (vpage - p) = 1 ->
         incr sequential_pairs;
         incr current_run
-      | Some p when vpage = p -> incr same_page_pairs
+      | Some p when vpage = p ->
+        incr same_page_pairs;
+        (* A repeat terminates the run in progress — it must not let
+           [A, A, A+1] silently bridge two ±1-step runs — and the
+           repeated page seeds a fresh one-page candidate run. *)
+        close_run ();
+        current_run := 1
       | Some _ ->
         close_run ();
         current_run := 1
-      | None -> ());
+      | None -> current_run := 1);
       prev := Some vpage);
-  if !events > 0 then close_run ();
+  close_run ();
   {
     events = !events;
     distinct_pages = Hashtbl.length pages;

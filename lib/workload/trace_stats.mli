@@ -17,7 +17,10 @@ type t = {
           of stream detection. *)
   same_page_pairs : int;  (** Consecutive accesses to the same page. *)
   run_length_mean : float;
-      (** Mean length (in pages) of maximal ±1-step runs. *)
+      (** Mean length (in pages) of maximal ±1-step runs.  A same-page
+          repeat terminates the run in progress (it neither extends it
+          nor bridges it across the repeat: [A, A, A+1] is two runs) and
+          the repeated page starts a fresh candidate run. *)
 }
 
 val analyse : Trace.t -> t

@@ -289,6 +289,24 @@ let test_profiler_totals_and_sites () =
   checki "accesses" 20 (totals.c1 + totals.c2 + totals.c3);
   checki "total counter" 20 profile.total_accesses
 
+let test_profiler_records_input () =
+  let trace =
+    Workload.Trace.make ~name:"t" ~elrange_pages:100 ~footprint_pages:1 ~seed:5
+      ~sites:[]
+      (Workload.Pattern.sequential ~site:0 ~base:0 ~pages:10 ~events_per_page:1
+         ~compute:0 ~jitter:0.0)
+  in
+  let config =
+    { Profiler.stream_list_length = 8; load_length = 4; residency_pages = 64 }
+  in
+  (* The profiled input names the plan's provenance in reports and saved
+     plan files; it used to be hardcoded to "". *)
+  let profile = Profiler.profile ~input:"train" config trace in
+  Alcotest.(check string) "input recorded" "train" profile.Profiler.input;
+  Alcotest.(check string) "workload recorded" "t" profile.Profiler.workload;
+  let default = Profiler.profile config trace in
+  Alcotest.(check string) "default stays empty" "" default.Profiler.input
+
 let test_classify_one_steps () =
   let predictor = predictor ~len:4 () in
   let cache = Page_lru.create ~capacity:8 in
@@ -862,6 +880,7 @@ let () =
           tc "repeats are class1" test_profiler_repeated_touches_are_class1;
           tc "random is class3" test_profiler_random_is_class3;
           tc "totals and sites" test_profiler_totals_and_sites;
+          tc "records input" test_profiler_records_input;
           tc "classify_one steps" test_classify_one_steps;
         ] );
       ( "sip_instrumenter",

@@ -242,6 +242,43 @@ let stats_qcheck =
         let m2 = Stats.merge (build ys) (build xs) in
         Float.abs (Stats.mean m1 -. Stats.mean m2) < 1e-9
         && Stats.count m1 = Stats.count m2);
+    (* The merge identity the fleet/service aggregation rests on:
+       merging two accumulators is indistinguishable from one bulk add,
+       across every moment — including when either side is empty. *)
+    QCheck2.Test.make ~name:"merge equals bulk add in every moment" ~count:300
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 0 25) (float_range (-500.) 500.))
+          (list_size (int_range 0 25) (float_range (-500.) 500.)))
+      (fun (xs, ys) ->
+        let build zs =
+          let s = Stats.create () in
+          Stats.add_many s zs;
+          s
+        in
+        let m = Stats.merge (build xs) (build ys) in
+        let whole = build (xs @ ys) in
+        let eq a b =
+          (Float.is_nan a && Float.is_nan b) || Float.abs (a -. b) < 1e-6
+        in
+        Stats.count m = Stats.count whole
+        && eq (Stats.mean m) (Stats.mean whole)
+        && eq (Stats.variance m) (Stats.variance whole)
+        && eq (Stats.total m) (Stats.total whole)
+        && eq (Stats.min m) (Stats.min whole)
+        && eq (Stats.max m) (Stats.max whole));
+    QCheck2.Test.make ~name:"percentile monotone with exact endpoints" ~count:300
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 40) (float_range (-100.) 100.))
+          (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+      (fun (xs, (p1, p2)) ->
+        let arr = Array.of_list xs in
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Stats.percentile arr lo <= Stats.percentile arr hi +. 1e-9
+        && Stats.percentile arr 0.0 = List.fold_left Float.min Float.infinity xs
+        && Stats.percentile arr 100.0
+           = List.fold_left Float.max Float.neg_infinity xs);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -331,6 +368,117 @@ let test_histogram_bad_args () =
   Alcotest.check_raises "no buckets"
     (Invalid_argument "Histogram.create: buckets must be positive") (fun () ->
       ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:0 ()))
+
+let test_histogram_nan_quarantined () =
+  (* nan used to land in bucket 0 ([int_of_float nan = 0]) and poison
+     the extrema; it must be quarantined in its own counter. *)
+  List.iter
+    (fun auto_expand ->
+      let h = Histogram.create ~auto_expand ~lo:0.0 ~hi:10.0 ~buckets:5 () in
+      Histogram.add h Float.nan;
+      checki "counted in total" 1 (Histogram.count h);
+      checki "quarantined" 1 (Histogram.nan_count h);
+      checki "bucket 0 untouched" 0 (Histogram.bucket_count h 0);
+      checki "no underflow" 0 (Histogram.underflow h);
+      checki "no overflow" 0 (Histogram.overflow h);
+      checkf "no expansion" 10.0 (snd (Histogram.bucket_range h 4));
+      checkb "max unpoisoned" true (Float.is_nan (Histogram.max_observed h));
+      checkb "min unpoisoned" true (Float.is_nan (Histogram.min_observed h));
+      checkb "mean of no real samples is nan" true
+        (Float.is_nan (Histogram.mean h));
+      (* Real observations alongside the nan stay exact: the nan is
+         excluded from every derived statistic's denominator. *)
+      Histogram.add h 5.0;
+      checki "total counts both" 2 (Histogram.count h);
+      checkf "mean excludes nan" 5.0 (Histogram.mean h);
+      checkf "max exact" 5.0 (Histogram.max_observed h);
+      checkf "fraction_below excludes nan" 1.0 (Histogram.fraction_below h 6.0))
+    [ false; true ]
+
+let test_histogram_infinities () =
+  List.iter
+    (fun auto_expand ->
+      let h = Histogram.create ~auto_expand ~lo:0.0 ~hi:4.0 ~buckets:4 () in
+      Histogram.add h Float.infinity;
+      Histogram.add h Float.neg_infinity;
+      checki "no nan" 0 (Histogram.nan_count h);
+      (* +inf can never fit a finite range: overflow, never expand. *)
+      checki "+inf overflows" 1 (Histogram.overflow h);
+      (* -inf is below lo whatever the range: underflow. *)
+      checki "-inf underflows" 1 (Histogram.underflow h);
+      checkf "range unchanged" 4.0 (snd (Histogram.bucket_range h 3));
+      checkf "max is +inf" Float.infinity (Histogram.max_observed h);
+      checkf "min is -inf" Float.neg_infinity (Histogram.min_observed h))
+    [ false; true ]
+
+let test_histogram_fraction_below_overflow () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 () in
+  Histogram.add h 5.0;
+  Histogram.add h 15.0;
+  checki "one overflowed" 1 (Histogram.overflow h);
+  (* A threshold past [hi] covers the overflow bucket too — this used
+     to report 0.5 forever, as if the overflowed sample did not exist. *)
+  checkf "past hi counts overflow" 1.0 (Histogram.fraction_below h 20.0);
+  checkf "at hi excludes overflow" 0.5 (Histogram.fraction_below h 10.0);
+  checkf "infinity covers everything" 1.0 (Histogram.fraction_below h Float.infinity);
+  checkf "in range unchanged" 0.5 (Histogram.fraction_below h 6.0)
+
+let test_histogram_quantile () =
+  let h = Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:10 () in
+  checkb "empty quantile is nan" true (Float.is_nan (Histogram.quantile h 0.5));
+  (* One sample per bucket: 5, 15, ..., 95. *)
+  for i = 0 to 9 do
+    Histogram.add h (float_of_int (10 * i) +. 5.0)
+  done;
+  checkf "q0 is the exact minimum" 5.0 (Histogram.quantile h 0.0);
+  checkf "q1 is the exact maximum" 95.0 (Histogram.quantile h 1.0);
+  checkf "median interpolates its bucket" 50.0 (Histogram.quantile h 0.5);
+  checkf "p95 interpolates the top bucket" 95.0 (Histogram.quantile h 0.95);
+  (* Out-of-range quantiles clamp rather than extrapolate. *)
+  checkf "clamps above" 95.0 (Histogram.quantile h 2.0);
+  checkf "clamps below" 5.0 (Histogram.quantile h (-1.0));
+  Alcotest.check_raises "nan quantile"
+    (Invalid_argument "Histogram.quantile: nan quantile") (fun () ->
+      ignore (Histogram.quantile h Float.nan))
+
+let histogram_qcheck =
+  [
+    (* [Histogram.quantile] against ground truth: for k = ceil(q*n) the
+       k-th smallest sample shares the interpolation bucket (cumulative
+       counts are integers), so the two can differ by at most one bucket
+       width.  [Stats.percentile] at p = 100(k-1)/(n-1) hits the k-th
+       order statistic exactly. *)
+    QCheck2.Test.make ~name:"quantile within a bucket of the order statistic"
+      ~count:300
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 2 60) (float_range 0.0 99.9))
+          (float_range 0.01 0.99))
+      (fun (xs, q) ->
+        let h = Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:20 () in
+        List.iter (Histogram.add h) xs;
+        let n = List.length xs in
+        let k = int_of_float (Float.ceil (q *. float_of_int n)) in
+        let kth =
+          Stats.percentile (Array.of_list xs)
+            (100.0 *. float_of_int (k - 1) /. float_of_int (n - 1))
+        in
+        let width = 100.0 /. 20.0 in
+        Float.abs (Histogram.quantile h q -. kth) <= width +. 1e-6);
+    QCheck2.Test.make ~name:"quantile monotone with exact endpoints" ~count:200
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 40) (float_range 0.0 99.9))
+          (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+      (fun (xs, (q1, q2)) ->
+        let h = Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:16 () in
+        List.iter (Histogram.add h) xs;
+        let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+        Histogram.quantile h lo <= Histogram.quantile h hi +. 1e-9
+        && Histogram.quantile h 0.0 = List.fold_left Float.min Float.infinity xs
+        && Histogram.quantile h 1.0
+           = List.fold_left Float.max Float.neg_infinity xs);
+  ]
 
 let test_histogram_observed_extremes () =
   let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 () in
@@ -655,8 +803,13 @@ let () =
           tc "auto-expand non-finite" test_histogram_auto_expand_non_finite;
           tc "fixed bound still overflows" test_histogram_fixed_still_overflows;
           tc "bad args" test_histogram_bad_args;
+          tc "nan quarantined" test_histogram_nan_quarantined;
+          tc "infinities" test_histogram_infinities;
+          tc "fraction below overflow" test_histogram_fraction_below_overflow;
+          tc "quantile" test_histogram_quantile;
           tc "observed extremes" test_histogram_observed_extremes;
-        ] );
+        ]
+        @ props histogram_qcheck );
       ( "deque",
         [
           tc "basics" test_deque_basics;

@@ -449,6 +449,24 @@ let test_stats_of_sequential () =
   checki "sequential pairs" 9 s.sequential_pairs;
   checki "same-page pairs" 10 s.same_page_pairs
 
+let test_stats_repeat_interrupts_run () =
+  (* Pages 5, 6, 6, 7: the repeated 6 must terminate the first run and
+     seed a new one — it used to bridge [5;6] and [6;7] into a single
+     4-page run because [close_run] fired with the run counter already
+     reset. *)
+  let events =
+    List.map (fun vpage -> Access.make ~site:0 ~vpage ~compute:1 ()) [ 5; 6; 6; 7 ]
+  in
+  let trace =
+    Trace.make ~name:"repeat" ~elrange_pages:16 ~footprint_pages:3 ~seed:1
+      ~sites:[] (Pattern.of_events events)
+  in
+  let s = Workload.Trace_stats.analyse trace in
+  checki "events" 4 s.events;
+  checki "sequential pairs" 2 s.sequential_pairs;
+  checki "same-page pairs" 1 s.same_page_pairs;
+  Alcotest.(check (float 1e-9)) "two runs of two pages" 2.0 s.run_length_mean
+
 let test_stats_miss_ratio_bounds () =
   let trace = Spec.deepsjeng ~epc_pages:128 ~input:Input.Train in
   let big = Workload.Trace_stats.miss_ratio trace ~epc_pages:1_000_000 in
@@ -664,6 +682,7 @@ let () =
       ( "trace_stats",
         [
           tc "sequential stats" test_stats_of_sequential;
+          tc "repeat interrupts run" test_stats_repeat_interrupts_run;
           tc "miss ratio bounds" test_stats_miss_ratio_bounds;
           tc "miss curve monotone" test_stats_miss_ratio_curve_monotone;
         ] );
