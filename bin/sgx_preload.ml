@@ -45,6 +45,18 @@ let threshold_arg =
     & opt float Preload.Sip_instrumenter.default_threshold
     & info [ "threshold" ] ~docv:"RATIO" ~doc)
 
+let breaker_arg =
+  let doc =
+    "Attach the preload circuit breaker (stock configuration) to every \
+     enclave instance: when the scan-harvested preload hit rate falls \
+     below the trip threshold over a full window, the breaker opens and \
+     sheds speculative loads until a half-open probe run succeeds."
+  in
+  Arg.(value & flag & info [ "breaker" ] ~doc)
+
+let breaker_of flag =
+  if flag then Some Preload.Breaker.default_config else None
+
 (* ---------- run ---------- *)
 
 let settings_of ~epc ~input =
@@ -105,7 +117,7 @@ let run_cmd =
     let doc = "Use a saved instrumentation plan (see $(b,profile --save-plan)) for the sip/hybrid schemes." in
     Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
   in
-  let action workload scheme epc input breakdown events plan_file =
+  let action workload scheme epc input breakdown events plan_file breaker =
     match model_of_name workload with
     | None -> unknown_workload workload
     | Some model ->
@@ -115,7 +127,8 @@ let run_cmd =
         { Sim.Runner.default_config with epc_pages = epc; log_capacity = events }
       in
       let result =
-        Sim.Runner.run ~config ~input_label:(Input.to_string input) ~scheme trace
+        Sim.Runner.run ~config ?breaker:(breaker_of breaker)
+          ~input_label:(Input.to_string input) ~scheme trace
       in
       print_endline (Sim.Report.summary result);
       if result.instrumentation_points > 0 then
@@ -137,7 +150,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ workload_arg $ scheme_arg $ epc_arg $ input_arg
-      $ breakdown_arg $ events_arg $ plan_arg)
+      $ breakdown_arg $ events_arg $ plan_arg $ breaker_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one preloading scheme")
@@ -559,7 +572,7 @@ let chaos_cmd =
     Arg.(value & opt (list string) [] & info [ "workloads" ] ~docv:"NAMES" ~doc)
   in
   let action epc input quick_flag jobs seed plan_names workloads timeout
-      retries keep_going journal resume fused =
+      retries keep_going journal resume fused breaker =
     let plans =
       List.map
         (fun name ->
@@ -591,6 +604,7 @@ let chaos_cmd =
         journal_dir = journal;
         resume;
         fused;
+        breaker = breaker_of breaker;
       }
     in
     let outcome =
@@ -615,7 +629,7 @@ let chaos_cmd =
     Term.(
       const action $ epc_chaos_arg $ input_arg $ quick_arg $ jobs_arg
       $ seed_arg $ plans_arg $ workloads_arg $ timeout_arg $ retries_arg
-      $ keep_going_arg $ journal_arg $ resume_arg $ fused_arg)
+      $ keep_going_arg $ journal_arg $ resume_arg $ fused_arg $ breaker_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -852,8 +866,46 @@ let service_cmd =
     let doc = "Use a saved instrumentation plan for sip/hybrid schemes." in
     Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
   in
+  let deadline_arg =
+    let doc =
+      "Per-attempt latency deadline in cycles; an attempt finishing \
+       later than dispatch + $(docv) fails its round (enables \
+       $(b,--request-retries))."
+    in
+    Arg.(value & opt (some int) None & info [ "deadline" ] ~docv:"CYCLES" ~doc)
+  in
+  let request_retries_arg =
+    let doc =
+      "Retry a deadline-blown request up to $(docv) more rounds, each on \
+       a different instance with exponential backoff (requires \
+       $(b,--deadline)).  Distinct from $(b,--retries), which re-runs \
+       failed matrix cells."
+    in
+    Arg.(value & opt int 0 & info [ "request-retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Base retry backoff in cycles, doubling each round." in
+    Arg.(value & opt int 0 & info [ "retry-backoff" ] ~docv:"CYCLES" ~doc)
+  in
+  let hedge_arg =
+    let doc =
+      "Hedge: duplicate an attempt onto another instance once the \
+       primary has been outstanding $(docv) cycles; the first completion \
+       wins and the loser is cancelled."
+    in
+    Arg.(value & opt (some int) None & info [ "hedge" ] ~docv:"CYCLES" ~doc)
+  in
+  let restart_arg =
+    let doc =
+      "Crash–restart policy: $(b,cold) (restart with an empty EPC) or \
+       $(b,rewarm) (re-request the pages the crash wiped)."
+    in
+    Arg.(value & opt string "cold" & info [ "restart" ] ~docv:"POLICY" ~doc)
+  in
   let action workload schemes epc input requests pool events gap arrivals_s
-      slo seed switchless fault_plan_name jobs plan_file =
+      slo seed switchless fault_plan_name jobs plan_file deadline
+      request_retries backoff hedge restart_s breaker timeout cell_retries
+      keep_going =
     let model =
       match model_of_name workload with
       | Some m -> m
@@ -875,6 +927,23 @@ let service_cmd =
           (String.concat "\n  " ("fault-free" :: Sim.Fault_plan.names ()));
         exit 1
     in
+    let restart =
+      match Sim.Runner.restart_policy_of_string restart_s with
+      | Ok r -> r
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    let resilience =
+      {
+        Service.deadline;
+        retries = request_retries;
+        retry_backoff = backoff;
+        hedge_after = hedge;
+        restart;
+        breaker = breaker_of breaker;
+      }
+    in
     let config =
       {
         Service.default_config with
@@ -887,6 +956,7 @@ let service_cmd =
         seed;
         slo;
         switchless;
+        resilience;
       }
     in
     let trace = model ~epc_pages:epc ~input in
@@ -894,8 +964,23 @@ let service_cmd =
        inside the matrix worker. *)
     let scheme_for tag = parse_scheme ?plan_file ~epc ~workload tag in
     let cells =
-      Service.matrix ~jobs ~config ~fault_plan
-        ~input_label:(Input.to_string input) ~scheme_for ~tags:schemes trace
+      try
+        Service.matrix ~jobs ?timeout
+          ?retries:(if cell_retries = 0 then None else Some cell_retries)
+          ~keep_going ~config ~fault_plan
+          ~input_label:(Input.to_string input) ~scheme_for ~tags:schemes trace
+      with
+      | Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+      | Service.Cells_failed fs ->
+        Printf.eprintf "service: %d cell(s) failed:\n" (List.length fs);
+        List.iter
+          (fun (f : Sim.Job_pool.failure) ->
+            Printf.eprintf "  %s: %s (%d attempt(s))\n" f.label f.reason
+              f.attempts)
+          fs;
+        exit 1
     in
     Service.print_cells cells
   in
@@ -904,7 +989,9 @@ let service_cmd =
       const action $ workload_arg $ schemes_arg $ epc_arg $ input_arg
       $ requests_arg $ pool_arg $ events_arg $ gap_arg $ arrivals_arg
       $ slo_arg $ seed_arg $ switchless_arg $ fault_plan_arg $ jobs_arg
-      $ plan_arg)
+      $ plan_arg $ deadline_arg $ request_retries_arg $ backoff_arg
+      $ hedge_arg $ restart_arg $ breaker_arg $ timeout_arg $ retries_arg
+      $ keep_going_arg)
   in
   Cmd.v
     (Cmd.info "service"

@@ -1,0 +1,191 @@
+module Enclave = Sgxsim.Enclave
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  window : int;
+  min_samples : int;
+  threshold : float;
+  cooldown : int;
+  probe_samples : int;
+}
+
+let default_config =
+  { window = 8; min_samples = 16; threshold = 0.25; cooldown = 16;
+    probe_samples = 8 }
+
+let validate c =
+  let check cond what =
+    if not cond then invalid_arg (Printf.sprintf "Breaker: %s" what)
+  in
+  check (c.window > 0) "window must be positive";
+  check (c.min_samples > 0) "min_samples must be positive";
+  check (c.threshold >= 0.0 && c.threshold <= 1.0)
+    "threshold must be in [0, 1]";
+  check (c.cooldown > 0) "cooldown must be positive";
+  check (c.probe_samples > 0) "probe_samples must be positive";
+  c
+
+type transition = {
+  at : int;
+  from_state : state;
+  to_state : state;
+  rate : float;
+}
+
+type t = {
+  config : config;
+  mutable state : state;
+  (* Closed-state tumbling window: completions/hits observed over the
+     last [window] scans.  A full window whose hit rate (with at least
+     [min_samples] completions) falls below [threshold] opens the
+     breaker; a window with too few samples just slides on. *)
+  mutable window_hits : int;
+  mutable window_completed : int;
+  mutable window_scans : int;
+  (* Open state: scans sat out before probing again. *)
+  mutable open_scans : int;
+  (* Half-open probe: the few completions let through decide reclose
+     vs re-open. *)
+  mutable probe_hits : int;
+  mutable probe_completed : int;
+  mutable rejected : int;
+  mutable transitions_rev : transition list;
+}
+
+let create ?(config = default_config) () =
+  let config = validate config in
+  {
+    config;
+    state = Closed;
+    window_hits = 0;
+    window_completed = 0;
+    window_scans = 0;
+    open_scans = 0;
+    probe_hits = 0;
+    probe_completed = 0;
+    rejected = 0;
+    transitions_rev = [];
+  }
+
+let state t = t.state
+let config t = t.config
+let rejected t = t.rejected
+let transitions t = List.rev t.transitions_rev
+let trips t =
+  List.length (List.filter (fun x -> x.to_state = Open) t.transitions_rev)
+
+let goto t ~at ~rate next =
+  t.transitions_rev <-
+    { at; from_state = t.state; to_state = next; rate } :: t.transitions_rev;
+  t.state <- next;
+  match next with
+  | Closed ->
+    t.window_hits <- 0;
+    t.window_completed <- 0;
+    t.window_scans <- 0
+  | Open -> t.open_scans <- 0
+  | Half_open ->
+    t.probe_hits <- 0;
+    t.probe_completed <- 0
+
+let admit t =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open ->
+    t.rejected <- t.rejected + 1;
+    false
+
+let note_completed t =
+  match t.state with
+  | Closed -> t.window_completed <- t.window_completed + 1
+  | Half_open -> t.probe_completed <- t.probe_completed + 1
+  | Open -> ()
+
+let note_hit t =
+  match t.state with
+  | Closed -> t.window_hits <- t.window_hits + 1
+  | Half_open -> t.probe_hits <- t.probe_hits + 1
+  | Open -> ()
+
+(* Hit observations ride the CLOCK scan (the paper's AccPreloadCounter
+   harvest), so the scan is also the breaker's clock: every state
+   decision happens here, at a simulated timestamp, which is what keeps
+   a braked replay bit-reproducible. *)
+let on_scan t ~at =
+  match t.state with
+  | Closed ->
+    t.window_scans <- t.window_scans + 1;
+    if t.window_scans >= t.config.window then begin
+      let completed = t.window_completed in
+      if completed >= t.config.min_samples then begin
+        let rate = float_of_int t.window_hits /. float_of_int completed in
+        if rate < t.config.threshold then goto t ~at ~rate Open
+        else begin
+          t.window_hits <- 0;
+          t.window_completed <- 0;
+          t.window_scans <- 0
+        end
+      end
+      else begin
+        (* Too quiet to judge: restart the window rather than condemn a
+           scheme for idling. *)
+        t.window_hits <- 0;
+        t.window_completed <- 0;
+        t.window_scans <- 0
+      end
+    end
+  | Open ->
+    t.open_scans <- t.open_scans + 1;
+    if t.open_scans >= t.config.cooldown then goto t ~at ~rate:0.0 Half_open
+  | Half_open ->
+    if t.probe_completed >= t.config.probe_samples then begin
+      let rate =
+        float_of_int t.probe_hits /. float_of_int t.probe_completed
+      in
+      if rate >= t.config.threshold then goto t ~at ~rate Closed
+      else goto t ~at ~rate Open
+    end
+
+(* Wire the breaker into an enclave: observe completions and hits
+   alongside whatever scheme already owns the set_* hooks, evaluate at
+   every scan, and gate speculative admission.  DFP-stop's valve
+   ([Dfp.should_stop]) is the one-way special case of this machine: it
+   opens once and never probes. *)
+let attach t enclave =
+  Enclave.add_on_preload_complete enclave (fun _ _ -> note_completed t);
+  Enclave.add_on_preload_hit enclave (fun _ _ -> note_hit t);
+  Enclave.add_on_scan enclave (fun _ at -> on_scan t ~at);
+  Enclave.set_preload_gate enclave (fun ~now:_ _ -> admit t)
+
+(* Transition-log legality, factored here so every consumer (Runner
+   diagnostics, Validate.check_resilience, tests) shares one notion of a
+   well-formed breaker history. *)
+let legal_edge = function
+  | Closed, Open | Open, Half_open | Half_open, Closed | Half_open, Open ->
+    true
+  | _ -> false
+
+let check_transitions ts =
+  let rec go prev_state prev_at = function
+    | [] -> None
+    | x :: rest ->
+      if x.from_state <> prev_state then
+        Some
+          (Printf.sprintf "transition from %s but machine was %s"
+             (state_name x.from_state) (state_name prev_state))
+      else if not (legal_edge (x.from_state, x.to_state)) then
+        Some
+          (Printf.sprintf "illegal edge %s -> %s"
+             (state_name x.from_state) (state_name x.to_state))
+      else if x.at < prev_at then
+        Some
+          (Printf.sprintf "timestamps regress (%d after %d)" x.at prev_at)
+      else go x.to_state x.at rest
+  in
+  go Closed min_int ts

@@ -1,0 +1,93 @@
+(** Preload circuit breaker: Closed → Open → Half-open over observed
+    hit rate.
+
+    DFP-stop (§4.2) hardwires one valve: stop preloading forever once
+    accuracy collapses.  This module generalizes it into the classic
+    circuit-breaker state machine, driven entirely by simulated events
+    so a braked run stays bit-reproducible:
+
+    - {b Closed} — speculation admitted.  Completions and scan-harvested
+      hits accumulate over a tumbling window of [window] CLOCK scans; a
+      full window with at least [min_samples] completions whose hit rate
+      falls below [threshold] trips the breaker Open.  A window too
+      quiet to judge just restarts.
+    - {b Open} — every speculative request is refused (counted in
+      [Metrics.preloads_rejected_breaker]).  After [cooldown] scans the
+      breaker moves to Half-open.
+    - {b Half-open} — speculation admitted again, on probation: the
+      first [probe_samples] completions decide.  Probe hit rate at or
+      above [threshold] recloses the breaker; below it re-opens.
+
+    Attached to any scheme's enclave via the observer chain
+    ({!Sgxsim.Enclave.add_on_preload_complete} /
+    [add_on_preload_hit] / [add_on_scan]) and the admission gate
+    ({!Sgxsim.Enclave.set_preload_gate}), so it wraps DFP, next-line,
+    stride, Markov or the hybrid without touching the scheme.  SIP's
+    synchronous loads never pass the gate. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+type config = {
+  window : int;  (** CLOCK scans per closed-state evaluation window. *)
+  min_samples : int;
+      (** Completions a window needs before its rate is judged. *)
+  threshold : float;  (** Minimum hit rate ([0..1]) to stay closed. *)
+  cooldown : int;  (** Scans to sit Open before probing. *)
+  probe_samples : int;
+      (** Completions the half-open probation judges on. *)
+}
+
+val default_config : config
+(** window 8, min_samples 16, threshold 0.25, cooldown 16,
+    probe_samples 8. *)
+
+val validate : config -> config
+(** @raise Invalid_argument on a non-positive count or a threshold
+    outside [0, 1]. *)
+
+type transition = {
+  at : int;  (** Scan timestamp of the state change. *)
+  from_state : state;
+  to_state : state;
+  rate : float;
+      (** Hit rate that drove the decision (0 for the cooldown-expiry
+          Open → Half-open edge). *)
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Fresh breaker, Closed.  @raise Invalid_argument via {!validate}. *)
+
+val state : t -> state
+val config : t -> config
+
+val rejected : t -> int
+(** Speculative requests refused while Open. *)
+
+val transitions : t -> transition list
+(** Chronological state-change log (empty if never tripped). *)
+
+val trips : t -> int
+(** Number of transitions into Open. *)
+
+val admit : t -> bool
+(** The gate: [false] (and counts a rejection) iff Open. *)
+
+val note_completed : t -> unit
+val note_hit : t -> unit
+
+val on_scan : t -> at:int -> unit
+(** Advance the machine one scan tick at simulated time [at]. *)
+
+val attach : t -> Sgxsim.Enclave.t -> unit
+(** Chain the breaker's observers after the scheme's hooks and install
+    its admission gate.  Call after the scheme's own [attach]. *)
+
+val check_transitions : transition list -> string option
+(** Validate a transition log: starts from Closed, every edge legal
+    (Closed→Open, Open→Half-open, Half-open→Closed/Open), timestamps
+    non-decreasing.  [None] when well-formed, [Some reason] otherwise —
+    the shared legality oracle behind [Validate.check_resilience]. *)

@@ -40,6 +40,12 @@ type t = {
   mutable on_preload_complete : t -> int -> unit;
   mutable on_preload_hit : t -> int -> unit;
   mutable on_scan : t -> int -> unit;
+  mutable preload_gate : now:int -> int -> bool;
+      (* Scheme-level circuit breaker: consulted before a speculative
+         preload request is queued.  [false] rejects the request (counted
+         in [preloads_rejected_breaker]).  Always [true] by default.
+         Gates only the speculative path ([request_preload]); SIP's
+         synchronous notification loads never pass through it. *)
   mutable load_perturb : at:int -> int -> int;
       (* Fault-injection point: maps a load's clean duration to its
          faulted duration (contended paging channel).  Identity by
@@ -76,6 +82,7 @@ let create ?(costs = Cost_model.paper) ?(log = Event.null_log) ?epc
     on_preload_complete = (fun _ _ -> ());
     on_preload_hit = (fun _ _ -> ());
     on_scan = (fun _ _ -> ());
+    preload_gate = (fun ~now _ -> ignore now; true);
     load_perturb = (fun ~at d -> ignore at; d);
     epc_budget = (fun ~at c -> ignore at; c);
   }
@@ -91,6 +98,29 @@ let add_on_fault t f =
 let set_on_preload_complete t f = t.on_preload_complete <- f
 let set_on_preload_hit t f = t.on_preload_hit <- f
 let set_on_scan t f = t.on_scan <- f
+
+let add_on_preload_complete t f =
+  let prev = t.on_preload_complete in
+  t.on_preload_complete <-
+    (fun enc v ->
+      prev enc v;
+      f enc v)
+
+let add_on_preload_hit t f =
+  let prev = t.on_preload_hit in
+  t.on_preload_hit <-
+    (fun enc v ->
+      prev enc v;
+      f enc v)
+
+let add_on_scan t f =
+  let prev = t.on_scan in
+  t.on_scan <-
+    (fun enc at ->
+      prev enc at;
+      f enc at)
+
+let set_preload_gate t f = t.preload_gate <- f
 let set_load_perturb t f = t.load_perturb <- f
 let set_epc_budget t f = t.epc_budget <- f
 let set_on_evict t f = t.on_evict <- f
@@ -473,6 +503,13 @@ let request_preload t ~now vpage =
     t.metrics.preloads_rejected_range <- t.metrics.preloads_rejected_range + 1;
     false
   end
+  else if not (t.preload_gate ~now vpage) then begin
+    (* An open circuit breaker refuses speculation wholesale; counted
+       apart from range/dup rejects so the breaker's bite is visible. *)
+    t.metrics.preloads_rejected_breaker <-
+      t.metrics.preloads_rejected_breaker + 1;
+    false
+  end
   else
   let in_flight_same =
     match Load_channel.in_flight t.channel with
@@ -519,6 +556,51 @@ let abort_pending_preloads_pages t ~now pages =
     record t (Event.Preload_aborted { at = now; count = n })
   end;
   n
+
+(* Instance crash at [now]: the enclave's EPC contents, pending preload
+   queue and in-flight load are all lost.  Losses are not evictions —
+   there is no write-back, no [Evict] event and no waste counter; the
+   crash is its own event and its own pair of counters.  Returns the
+   pages that were resident, oldest frame first, so a rewarm restart can
+   re-request exactly the working set that died. *)
+let crash t ~now =
+  sync t ~now;
+  (* Pending speculative loads die with the enclave; the in-flight load
+     (always speculative between accesses — demand and SIP loads complete
+     inside their access call) never lands.  Both count as aborted so the
+     preload-disposition identity survives the crash. *)
+  let queued = Load_channel.abort_queued t.channel in
+  let cancelled =
+    match Load_channel.cancel_in_flight t.channel ~now with
+    | Some l when l.kind = Load_channel.Preload_dfp -> 1
+    | Some _ | None -> 0
+  in
+  let aborted = queued + cancelled in
+  if aborted > 0 then begin
+    t.metrics.preloads_aborted <- t.metrics.preloads_aborted + aborted;
+    record t (Event.Preload_aborted { at = now; count = aborted })
+  end;
+  let lost = ref [] in
+  Clock_evictor.scan_owned t.epc (fun ~owner ~vpage ->
+      if owner = t.owner then lost := vpage :: !lost);
+  let lost = List.rev !lost in
+  List.iter
+    (fun vpage ->
+      (* Credit a used preload before the page disappears, exactly as an
+         eviction's sweep would — hit accounting must not depend on how
+         the residency ended. *)
+      harvest t vpage;
+      Page_table.unpin t.pt vpage;
+      Clock_evictor.remove t.epc ~slot:(Page_table.slot t.pt vpage);
+      Page_table.mark_evicted t.pt vpage;
+      Bitset.clear t.bitmap vpage)
+    lost;
+  let n = List.length lost in
+  t.metrics.crashes <- t.metrics.crashes + 1;
+  t.metrics.crash_pages_lost <- t.metrics.crash_pages_lost + n;
+  t.protected_vpage <- -1;
+  record t (Event.Crash { at = now; pages_lost = n });
+  lost
 
 let costs t = t.costs
 let metrics t = t.metrics

@@ -91,6 +91,24 @@ val set_on_scan : t -> (t -> int -> unit) -> unit
 (** Called after each service-thread scan with the scan time; DFP-stop
     runs its periodic counter comparison here. *)
 
+val add_on_preload_complete : t -> (t -> int -> unit) -> unit
+(** Chain an additional preload-completion observer after the installed
+    one (a scheme typically owns [set_on_preload_complete]; the circuit
+    breaker observes alongside it). *)
+
+val add_on_preload_hit : t -> (t -> int -> unit) -> unit
+(** Chain an additional preload-hit observer after the installed one. *)
+
+val add_on_scan : t -> (t -> int -> unit) -> unit
+(** Chain an additional scan observer after the installed one. *)
+
+val set_preload_gate : t -> (now:int -> int -> bool) -> unit
+(** Install the circuit breaker's admission gate: consulted by
+    {!request_preload} (after the range check, before dup detection) for
+    every speculative request; [false] rejects it, counted in
+    [preloads_rejected_breaker].  SIP's synchronous notification loads
+    never pass through the gate.  Always-[true] by default. *)
+
 val set_load_perturb : t -> (at:int -> int -> int) -> unit
 (** Fault-injection point (see [Sim.Fault_plan]): maps a load's clean
     duration to its faulted duration, modelling a contended paging
@@ -138,8 +156,20 @@ val sync : t -> now:int -> unit
 
 val request_preload : t -> now:int -> int -> bool
 (** Queue an asynchronous preload.  Returns [false] (no-op) if the page is
-    already present, in flight, queued, or outside ELRANGE (the driver
-    range-checks speculative requests); [true] if it was queued. *)
+    already present, in flight, queued, outside ELRANGE (the driver
+    range-checks speculative requests), or refused by the installed
+    preload gate; [true] if it was queued. *)
+
+val crash : t -> now:int -> int list
+(** Kill the instance at [now]: every resident page is dropped (no
+    write-back, no [Evict] event — the loss is counted in
+    [Metrics.crashes] / [crash_pages_lost] and logged as one
+    [Event.Crash]), the pending preload queue is aborted, and the
+    in-flight load is cancelled (the one case where a load does not
+    complete; it counts as aborted).  Returns the pages that were
+    resident, oldest frame first — the working set a rewarm restart
+    re-requests.  The enclave object itself survives and may be driven
+    again after the caller charges the restart delay. *)
 
 val abort_pending_preloads : t -> now:int -> int
 (** Drop all queued (not yet started) preloads; returns the count. *)

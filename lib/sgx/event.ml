@@ -11,6 +11,7 @@ type t =
   | Sip_check of { at : int; vpage : int; present : bool }
   | Sip_notify of { at : int; vpage : int }
   | Scan of { at : int }
+  | Crash of { at : int; pages_lost : int }
 
 let at = function
   | Access { at; _ }
@@ -24,7 +25,8 @@ let at = function
   | Preload_aborted { at; _ }
   | Sip_check { at; _ }
   | Sip_notify { at; _ }
-  | Scan { at } ->
+  | Scan { at }
+  | Crash { at; _ } ->
     at
 
 let vpage = function
@@ -39,7 +41,7 @@ let vpage = function
   | Sip_check { vpage; _ }
   | Sip_notify { vpage; _ } ->
     Some vpage
-  | Preload_aborted _ | Scan _ -> None
+  | Preload_aborted _ | Scan _ | Crash _ -> None
 
 let kind_str = function
   | Load_channel.Demand -> "demand"
@@ -65,6 +67,8 @@ let pp fmt = function
       (if present then "present" else "absent")
   | Sip_notify { at; vpage } -> Format.fprintf fmt "%10d sip-notify p%d" at vpage
   | Scan { at } -> Format.fprintf fmt "%10d clock-scan" at
+  | Crash { at; pages_lost } ->
+    Format.fprintf fmt "%10d CRASH     %d resident page(s) lost" at pages_lost
 
 type log = Null | Ring of { ring : t Repro_util.Ring.t; mutable recorded : int }
 

@@ -19,6 +19,8 @@ type t =
   | Sip_check of { at : int; vpage : int; present : bool }
   | Sip_notify of { at : int; vpage : int }
   | Scan of { at : int }
+  | Crash of { at : int; pages_lost : int }
+      (** Instance crash: every resident page and pending load was lost. *)
 
 val at : t -> int
 (** Timestamp of the event. *)

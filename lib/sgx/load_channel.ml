@@ -74,6 +74,19 @@ let take_completed t ~now =
     Some l
   | Some _ | None -> None
 
+(* Crash path only: hardware cannot preempt an ELDU, but a dead enclave
+   has no channel — the load that was in progress simply never lands.
+   The channel frees immediately so the restarted instance can load. *)
+let cancel_in_flight t ~now =
+  match t.current with
+  | None ->
+    t.free_at <- max t.free_at now;
+    None
+  | Some l ->
+    t.current <- None;
+    t.free_at <- now;
+    Some l
+
 let is_live t (e : entry) = Bigarray.Array1.get t.live_seq e.e_vpage = e.e_seq
 
 (* Discard stale (lazily-deleted) slots at the head.  Each slot is dropped

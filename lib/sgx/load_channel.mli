@@ -53,6 +53,12 @@ val begin_load : t -> vpage:int -> kind:kind -> now:int -> duration:int -> infli
 val take_completed : t -> now:int -> inflight option
 (** If the in-flight load has finished by [now], clear it and return it. *)
 
+val cancel_in_flight : t -> now:int -> inflight option
+(** Crash path: drop the in-flight load (if any) without completing it
+    and free the channel at [now].  The one exception to the
+    can't-preempt-ELDU rule — a crashed enclave's load never lands.
+    Returns the load that was abandoned. *)
+
 val queue_preload : t -> vpage:int -> at:int -> unit
 (** Append a page to the pending-preload FIFO, stamped with its enqueue
     time (a queued load cannot start before it was requested).

@@ -8,6 +8,7 @@ type t = {
   mutable cyc_bitmap_check : int;
   mutable cyc_notify : int;
   mutable cyc_sip_wait : int;
+  mutable cyc_restart : int;
   mutable accesses : int;
   mutable faults : int;
   mutable faults_in_flight : int;
@@ -15,6 +16,7 @@ type t = {
   mutable preloads_requested : int;
   mutable preloads_rejected_range : int;
   mutable preloads_rejected_dup : int;
+  mutable preloads_rejected_breaker : int;
   mutable preloads_issued : int;
   mutable preloads_completed : int;
   mutable preloads_aborted : int;
@@ -26,6 +28,8 @@ type t = {
   mutable sip_checks : int;
   mutable sip_notifies : int;
   mutable scans : int;
+  mutable crashes : int;
+  mutable crash_pages_lost : int;
 }
 
 let create () =
@@ -39,6 +43,7 @@ let create () =
     cyc_bitmap_check = 0;
     cyc_notify = 0;
     cyc_sip_wait = 0;
+    cyc_restart = 0;
     accesses = 0;
     faults = 0;
     faults_in_flight = 0;
@@ -46,6 +51,7 @@ let create () =
     preloads_requested = 0;
     preloads_rejected_range = 0;
     preloads_rejected_dup = 0;
+    preloads_rejected_breaker = 0;
     preloads_issued = 0;
     preloads_completed = 0;
     preloads_aborted = 0;
@@ -57,11 +63,14 @@ let create () =
     sip_checks = 0;
     sip_notifies = 0;
     scans = 0;
+    crashes = 0;
+    crash_pages_lost = 0;
   }
 
 let total_cycles t =
   t.cyc_compute + t.cyc_access + t.cyc_aex + t.cyc_eresume + t.cyc_os_handler
   + t.cyc_load_wait + t.cyc_bitmap_check + t.cyc_notify + t.cyc_sip_wait
+  + t.cyc_restart
 
 let fault_handling_cycles t =
   t.cyc_aex + t.cyc_eresume + t.cyc_os_handler + t.cyc_load_wait
@@ -74,15 +83,19 @@ let copy t = { t with cyc_compute = t.cyc_compute }
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>cycles: total=%d compute=%d access=%d aex=%d eresume=%d handler=%d \
-     load-wait=%d check=%d notify=%d sip-wait=%d@ events: accesses=%d faults=%d \
+     load-wait=%d check=%d notify=%d sip-wait=%d restart=%d@ events: \
+     accesses=%d faults=%d \
      in-flight=%d already-present=%d preloads=%d/%d requested=%d \
-     rejected-range=%d rejected-dup=%d aborted=%d taken-over=%d \
+     rejected-range=%d rejected-dup=%d rejected-breaker=%d aborted=%d \
+     taken-over=%d \
      skipped=%d hits=%d wasted-evict=%d evictions=%d sip-checks=%d notifies=%d \
-     scans=%d@]"
+     scans=%d crashes=%d crash-pages-lost=%d@]"
     (total_cycles t) t.cyc_compute t.cyc_access t.cyc_aex t.cyc_eresume
     t.cyc_os_handler t.cyc_load_wait t.cyc_bitmap_check t.cyc_notify
-    t.cyc_sip_wait t.accesses t.faults t.faults_in_flight
+    t.cyc_sip_wait t.cyc_restart t.accesses t.faults t.faults_in_flight
     t.faults_already_present t.preloads_completed t.preloads_issued
     t.preloads_requested t.preloads_rejected_range t.preloads_rejected_dup
-    t.preloads_aborted t.preloads_taken_over t.preloads_skipped t.preload_hits
+    t.preloads_rejected_breaker t.preloads_aborted t.preloads_taken_over
+    t.preloads_skipped t.preload_hits
     t.preload_evicted_unused t.evictions t.sip_checks t.sip_notifies t.scans
+    t.crashes t.crash_pages_lost

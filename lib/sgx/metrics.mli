@@ -19,6 +19,9 @@ type t = {
   mutable cyc_bitmap_check : int;  (** SIP BIT_MAP_CHECK instructions. *)
   mutable cyc_notify : int;  (** SIP notification sends. *)
   mutable cyc_sip_wait : int;  (** SIP synchronous wait for the load. *)
+  mutable cyc_restart : int;
+      (** Post-crash downtime: the restart delay an instance sat dead
+          before re-entering service. *)
   (* Event counters. *)
   mutable accesses : int;
   mutable faults : int;  (** Demand faults needing a real load. *)
@@ -29,13 +32,17 @@ type t = {
           during the AEX window. *)
   mutable preloads_requested : int;
       (** Every [request_preload] call a scheme made, accepted or not:
-          [requested = issued + rejected_range + rejected_dup]. *)
+          [requested = issued + rejected_range + rejected_dup +
+          rejected_breaker]. *)
   mutable preloads_rejected_range : int;
       (** Requests refused because the predicted page lies outside
           ELRANGE — predictor over-runs, previously dropped silently. *)
   mutable preloads_rejected_dup : int;
       (** Requests refused because the page was already present, in
           flight, or queued. *)
+  mutable preloads_rejected_breaker : int;
+      (** Requests refused by an open preload circuit breaker (the
+          scheme-level gate installed via [set_preload_gate]). *)
   mutable preloads_issued : int;
   mutable preloads_completed : int;
   mutable preloads_aborted : int;  (** Queued preloads dropped by aborts. *)
@@ -55,6 +62,10 @@ type t = {
   mutable sip_checks : int;
   mutable sip_notifies : int;
   mutable scans : int;  (** CLOCK service-thread passes. *)
+  mutable crashes : int;  (** Instance crashes (EPC wiped). *)
+  mutable crash_pages_lost : int;
+      (** Resident pages dropped by crashes — not evictions: they leave
+          no Evict event and never count as preload waste. *)
 }
 
 val create : unit -> t

@@ -21,6 +21,10 @@ type settings = {
       (* Collapse the four scheme cells of every (workload, plan) pair
          into one fused single-pass replay (the default); [--no-fused]
          is the per-cell cross-check reference CI diffs against. *)
+  breaker : Preload.Breaker.config option;
+      (* Attach a preload circuit breaker to every non-Native cell, so
+         the matrix shows what tripping Open under a hostile plan costs
+         (and that it stays Closed under clean ones). *)
 }
 
 let default_workloads ~quick =
@@ -41,6 +45,7 @@ let default =
     journal_dir = None;
     resume = false;
     fused = true;
+    breaker = None;
   }
 
 let quick = { default with quick = true; workloads = default_workloads ~quick:true }
@@ -125,7 +130,7 @@ let cell_of_result ~workload ~plan (r : Runner.result) =
 let runner_config es =
   { Runner.default_config with epc_pages = es.Experiments.epc_pages; log_capacity }
 
-let run_cell es ~workload ~scheme_tag ~plan () =
+let run_cell es ?breaker ~workload ~scheme_tag ~plan () =
   let sip_plan =
     (* The profiling step is pure and cheap relative to the measured run;
        recomputing it inside the cell keeps the cell self-contained (a
@@ -137,7 +142,7 @@ let run_cell es ~workload ~scheme_tag ~plan () =
   let scheme = scheme_of scheme_tag sip_plan in
   let trace = Experiments.trace_of es workload ~input:es.Experiments.ref_input in
   let r =
-    Runner.run ~config:(runner_config es) ~fault_plan:plan
+    Runner.run ~config:(runner_config es) ~fault_plan:plan ?breaker
       ~input_label:(Input.to_string es.Experiments.ref_input) ~scheme trace
   in
   cell_of_result ~workload ~plan r
@@ -148,12 +153,12 @@ let run_cell es ~workload ~scheme_tag ~plan () =
    is the same pure function of the trace each SIP/hybrid cell would
    recompute, so the resulting cells are field-for-field the ones the
    per-cell path produces (the CI fused/per-cell diff locks this). *)
-let run_group es ~workload ~plan () =
+let run_group es ?breaker ~workload ~plan () =
   let sip_plan = Experiments.plan_for es workload in
   let schemes = List.map (fun tag -> scheme_of tag sip_plan) scheme_names in
   let trace = Experiments.trace_of es workload ~input:es.Experiments.ref_input in
   let rs =
-    Runner.run_fused ~config:(runner_config es) ~fault_plan:plan
+    Runner.run_fused ~config:(runner_config es) ~fault_plan:plan ?breaker
       ~input_label:(Input.to_string es.Experiments.ref_input) ~schemes trace
   in
   List.map (cell_of_result ~workload ~plan) rs
@@ -183,8 +188,14 @@ let run settings =
     Job_pool.run_hardened ~jobs:settings.jobs ?timeout:settings.cell_timeout
       ~retries:settings.retries ?journal ~resume:settings.resume
       ~journal_key:
-        (Printf.sprintf "chaos %s seed=%d" (Experiments.settings_key es)
-           settings.seed)
+        (Printf.sprintf "chaos %s seed=%d breaker=%s"
+           (Experiments.settings_key es) settings.seed
+           (match settings.breaker with
+           | None -> "off"
+           | Some b ->
+             Printf.sprintf "%d/%d/%g/%d/%d" b.Preload.Breaker.window
+               b.Preload.Breaker.min_samples b.Preload.Breaker.threshold
+               b.Preload.Breaker.cooldown b.Preload.Breaker.probe_samples))
       jobs
   in
   let cells, failed =
@@ -197,7 +208,8 @@ let run settings =
                  ~label:
                    (Printf.sprintf "chaos/%s/%s/%s" workload scheme_tag
                       plan.Fault_plan.name)
-                 (run_cell es ~workload ~scheme_tag ~plan))
+                 (run_cell es ?breaker:settings.breaker ~workload ~scheme_tag
+                    ~plan))
              (grid settings))
       in
       ( List.filter_map (function Ok c -> Some c | Error _ -> None) results,
@@ -219,7 +231,7 @@ let run settings =
                    (Printf.sprintf "chaos/%s/fused[%s]/%s" workload
                       (String.concat "," scheme_names)
                       plan.Fault_plan.name)
-                 (run_group es ~workload ~plan))
+                 (run_group es ?breaker:settings.breaker ~workload ~plan))
              groups)
       in
       (* Fused jobs come back (workload, plan)-major with the scheme
@@ -313,6 +325,15 @@ let print_report settings outcome =
     (fun p ->
       Printf.printf "- %-16s %s\n" p.Fault_plan.name (Fault_plan.describe p))
     (List.map (fun p -> Fault_plan.with_seed p settings.seed) settings.plans);
+  (match settings.breaker with
+  | None -> ()
+  | Some b ->
+    Printf.printf
+      "- %-16s window %d, min %d samples, trip under %.0f%%, cooldown %d, \
+       probe %d\n"
+      "breaker" b.Preload.Breaker.window b.Preload.Breaker.min_samples
+      (100.0 *. b.Preload.Breaker.threshold)
+      b.Preload.Breaker.cooldown b.Preload.Breaker.probe_samples);
   print_newline ();
   List.iter (print_workload outcome.cells) settings.workloads;
   List.iter

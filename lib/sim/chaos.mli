@@ -37,6 +37,11 @@ type settings = {
           byte-identical to (CI diffs the two).  Part of the journal
           key, so fused and per-cell runs never satisfy each other's
           journals. *)
+  breaker : Preload.Breaker.config option;
+      (** Attach a preload circuit breaker to every non-Native cell
+          ([--breaker] on the CLI): hostile plans show the trip and its
+          cost, clean plans show it staying Closed for free.  Part of
+          the journal key. *)
 }
 
 val default : settings

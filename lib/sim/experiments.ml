@@ -1447,6 +1447,19 @@ let service_scheme_for settings name tag =
 
 let service_tags = [ "baseline"; "dfp-stop"; "SIP"; "hybrid" ]
 
+(* Service cells ride the same hardening settings as every other table:
+   plain [Job_pool.run] when nothing is hardened (zero behaviour
+   change), forked cells with timeout/retry/keep-going otherwise. *)
+let service_matrix settings ?config ?fault_plan ~input_label ~scheme_for ~tags
+    trace =
+  if not (hardened settings) then
+    Service.matrix ~jobs:settings.jobs ?config ?fault_plan ~input_label
+      ~scheme_for ~tags trace
+  else
+    Service.matrix ~jobs:settings.jobs ?timeout:settings.cell_timeout
+      ~retries:settings.retries ~keep_going:settings.keep_going ?config
+      ?fault_plan ~input_label ~scheme_for ~tags trace
+
 let print_service settings =
   Printf.printf
     "## E-service — open-loop request traffic: tail latency and SLOs\n\n";
@@ -1462,10 +1475,9 @@ let print_service settings =
       Printf.printf "### %s: per-scheme request latency (%s arrivals)\n\n" name
         (Service.arrival_name base.Service.arrivals);
       let cells_for switchless =
-        Service.matrix ~jobs:settings.jobs
-          ~config:{ base with Service.switchless } ~input_label
-          ~scheme_for:(service_scheme_for settings name) ~tags:service_tags
-          trace
+        service_matrix settings ~config:{ base with Service.switchless }
+          ~input_label ~scheme_for:(service_scheme_for settings name)
+          ~tags:service_tags trace
       in
       Service.print_cells (cells_for false @ cells_for true);
       print_newline ())
@@ -1492,9 +1504,8 @@ let print_service settings =
         int_of_float (float_of_int base.Service.mean_gap *. m)
       in
       let cells =
-        Service.matrix ~jobs:settings.jobs
-          ~config:{ base with Service.mean_gap = gap } ~input_label
-          ~scheme_for:(service_scheme_for settings curve_name)
+        service_matrix settings ~config:{ base with Service.mean_gap = gap }
+          ~input_label ~scheme_for:(service_scheme_for settings curve_name)
           ~tags:[ "baseline"; "dfp-stop" ] curve_trace
       in
       let o tag = List.assoc tag cells in
@@ -1522,8 +1533,7 @@ let print_service settings =
       (fun plan ->
         List.map
           (fun (tag, o) -> (plan.Fault_plan.name ^ "/" ^ tag, o))
-          (Service.matrix ~jobs:settings.jobs ~config:base ~fault_plan:plan
-             ~input_label
+          (service_matrix settings ~config:base ~fault_plan:plan ~input_label
              ~scheme_for:(service_scheme_for settings curve_name)
              ~tags:[ "baseline"; "dfp-stop" ] curve_trace))
       plans
@@ -1538,6 +1548,120 @@ let print_service settings =
      switchless calls shave the constant EENTER/EEXIT toll off every\n\
      percentile, and a jittery paging channel degrades the tail far\n\
      before it moves the median.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E-resilience — crash–recovery, retries, hedging, breaker            *)
+(* ------------------------------------------------------------------ *)
+
+(* The resilient service config: a per-round deadline loose enough
+   (4x the SLO) that only genuinely stuck attempts — behind a dead
+   instance or a storm of faults — blow it, two retries with
+   exponential backoff, and a hedge once an attempt is a full SLO
+   outstanding.  A deadline at the SLO itself would flip the table
+   into overload collapse: hedges double the offered load exactly when
+   the pool is behind.  Full-settings requests replay 400 events (2.7x
+   the quick slice) at the same stock arrival gap, which already runs
+   the pool past saturation before a single hedge fires — so the gap
+   widens with the request size to keep the table about *faults*, not
+   queueing collapse.  Restart policy and breaker vary per table. *)
+let resilience_config settings =
+  let base = service_config settings in
+  {
+    base with
+    Service.mean_gap =
+      (if settings.quick then base.Service.mean_gap
+       else base.Service.mean_gap * 3);
+    Service.resilience =
+      {
+        Service.no_resilience with
+        Service.deadline = Some (4 * base.Service.slo);
+        retries = 2;
+        retry_backoff = base.Service.slo / 8;
+        hedge_after = Some base.Service.slo;
+      };
+  }
+
+let print_resilience settings =
+  Printf.printf
+    "## E-resilience — degraded-mode serving: crashes, retries, hedging, \
+     breaker\n\n";
+  (* deepsjeng in both modes: its scattered accesses are what gives the
+     breaker a collapsing hit rate to act on (lbm's streams never trip). *)
+  let name = List.hd (List.rev (service_workloads settings)) in
+  prewarm settings [ name ];
+  let trace = trace_of settings name ~input:settings.ref_input in
+  let input_label = Input.to_string settings.ref_input in
+  let base = resilience_config settings in
+  let cell ?fault_plan config label =
+    List.map
+      (fun (tag, o) -> (label ^ "/" ^ tag, o))
+      (service_matrix settings ~config ?fault_plan ~input_label
+         ~scheme_for:(service_scheme_for settings name) ~tags:[ "dfp-stop" ]
+         trace)
+  in
+  (* 1. Restart policy under the crash plans: a rewarmed instance
+     re-requests the pages a crash wiped, so the requests queued behind
+     the restart fault less and the tail recovers faster than cold. *)
+  Printf.printf "### %s: cold vs rewarm restarts under crash plans\n\n" name;
+  let restart_cells =
+    List.concat_map
+      (fun (plan : Fault_plan.t) ->
+        List.concat_map
+          (fun restart ->
+            cell ~fault_plan:plan
+              {
+                base with
+                Service.resilience =
+                  { base.Service.resilience with Service.restart };
+              }
+              (plan.Fault_plan.name ^ "/" ^ Runner.restart_policy_name restart))
+          [ Runner.Cold; Runner.Rewarm ])
+      [ Fault_plan.crashy_fleet; Fault_plan.flaky_service ]
+  in
+  Service.print_cells restart_cells;
+  print_newline ();
+  (* 2. Breaker on/off across the fault bank: under plans that starve
+     the load channel, tripping Open sheds speculative loads from the
+     contended channel; under clean plans it must stay Closed and cost
+     nothing. *)
+  Printf.printf "### %s: preload circuit breaker on/off (fault bank)\n\n" name;
+  let breaker_plans =
+    if settings.quick then
+      [ Fault_plan.none; Fault_plan.jittery_channel; Fault_plan.crashy_fleet ]
+    else Fault_plan.bank
+  in
+  let breaker_cells =
+    List.concat_map
+      (fun (plan : Fault_plan.t) ->
+        List.concat_map
+          (fun (blabel, breaker) ->
+            cell ~fault_plan:plan
+              {
+                base with
+                Service.resilience =
+                  { base.Service.resilience with Service.breaker };
+              }
+              (plan.Fault_plan.name ^ "/" ^ blabel))
+          [
+            ("breaker-off", None);
+            ("breaker-on", Some Preload.Breaker.default_config);
+          ])
+      breaker_plans
+  in
+  Service.print_cells breaker_cells;
+  print_string
+    "\nEvery cell runs the full resilient dispatch loop — per-round\n\
+     deadlines, retry re-dispatch with exponential backoff onto another\n\
+     instance, hedged duplicates once an attempt is a full SLO old —\n\
+     and passes the attempt-conservation / crash-bookkeeping /\n\
+     breaker-legality battery\n\
+     (Validate.check_resilience).  Crashes wipe an instance's EPC and\n\
+     charge its restart downtime to every request queued behind it;\n\
+     rewarm restarts re-request the lost pages so the post-restart\n\
+     requests fault on a warming EPC instead of a cold one.  The breaker\n\
+     watches the scan-harvested preload hit rate and sheds speculative\n\
+     loads when it collapses, trading prefetch coverage for demand-load\n\
+     channel time exactly when the channel is the bottleneck.\n\n"
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -1569,6 +1693,7 @@ let catalog =
     ("abl-oram", "Ablation: ORAM / adversarial / ideal boundary workloads", print_ablation_oram);
     ("fleet", "Multi-enclave fleet: shared vs partitioned EPC interference", print_fleet);
     ("service", "Open-loop request service: tail latency, SLOs, switchless calls", print_service);
+    ("resilience", "Crash-recovery: restarts, retries, hedging, preload breaker", print_resilience);
   ]
 
 let all = List.map (fun (id, descr, _) -> (id, descr)) catalog
@@ -1601,7 +1726,8 @@ let run_many ids settings =
         run id settings;
         print_newline ()
       with
-      | (Job_pool.Job_failed _ | Cells_failed _) as e when settings.keep_going ->
+      | (Job_pool.Job_failed _ | Cells_failed _ | Service.Cells_failed _) as e
+        when settings.keep_going ->
         let reason = Printexc.to_string e in
         Printf.eprintf "experiment %s failed: %s\n%!" id reason;
         failures := (id, reason) :: !failures)

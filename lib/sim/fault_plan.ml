@@ -12,6 +12,12 @@ type co_tenant = { steal_period : int; max_steal : float }
 
 type trace_fault = { corrupt_chance : float; truncate_after : int option }
 
+type crash_fault = {
+  crash_period : int;
+  crash_chance : float;
+  restart_delay : int;
+}
+
 type t = {
   name : string;
   seed : int;
@@ -19,6 +25,7 @@ type t = {
   co_tenant : co_tenant option;
   trace : trace_fault option;
   stale_sip_plan : bool;
+  crash : crash_fault option;
 }
 
 let none =
@@ -29,11 +36,13 @@ let none =
     co_tenant = None;
     trace = None;
     stale_sip_plan = false;
+    crash = None;
   }
 
 let is_fault_free t =
   t.channel = None && t.co_tenant = None && t.trace = None
-  && not t.stale_sip_plan
+  && (not t.stale_sip_plan)
+  && t.crash = None
 
 let with_seed t seed = { t with seed }
 
@@ -60,6 +69,13 @@ let validate t =
         (fun n -> check (n >= 0) "truncate_after must be non-negative")
         f.truncate_after)
     t.trace;
+  Option.iter
+    (fun c ->
+      check (c.crash_period > 0) "crash_period must be positive";
+      check (c.crash_chance >= 0.0 && c.crash_chance <= 1.0)
+        "crash_chance must be in [0,1]";
+      check (c.restart_delay >= 0) "restart_delay must be non-negative")
+    t.crash;
   t
 
 (* Every perturbation is a pure function of (plan seed, position, salt):
@@ -75,6 +91,25 @@ let salt_channel = 1
 let salt_tenant = 2
 let salt_plan = 3
 let salt_trace = 4
+let salt_crash = 5
+
+(* Instance crashes: in each crash window, with probability
+   [crash_chance] the instance dies and sits out [restart_delay] cycles.
+   The draw folds the instance index into the seed chain so a fleet's
+   members crash independently yet each (plan, instance, window) triple
+   is a pure function — replays and [-j] reorderings see the same
+   schedule bit for bit. *)
+let crash_fires t ~instance ~window =
+  match t.crash with
+  | None -> false
+  | Some c ->
+    let rng =
+      Prng.create
+        (((((t.seed * 1_000_003) + salt_crash) * 1_000_003) + instance)
+          * 1_000_003
+        + window)
+    in
+    Prng.chance rng c.crash_chance
 
 (* ELDU latency under a contended paging channel: in each jitter window,
    with probability [stall_chance] the channel is stalled and the whole
@@ -164,6 +199,7 @@ let jittery_channel =
       co_tenant = None;
       trace = None;
       stale_sip_plan = false;
+      crash = None;
     }
 
 let noisy_neighbor =
@@ -175,6 +211,7 @@ let noisy_neighbor =
       co_tenant = Some { steal_period = 2_000_000; max_steal = 0.5 };
       trace = None;
       stale_sip_plan = false;
+      crash = None;
     }
 
 let garbled_trace =
@@ -186,6 +223,7 @@ let garbled_trace =
       co_tenant = None;
       trace = Some { corrupt_chance = 0.02; truncate_after = None };
       stale_sip_plan = false;
+      crash = None;
     }
 
 let stale_profile =
@@ -197,6 +235,7 @@ let stale_profile =
       co_tenant = None;
       trace = None;
       stale_sip_plan = true;
+      crash = None;
     }
 
 let perfect_storm =
@@ -210,10 +249,62 @@ let perfect_storm =
       co_tenant = Some { steal_period = 2_000_000; max_steal = 0.35 };
       trace = Some { corrupt_chance = 0.01; truncate_after = None };
       stale_sip_plan = true;
+      crash = None;
+    }
+
+(* Crash plans.  [crashy-fleet] is tuned for fleet replays: frequent
+   enough crashes that a multi-enclave run loses residency several times
+   per member.  [flaky-service] pairs rarer crashes with channel jitter —
+   the degraded-but-alive regime where retries, hedging and the breaker
+   earn their keep. *)
+let crashy_fleet =
+  validate
+    {
+      name = "crashy-fleet";
+      seed = bank_seed;
+      channel = None;
+      co_tenant = None;
+      trace = None;
+      stale_sip_plan = false;
+      crash =
+        Some
+          {
+            crash_period = 5_000_000;
+            crash_chance = 0.08;
+            restart_delay = 1_000_000;
+          };
+    }
+
+let flaky_service =
+  validate
+    {
+      name = "flaky-service";
+      seed = bank_seed;
+      channel =
+        Some
+          { jitter_period = 500_000; stall_chance = 0.20; max_multiplier = 4.0 };
+      co_tenant = None;
+      trace = None;
+      stale_sip_plan = false;
+      crash =
+        Some
+          {
+            crash_period = 20_000_000;
+            crash_chance = 0.04;
+            restart_delay = 2_000_000;
+          };
     }
 
 let bank =
-  [ jittery_channel; noisy_neighbor; garbled_trace; stale_profile; perfect_storm ]
+  [
+    jittery_channel;
+    noisy_neighbor;
+    garbled_trace;
+    stale_profile;
+    perfect_storm;
+    crashy_fleet;
+    flaky_service;
+  ]
 
 let find name =
   if name = none.name then Some none
@@ -247,4 +338,10 @@ let describe t =
                  | Some n -> Printf.sprintf ", truncated at %d" n))
              t.trace;
            (if t.stale_sip_plan then Some "stale SIP plan" else None);
+           Option.map
+             (fun c ->
+               Printf.sprintf
+                 "crashes (%.0f%% per %d window, restart %d)"
+                 (100.0 *. c.crash_chance) c.crash_period c.restart_delay)
+             t.crash;
          ])

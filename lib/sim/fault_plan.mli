@@ -17,7 +17,11 @@
       the budget);
     - {b trace}: corrupted access addresses and/or a truncated stream;
     - {b stale_sip_plan}: the SIP plan's site ids are permuted, as if
-      the profile came from a mismatched build.
+      the profile came from a mismatched build;
+    - {b crash}: whole-instance crashes — in each crash window, with a
+      seeded per-instance chance, an enclave dies (losing every resident
+      page and all pending speculation) and restarts after a fixed
+      delay.  Consumed by [Runner] through {!crash_fires}.
 
     {b Determinism.}  Every perturbation is a pure function of
     [(seed, position, salt)] — position being a time window or event
@@ -42,6 +46,12 @@ type trace_fault = {
   truncate_after : int option;  (** Drop events past this index. *)
 }
 
+type crash_fault = {
+  crash_period : int;  (** Cycles per crash window. *)
+  crash_chance : float;  (** Per-window, per-instance crash chance, [0,1]. *)
+  restart_delay : int;  (** Cycles a crashed instance sits dead, >= 0. *)
+}
+
 type t = {
   name : string;
   seed : int;
@@ -49,6 +59,7 @@ type t = {
   co_tenant : co_tenant option;
   trace : trace_fault option;
   stale_sip_plan : bool;
+  crash : crash_fault option;
 }
 
 val none : t
@@ -82,6 +93,12 @@ val scramble_plan : t -> Preload.Sip_instrumenter.plan -> Preload.Sip_instrument
 (** Permute which sites carry the plan's decisions when
     [stale_sip_plan]; identity otherwise. *)
 
+val crash_fires : t -> instance:int -> window:int -> bool
+(** Whether instance [instance] crashes in crash window [window]
+    ([at / crash_period]).  A pure function of (seed, instance, window):
+    the schedule is identical across processes, [-j] values and replay
+    order.  Always [false] without a crash fault. *)
+
 (** {1 The named bank} *)
 
 val jittery_channel : t
@@ -91,11 +108,20 @@ val stale_profile : t
 val perfect_storm : t
 (** All channel + co-tenant + trace + stale-plan faults at once. *)
 
+val crashy_fleet : t
+(** Frequent instance crashes (8% per 5M-cycle window, 1M restart),
+    no other faults — the fleet-replay crash stressor. *)
+
+val flaky_service : t
+(** Rare crashes (4% per 20M-cycle window, 2M restart) plus channel
+    jitter — the degraded-but-alive service regime where retries,
+    hedging and the breaker earn their keep. *)
+
 val bank_seed : int
 (** The bank's default seed (42). *)
 
 val bank : t list
-(** The five plans above, in a fixed order (seed {!bank_seed}). *)
+(** The seven plans above, in a fixed order (seed {!bank_seed}). *)
 
 val find : string -> t option
 (** Look up a plan by name; ["fault-free"] resolves to {!none}. *)

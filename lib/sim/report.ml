@@ -39,6 +39,7 @@ let breakdown_table (r : Runner.result) =
   row "bitmap checks" m.cyc_bitmap_check;
   row "notifications" m.cyc_notify;
   row "SIP load wait" m.cyc_sip_wait;
+  row "restart downtime" m.cyc_restart;
   Table.add_separator t;
   row "total" r.cycles;
   t
@@ -60,6 +61,17 @@ let diagnostics_table (r : Runner.result) =
   row "resident pages" (Table.cell_int d.Runner.resident_at_end);
   row "EPC capacity" (Table.cell_int r.Runner.epc_capacity);
   row "events truncated" (if d.Runner.events_truncated then "yes" else "no");
+  row "crashes" (Table.cell_int r.Runner.metrics.Metrics.crashes);
+  row "restarts" (Table.cell_int d.Runner.restarts);
+  row "crash pages lost"
+    (Table.cell_int r.Runner.metrics.Metrics.crash_pages_lost);
+  (match d.Runner.breaker_state with
+  | None -> ()
+  | Some s ->
+    row "breaker state" (Preload.Breaker.state_name s);
+    row "breaker trips" (Table.cell_int d.Runner.breaker_trips);
+    row "breaker rejections"
+      (Table.cell_int r.Runner.metrics.Metrics.preloads_rejected_breaker));
   t
 
 let fault_latency_table (r : Runner.result) =

@@ -5,6 +5,7 @@ module Event = Sgxsim.Event
 module Trace = Workload.Trace
 module Access = Workload.Access
 module Scheme = Preload.Scheme
+module Breaker = Preload.Breaker
 module Histogram = Repro_util.Histogram
 
 type config = { epc_pages : int; costs : Cost_model.t; log_capacity : int }
@@ -17,12 +18,26 @@ let resolution_name = function
   | Enclave.Waited_in_flight -> "waited-in-flight"
   | Enclave.Demand_load -> "demand-load"
 
+type restart_policy = Cold | Rewarm
+
+let restart_policy_name = function Cold -> "cold" | Rewarm -> "rewarm"
+
+let restart_policy_of_string = function
+  | "cold" -> Ok Cold
+  | "rewarm" -> Ok Rewarm
+  | s ->
+    Error (Printf.sprintf "unknown restart policy %S (expected cold|rewarm)" s)
+
 type diagnostics = {
   pending_preloads : int;
   in_flight_preloads : int;
   in_flight_kind : Sgxsim.Load_channel.kind option;
   events_truncated : bool;
   resident_at_end : int;
+  restarts : int;
+  breaker_state : Breaker.state option;
+  breaker_trips : int;
+  breaker_transitions : Breaker.transition list;
 }
 
 type result = {
@@ -56,10 +71,19 @@ type instance = {
   sip_site : int -> bool;
   i_costs : Cost_model.t;
   mutable now : int;
+  (* Crash–restart machinery (inert when the plan has no crash fault or
+     the scheme is Native). *)
+  i_fault_plan : Fault_plan.t;
+  i_crash : Fault_plan.crash_fault option;
+  i_crash_key : int; (* instance index in the crash draw chain *)
+  i_restart : restart_policy;
+  i_breaker : Breaker.t option;
+  mutable crash_window : int; (* highest crash window already evaluated *)
+  mutable restarts : int;
 }
 
-let make_instance ?epc ?owner ~(config : config) ~fault_plan ~(trace : Trace.t)
-    scheme =
+let make_instance ?epc ?owner ?(restart = Cold) ?breaker ~(config : config)
+    ~fault_plan ~(trace : Trace.t) scheme =
   (* A stale profile perturbs the scheme itself, before anything else
      sees it: SIP/Hybrid run with the scrambled plan throughout. *)
   let scheme =
@@ -122,6 +146,17 @@ let make_instance ?epc ?owner ~(config : config) ~fault_plan ~(trace : Trace.t)
       None
     | Scheme.Baseline | Scheme.Native | Scheme.Sip _ -> None
   in
+  (* The breaker chains after the scheme's hooks (which own the set_*
+     slots) and installs the admission gate.  Native never speculates, so
+     a breaker on it would only log an eternally-Closed machine. *)
+  let breaker =
+    match (scheme, breaker) with
+    | Scheme.Native, _ | _, None -> None
+    | _, Some bconfig ->
+      let b = Breaker.create ~config:bconfig () in
+      Breaker.attach b enclave;
+      Some b
+  in
   (* Fault-resolution latency (raise -> execution resumed), one histogram
      per resolution kind.  Chained after the scheme's own on_fault so the
      measurement never displaces DFP. *)
@@ -178,7 +213,60 @@ let make_instance ?epc ?owner ~(config : config) ~fault_plan ~(trace : Trace.t)
     sip_site;
     i_costs = costs;
     now = 0;
+    i_fault_plan = fault_plan;
+    i_crash =
+      (* Native runs outside SGX: an enclave-instance crash has nothing
+         to kill, so Native stays invariant across crash plans exactly as
+         it does across channel/EPC faults. *)
+      (match scheme with
+      | Scheme.Native -> None
+      | _ -> fault_plan.Fault_plan.crash);
+    i_crash_key = Option.value owner ~default:0;
+    i_restart = restart;
+    i_breaker = breaker;
+    crash_window = -1;
+    restarts = 0;
   }
+
+(* Evaluate the crash schedule up to the instance's current clock.  Each
+   crash window not yet judged gets one seeded draw; the first that fires
+   kills the instance at [now] (at most one crash per evaluation — an
+   instance cannot die twice without running in between), charges the
+   restart delay to [cyc_restart] while advancing the clock by the same
+   amount (so the cycle identity [total_cycles = final_now] survives),
+   and, under [Rewarm], re-requests the lost resident set through the
+   ordinary preload path so every page flows through the standard
+   disposition identities. *)
+let check_crash inst =
+  match inst.i_crash with
+  | None -> ()
+  | Some c ->
+    let w = inst.now / c.Fault_plan.crash_period in
+    if w > inst.crash_window then begin
+      let fired = ref false in
+      for w' = inst.crash_window + 1 to w do
+        if
+          (not !fired)
+          && Fault_plan.crash_fires inst.i_fault_plan ~instance:inst.i_crash_key
+               ~window:w'
+        then fired := true
+      done;
+      inst.crash_window <- w;
+      if !fired then begin
+        let lost = Enclave.crash inst.enclave ~now:inst.now in
+        let m = Enclave.metrics inst.enclave in
+        m.Metrics.cyc_restart <- m.Metrics.cyc_restart + c.restart_delay;
+        inst.now <- inst.now + c.restart_delay;
+        inst.restarts <- inst.restarts + 1;
+        match inst.i_restart with
+        | Cold -> ()
+        | Rewarm ->
+          List.iter
+            (fun vpage ->
+              ignore (Enclave.request_preload inst.enclave ~now:inst.now vpage))
+            lost
+      end
+    end
 
 let finalize ~fault_plan ~input_label ~(trace : Trace.t) inst =
   Enclave.sync inst.enclave ~now:inst.now;
@@ -212,6 +300,14 @@ let finalize ~fault_plan ~input_label ~(trace : Trace.t) inst =
             (fun (l : Sgxsim.Load_channel.inflight) -> l.kind)
             (Enclave.in_flight inst.enclave);
         resident_at_end = Enclave.resident_count inst.enclave;
+        restarts = inst.restarts;
+        breaker_state = Option.map Breaker.state inst.i_breaker;
+        breaker_trips =
+          (match inst.i_breaker with Some b -> Breaker.trips b | None -> 0);
+        breaker_transitions =
+          (match inst.i_breaker with
+          | Some b -> Breaker.transitions b
+          | None -> []);
       };
     fault_latency = inst.fault_latency_h;
     dfp_stopped =
@@ -224,6 +320,7 @@ let finalize ~fault_plan ~input_label ~(trace : Trace.t) inst =
   }
 
 let step inst ~site ~vpage ~compute ~thread =
+  check_crash inst;
   let t = Enclave.compute inst.enclave ~now:inst.now compute in
   let t =
     if inst.sip_site site then
@@ -233,10 +330,11 @@ let step inst ~site ~vpage ~compute ~thread =
   inst.now <- t
 
 let run_fused ?(config = default_config) ?(fault_plan = Fault_plan.none)
-    ?(input_label = "") ~schemes trace =
+    ?(input_label = "") ?restart ?breaker ~schemes trace =
   let instances =
     Array.of_list
-      (List.map (make_instance ~config ~fault_plan ~trace) schemes)
+      (List.map (make_instance ?restart ?breaker ~config ~fault_plan ~trace)
+         schemes)
   in
   let n = Array.length instances in
   (* Replay from the compiled arena, fanning each access out to every
@@ -288,8 +386,11 @@ let run_fused ?(config = default_config) ?(fault_plan = Fault_plan.none)
     (finalize ~fault_plan ~input_label ~trace)
     (Array.to_list instances)
 
-let run ?config ?fault_plan ?input_label ~scheme trace =
-  match run_fused ?config ?fault_plan ?input_label ~schemes:[ scheme ] trace with
+let run ?config ?fault_plan ?input_label ?restart ?breaker ~scheme trace =
+  match
+    run_fused ?config ?fault_plan ?input_label ?restart ?breaker
+      ~schemes:[ scheme ] trace
+  with
   | [ r ] -> r
   | _ -> assert false
 

@@ -19,6 +19,19 @@ val resolution_name : Sgxsim.Enclave.fault_resolution -> string
 (** Stable label ("already-present" / "waited-in-flight" /
     "demand-load") used by reports and exports. *)
 
+type restart_policy =
+  | Cold  (** Restart with an empty EPC: every page faults back in. *)
+  | Rewarm
+      (** Restart and immediately re-request the pre-crash resident set
+          through the ordinary preload path (subject to the breaker gate
+          and the usual disposition accounting). *)
+
+val restart_policy_name : restart_policy -> string
+(** ["cold"] / ["rewarm"]. *)
+
+val restart_policy_of_string : string -> (restart_policy, string) result
+(** Inverse of {!restart_policy_name}; [Error reason] on anything else. *)
+
 type diagnostics = {
   pending_preloads : int;  (** Preloads still queued at end of run. *)
   in_flight_preloads : int;
@@ -35,6 +48,16 @@ type diagnostics = {
       (** Pages resident in EPC when the replay finished; {!Validate}
           checks page conservation against the event log and
           [epc_capacity]. *)
+  restarts : int;
+      (** Crash–restart cycles completed.  In a trace replay restart is
+          charged atomically with the crash, so this equals
+          [Metrics.crashes]; {!Validate.check_resilience} enforces it. *)
+  breaker_state : Preload.Breaker.state option;
+      (** Final breaker state; [None] when no breaker was attached. *)
+  breaker_trips : int;  (** Transitions into Open. *)
+  breaker_transitions : Preload.Breaker.transition list;
+      (** Full chronological state-change log, checked for legality by
+          {!Validate.check_resilience}. *)
 }
 (** End-of-run diagnostic state.  One typed value consumed by
     {!Validate}, {!Report} and {!Trace_export}; grows here rather than
@@ -66,6 +89,7 @@ type result = {
 
 val run :
   ?config:config -> ?fault_plan:Fault_plan.t -> ?input_label:string ->
+  ?restart:restart_policy -> ?breaker:Preload.Breaker.config ->
   scheme:Preload.Scheme.t -> Workload.Trace.t -> result
 (** Replay the trace once, from its compiled {!Workload.Trace_arena}
     (compiling it on first use; see the arena's memo/cache).  [Native]
@@ -80,6 +104,7 @@ val run :
 
 val run_fused :
   ?config:config -> ?fault_plan:Fault_plan.t -> ?input_label:string ->
+  ?restart:restart_policy -> ?breaker:Preload.Breaker.config ->
   schemes:Preload.Scheme.t list -> Workload.Trace.t -> result list
 (** Replay the trace {e once}, driving one independent simulation
     instance per scheme off the single pass.  Results come back in
@@ -110,6 +135,17 @@ type instance = {
   sip_site : int -> bool;
   i_costs : Sgxsim.Cost_model.t;
   mutable now : int;  (** The instance's private simulated clock. *)
+  i_fault_plan : Fault_plan.t;
+  i_crash : Fault_plan.crash_fault option;
+      (** [None] for Native or a crash-free plan — crash handling inert. *)
+  i_crash_key : int;
+      (** Instance index in the crash draw chain (the [owner] tag, 0 for
+          a solo run), so fleet members crash independently. *)
+  i_restart : restart_policy;
+  i_breaker : Preload.Breaker.t option;
+  mutable crash_window : int;
+      (** Highest crash window already evaluated (-1 initially). *)
+  mutable restarts : int;
 }
 (** One scheme's complete simulation state within a (possibly fused or
     fleet) replay.  Instances never share mutable state beyond an
@@ -118,6 +154,8 @@ type instance = {
 val make_instance :
   ?epc:Sgxsim.Clock_evictor.t ->
   ?owner:int ->
+  ?restart:restart_policy ->
+  ?breaker:Preload.Breaker.config ->
   config:config ->
   fault_plan:Fault_plan.t ->
   trace:Workload.Trace.t ->
@@ -125,14 +163,27 @@ val make_instance :
   instance
 (** Build a ready-to-step instance: scrambles a stale SIP plan, creates
     the enclave, installs fault-plan hooks (non-Native only), attaches
-    the preloader and the latency histograms.  A fleet passes the shared
-    [epc] pool and per-tenant [owner] tag; both are ignored for Native
-    (which models unconstrained RAM and must not contend for EPC). *)
+    the preloader, an optional circuit breaker (chained after the
+    scheme's hooks; never on Native) and the latency histograms.
+    [restart] (default [Cold]) picks the post-crash policy.  A fleet
+    passes the shared [epc] pool and per-tenant [owner] tag; both are
+    ignored for Native (which models unconstrained RAM and must not
+    contend for EPC). *)
+
+val check_crash : instance -> unit
+(** Evaluate the crash schedule up to the instance's current clock:
+    every not-yet-judged crash window gets its seeded draw; the first
+    that fires crashes the enclave at [now], charges the restart delay
+    to [cyc_restart] {e and} the clock (preserving the cycle identity),
+    then rewarns under [Rewarm].  Called by {!step} before each event;
+    exposed for drivers (e.g. [Service]) that advance clocks outside
+    [step]. *)
 
 val step :
   instance -> site:int -> vpage:int -> compute:int -> thread:int -> unit
-(** Replay one trace event: compute span, then the (SIP-checked or
-    plain) access, advancing the instance's private clock. *)
+(** Replay one trace event: crash-schedule check, compute span, then the
+    (SIP-checked or plain) access, advancing the instance's private
+    clock. *)
 
 val finalize :
   fault_plan:Fault_plan.t ->

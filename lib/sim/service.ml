@@ -2,6 +2,7 @@ module Prng = Repro_util.Prng
 module Stats = Repro_util.Stats
 module Histogram = Repro_util.Histogram
 module Cost_model = Sgxsim.Cost_model
+module Metrics = Sgxsim.Metrics
 module Trace = Workload.Trace
 module Trace_arena = Workload.Trace_arena
 module Access = Workload.Access
@@ -11,6 +12,25 @@ type arrival_process =
   | Poisson
   | Bursty of { burst : int }
   | Diurnal of { period : int; swing : float }
+
+type resilience = {
+  deadline : int option;
+  retries : int;
+  retry_backoff : int;
+  hedge_after : int option;
+  restart : Runner.restart_policy;
+  breaker : Preload.Breaker.config option;
+}
+
+let no_resilience =
+  {
+    deadline = None;
+    retries = 0;
+    retry_backoff = 0;
+    hedge_after = None;
+    restart = Runner.Cold;
+    breaker = None;
+  }
 
 type config = {
   epc_pages : int;
@@ -24,6 +44,7 @@ type config = {
   slo : int;
   switchless : bool;
   horizon : int option;
+  resilience : resilience;
 }
 
 let default_config =
@@ -39,21 +60,68 @@ let default_config =
     slo = 30_000_000;
     switchless = false;
     horizon = None;
+    resilience = no_resilience;
   }
 
 let arrival_name = function
   | Poisson -> "poisson"
-  | Bursty _ -> "bursty"
-  | Diurnal _ -> "diurnal"
+  | Bursty { burst } -> Printf.sprintf "bursty:%d" burst
+  | Diurnal { period; swing } -> Printf.sprintf "diurnal:%d,%g" period swing
 
+(* "bursty:16" (the CLI's spelling) and "bursty(16)" share one parameter
+   grammar, mirroring [Scheme.of_string]; bare names keep their stock
+   parameters.  [arrival_name] emits the [:] form, so every process
+   round-trips through its own name. *)
 let arrival_of_string s =
-  match String.lowercase_ascii s with
+  let low = String.lowercase_ascii (String.trim s) in
+  let body ~prefix =
+    let plen = String.length prefix in
+    if
+      String.length low > plen + 1
+      && String.sub low 0 (plen + 1) = prefix ^ ":"
+    then Some (String.sub low (plen + 1) (String.length low - plen - 1))
+    else if
+      String.length low > plen + 2
+      && String.sub low 0 (plen + 1) = prefix ^ "("
+      && low.[String.length low - 1] = ')'
+    then Some (String.sub low (plen + 1) (String.length low - plen - 2))
+    else None
+  in
+  match low with
   | "poisson" -> Ok Poisson
   | "bursty" -> Ok (Bursty { burst = 8 })
   | "diurnal" -> Ok (Diurnal { period = 200_000_000; swing = 0.8 })
-  | _ ->
-    Error
-      (Printf.sprintf "unknown arrival process %S (known: poisson, bursty, diurnal)" s)
+  | _ -> (
+    match (body ~prefix:"bursty", body ~prefix:"diurnal") with
+    | Some b, _ -> (
+      match int_of_string_opt (String.trim b) with
+      | Some burst when burst > 0 -> Ok (Bursty { burst })
+      | Some _ ->
+        Error (Printf.sprintf "arrival %S: burst must be positive" s)
+      | None -> Error (Printf.sprintf "arrival %S: malformed burst %S" s b))
+    | None, Some b -> (
+      match String.split_on_char ',' b with
+      | [ p; sw ] -> (
+        match
+          (int_of_string_opt (String.trim p), float_of_string_opt (String.trim sw))
+        with
+        | Some period, Some swing when period > 0 && swing >= 0.0 && swing < 1.0
+          ->
+          Ok (Diurnal { period; swing })
+        | Some _, Some _ ->
+          Error
+            (Printf.sprintf
+               "arrival %S: need period > 0 and swing in [0, 1)" s)
+        | _ ->
+          Error (Printf.sprintf "arrival %S: malformed parameters %S" s b))
+      | _ ->
+        Error (Printf.sprintf "arrival %S: diurnal takes PERIOD,SWING" s))
+    | None, None ->
+      Error
+        (Printf.sprintf
+           "unknown arrival process %S (known: poisson, bursty[:N], \
+            diurnal[:PERIOD,SWING])"
+           s))
 
 let validate_config c =
   if c.pool <= 0 then invalid_arg "Service: pool must be positive";
@@ -62,6 +130,9 @@ let validate_config c =
     invalid_arg "Service: request_events must be non-negative";
   if c.mean_gap <= 0 then invalid_arg "Service: mean_gap must be positive";
   if c.slo <= 0 then invalid_arg "Service: slo must be positive";
+  Option.iter
+    (fun h -> if h <= 0 then invalid_arg "Service: horizon must be positive")
+    c.horizon;
   (match c.arrivals with
   | Poisson -> ()
   | Bursty { burst } ->
@@ -70,6 +141,22 @@ let validate_config c =
     if period <= 0 then invalid_arg "Service: diurnal period must be positive";
     if not (swing >= 0.0 && swing < 1.0) then
       invalid_arg "Service: diurnal swing must be in [0, 1)");
+  let z = c.resilience in
+  if z.retries < 0 then invalid_arg "Service: retries must be non-negative";
+  if z.retry_backoff < 0 then
+    invalid_arg "Service: retry_backoff must be non-negative";
+  Option.iter
+    (fun d -> if d <= 0 then invalid_arg "Service: deadline must be positive")
+    z.deadline;
+  Option.iter
+    (fun h ->
+      if h < 0 then invalid_arg "Service: hedge_after must be non-negative")
+    z.hedge_after;
+  (* A retry is triggered by a blown deadline; without one it could never
+     fire, so the combination is a config error, not a silent no-op. *)
+  if z.retries > 0 && z.deadline = None then
+    invalid_arg "Service: retries require a deadline";
+  Option.iter (fun b -> ignore (Preload.Breaker.validate b)) z.breaker;
   c
 
 (* One exponential inter-arrival draw with the given mean, in whole
@@ -126,7 +213,17 @@ type outcome = {
   arrivals : string;
   dispatched : int;
   completed : int;
+  failed : int;
   in_flight : int;
+  attempts : int;
+  retried : int;
+  hedged : int;
+  hedge_wins : int;
+  hedge_cancelled : int;
+  crashes : int;
+  restarts : int;
+  down_at_end : int;
+  crash_pages_lost : int;
   latencies : float array;
   latency_h : Histogram.t;
   slo : int;
@@ -167,14 +264,20 @@ let event_source fault_plan trace =
 let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
     ?(input_label = "") ~scheme trace =
   let c = validate_config config in
+  let z = c.resilience in
   let arrivals = arrival_times c in
   let len, event = event_source fault_plan trace in
   let runner_config =
     { Runner.epc_pages = c.epc_pages; costs = c.costs; log_capacity = 0 }
   in
+  (* [owner:i] keys each pool member's crash schedule (frame tags are
+     unobservable in a private EPC pool, so this changes nothing for a
+     crash-free plan); the restart policy and optional breaker ride the
+     same instance plumbing the chaos runner uses. *)
   let instances =
-    Array.init c.pool (fun _ ->
-        Runner.make_instance ~config:runner_config ~fault_plan ~trace scheme)
+    Array.init c.pool (fun i ->
+        Runner.make_instance ~owner:i ~restart:z.restart ?breaker:z.breaker
+          ~config:runner_config ~fault_plan ~trace scheme)
   in
   (* The service layer keeps its own timeline: [free_at.(i)] is when
      instance [i] finishes its current request, *including* the
@@ -188,47 +291,110 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
   in
   let latencies = Array.make c.requests 0.0 in
   let completed = ref 0 in
+  let failed = ref 0 in
   let in_flight = ref 0 in
+  let retried = ref 0 in
+  let hedged = ref 0 in
+  let hedge_wins = ref 0 in
+  let hedge_cancelled = ref 0 in
   let slo_violations = ref 0 in
   let makespan = ref 0 in
+  (* Earliest-free instance; ties break to the lowest index so the
+     schedule is a pure function of the arrival sequence.  [exclude]
+     (-1 for none) steers a retry or hedge away from the instance whose
+     attempt it shadows — moot in a pool of one. *)
+  let pick ~exclude =
+    let best = ref (-1) in
+    for i = 0 to c.pool - 1 do
+      if i <> exclude && (!best < 0 || free_at.(i) < free_at.(!best)) then
+        best := i
+    done;
+    !best
+  in
+  (* One attempt on instance [i]: replay the request's slice, charge
+     transition + service on the service timeline.  A lost hedge still
+     ran to completion here — cancellation reclaims nothing (the load
+     channel is non-preemptible), it only stops the loser from
+     double-completing the request. *)
+  let serve i ~dispatch ~offset =
+    let inst = instances.(i) in
+    let transition =
+      Cost_model.transition_cost inst.Runner.i_costs ~switchless:c.switchless
+    in
+    let start = max dispatch free_at.(i) in
+    let before = inst.Runner.now in
+    if len > 0 then
+      for j = 0 to c.request_events - 1 do
+        let site, vpage, compute, thread = event ((offset + j) mod len) in
+        Runner.step inst ~site ~vpage ~compute ~thread
+      done;
+    let service = inst.Runner.now - before in
+    let finish = start + transition + service in
+    free_at.(i) <- finish;
+    if finish > !makespan then makespan := finish;
+    finish
+  in
   Array.iteri
     (fun k arrival ->
-      (* Earliest-free instance; ties break to the lowest index so the
-         schedule is a pure function of the arrival sequence. *)
-      let best = ref 0 in
-      for i = 1 to c.pool - 1 do
-        if free_at.(i) < free_at.(!best) then best := i
-      done;
-      let i = !best in
-      let inst = instances.(i) in
-      let transition =
-        Cost_model.transition_cost inst.Runner.i_costs ~switchless:c.switchless
+      let offset = if len > 0 then k * c.request_events mod len else 0 in
+      (* Round [r] dispatches at [dispatch]; a blown deadline re-dispatches
+         round [r+1] at [dispatch + deadline + backoff * 2^r] on a
+         different instance.  [None] = every round failed. *)
+      let rec round r ~dispatch ~exclude =
+        let i = pick ~exclude in
+        let finish_primary = serve i ~dispatch ~offset in
+        let finish =
+          match z.hedge_after with
+          | Some h when c.pool > 1 && finish_primary > dispatch + h ->
+            (* The primary is still running [h] cycles in: launch a
+               duplicate on another instance; first completion wins (a
+               tie goes to the primary), the loser is cancelled and can
+               never double-complete the request. *)
+            let j = pick ~exclude:i in
+            let finish_hedge = serve j ~dispatch:(dispatch + h) ~offset in
+            incr hedged;
+            incr hedge_cancelled;
+            if finish_hedge < finish_primary then begin
+              incr hedge_wins;
+              finish_hedge
+            end
+            else finish_primary
+          | _ -> finish_primary
+        in
+        match z.deadline with
+        | Some dl when finish - dispatch > dl ->
+          if r < z.retries then begin
+            incr retried;
+            round (r + 1)
+              ~dispatch:(dispatch + dl + (z.retry_backoff * (1 lsl r)))
+              ~exclude:i
+          end
+          else None
+        | _ -> Some finish
       in
-      let start = max arrival free_at.(i) in
-      let before = inst.Runner.now in
-      if len > 0 then begin
-        let offset = k * c.request_events mod len in
-        for j = 0 to c.request_events - 1 do
-          let site, vpage, compute, thread = event ((offset + j) mod len) in
-          Runner.step inst ~site ~vpage ~compute ~thread
-        done
-      end;
-      let service = inst.Runner.now - before in
-      let finish = start + transition + service in
-      free_at.(i) <- finish;
-      if finish > !makespan then makespan := finish;
-      let latency = finish - arrival in
-      match c.horizon with
-      | Some h when finish > h -> incr in_flight
-      | Some _ | None ->
-        latencies.(!completed) <- float_of_int latency;
-        incr completed;
-        Histogram.add latency_h (float_of_int latency);
-        if latency > c.slo then incr slo_violations)
+      match round 0 ~dispatch:arrival ~exclude:(-1) with
+      | None -> incr failed
+      | Some finish -> (
+        let latency = finish - arrival in
+        match c.horizon with
+        | Some h when finish > h -> incr in_flight
+        | Some _ | None ->
+          latencies.(!completed) <- float_of_int latency;
+          incr completed;
+          Histogram.add latency_h (float_of_int latency);
+          if latency > c.slo then incr slo_violations))
     arrivals;
   let results =
     Array.to_list
       (Array.map (Runner.finalize ~fault_plan ~input_label ~trace) instances)
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let crashes = sum (fun (r : Runner.result) -> r.Runner.metrics.Metrics.crashes) in
+  let restarts =
+    sum (fun (r : Runner.result) -> r.Runner.diagnostics.Runner.restarts)
+  in
+  let crash_pages_lost =
+    sum (fun (r : Runner.result) -> r.Runner.metrics.Metrics.crash_pages_lost)
   in
   {
     scheme = Scheme.name scheme;
@@ -237,7 +403,17 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
     arrivals = arrival_name c.arrivals;
     dispatched = c.requests;
     completed = !completed;
+    failed = !failed;
     in_flight = !in_flight;
+    attempts = c.requests + !retried + !hedged;
+    retried = !retried;
+    hedged = !hedged;
+    hedge_wins = !hedge_wins;
+    hedge_cancelled = !hedge_cancelled;
+    crashes;
+    restarts;
+    down_at_end = crashes - restarts;
+    crash_pages_lost;
     latencies = Array.sub latencies 0 !completed;
     latency_h;
     slo = c.slo;
@@ -261,16 +437,38 @@ let throughput outcome =
   else float_of_int outcome.completed *. 1e6 /. float_of_int outcome.makespan
 
 let check outcome =
-  Validate.check_service ~dispatched:outcome.dispatched
-    ~completed:outcome.completed ~in_flight:outcome.in_flight
-    ~latency:outcome.latency_h outcome.results
+  Validate.check_resilience ~dispatched:outcome.dispatched
+    ~completed:outcome.completed ~failed:outcome.failed
+    ~in_flight:outcome.in_flight ~attempts:outcome.attempts
+    ~retried:outcome.retried ~hedged:outcome.hedged
+    ~hedge_wins:outcome.hedge_wins ~hedge_cancelled:outcome.hedge_cancelled
+    ~crashes:outcome.crashes ~restarts:outcome.restarts
+    ~down_at_end:outcome.down_at_end ~latency:outcome.latency_h
+    outcome.results
 
 let assert_valid outcome =
   match check outcome with
   | [] -> ()
   | violations -> raise (Validate.Invalid violations)
 
-let matrix ?(jobs = 1) ?config ?fault_plan ?input_label ~scheme_for ~tags trace =
+exception Cells_failed of Job_pool.failure list
+
+let () =
+  Printexc.register_printer (function
+    | Cells_failed fs ->
+      Some
+        (Printf.sprintf "Service.Cells_failed: %d cell(s):\n%s"
+           (List.length fs)
+           (String.concat "\n"
+              (List.map
+                 (fun (f : Job_pool.failure) ->
+                   Printf.sprintf "  %s: %s (%d attempt(s))" f.label f.reason
+                     f.attempts)
+                 fs)))
+    | _ -> None)
+
+let matrix ?(jobs = 1) ?timeout ?retries ?(keep_going = false) ?config
+    ?fault_plan ?input_label ~scheme_for ~tags trace =
   let jobs_list =
     List.map
       (fun tag ->
@@ -283,7 +481,31 @@ let matrix ?(jobs = 1) ?config ?fault_plan ?input_label ~scheme_for ~tags trace 
             outcome))
       tags
   in
-  List.combine tags (Job_pool.run ~jobs jobs_list)
+  if timeout = None && retries = None && not keep_going then
+    List.combine tags (Job_pool.run ~jobs jobs_list)
+  else begin
+    (* The hardened path: forked cells, per-cell wall-clock timeout,
+       bounded retry.  Without [keep_going] any exhausted cell fails the
+       whole matrix (its row would be fabricated otherwise); with it,
+       surviving cells are returned and failures go to stderr only, so
+       stdout stays byte-identical across [-j]. *)
+    let results = Job_pool.run_hardened ~jobs ?timeout ?retries jobs_list in
+    let paired = List.combine tags results in
+    let failures =
+      List.filter_map
+        (function _, Error f -> Some f | _, Ok _ -> None)
+        paired
+    in
+    if failures <> [] && not keep_going then raise (Cells_failed failures);
+    List.iter
+      (fun (f : Job_pool.failure) ->
+        Printf.eprintf "service: cell %s failed: %s (%d attempt(s))\n%!"
+          f.label f.reason f.attempts)
+      failures;
+    List.filter_map
+      (function tag, Ok o -> Some (tag, o) | _, Error _ -> None)
+      paired
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -302,6 +524,7 @@ let summary_table cells =
           ("scheme", Table.Left);
           ("mode", Table.Left);
           ("done", Table.Right);
+          ("failed", Table.Right);
           ("in-flight", Table.Right);
           ("req/Mcyc", Table.Right);
           ("p50", Table.Right);
@@ -310,6 +533,7 @@ let summary_table cells =
           ("p999", Table.Right);
           ("max", Table.Right);
           ("SLO-viol", Table.Right);
+          ("crashes", Table.Right);
         ]
   in
   List.iter
@@ -319,6 +543,7 @@ let summary_table cells =
           tag;
           (if o.switchless then "switchless" else "sync");
           Table.cell_int o.completed;
+          Table.cell_int o.failed;
           Table.cell_int o.in_flight;
           Table.cell_float ~decimals:3 (throughput o);
           cell_cycles (quantile o 0.50);
@@ -327,6 +552,7 @@ let summary_table cells =
           cell_cycles (quantile o 0.999);
           cell_cycles (Histogram.max_observed o.latency_h);
           Table.cell_int o.slo_violations;
+          Table.cell_int o.crashes;
         ])
     cells;
   t

@@ -29,6 +29,33 @@ type arrival_process =
       (** Sinusoidally modulated rate: local mean gap swings by
           [±swing] around [mean_gap] over one [period] (cycles). *)
 
+type resilience = {
+  deadline : int option;
+      (** Per-attempt latency bound in cycles; an attempt finishing
+          later than [dispatch + deadline] has failed its round.
+          [None] = attempts never fail. *)
+  retries : int;
+      (** Retry rounds after the first attempt; round [r+1] dispatches
+          at [dispatch_r + deadline + retry_backoff * 2^r] on a
+          different instance (pool permitting).  Requires a deadline. *)
+  retry_backoff : int;  (** Base backoff in cycles, doubling per round. *)
+  hedge_after : int option;
+      (** Launch a duplicate attempt on another instance once the
+          primary has been outstanding this many cycles; the first
+          completion wins (ties to the primary), the loser is cancelled
+          and counted — it can never double-complete the request.
+          Needs [pool > 1]; [None] disables hedging. *)
+  restart : Runner.restart_policy;
+      (** Post-crash policy for every pool instance. *)
+  breaker : Preload.Breaker.config option;
+      (** Attach a preload circuit breaker to every pool instance. *)
+}
+
+val no_resilience : resilience
+(** The inert knobs: no deadline, no retries, no hedging, cold restarts,
+    no breaker.  With a crash-free plan, {!run} under [no_resilience] is
+    field-for-field the pre-resilience service loop. *)
+
 type config = {
   epc_pages : int;  (** EPC frames per warm instance. *)
   costs : Sgxsim.Cost_model.t;
@@ -43,18 +70,24 @@ type config = {
       (** Charge the switchless mailbox handoff instead of EENTER+EEXIT. *)
   horizon : int option;
       (** Requests completing past this cycle count as in-flight
-          (latency unrecorded); [None] completes everything. *)
+          (latency unrecorded); [None] completes everything.  Must be
+          positive when given ({!arrival_times} validates). *)
+  resilience : resilience;
 }
 
 val default_config : config
 (** Poisson arrivals at ~50% pool utilisation for paper-cost traces:
     pool 4, 400 requests of 400 events, mean gap 2.5M cycles, SLO 30M
-    cycles, seed 1, synchronous calls, no horizon. *)
+    cycles, seed 1, synchronous calls, no horizon, {!no_resilience}. *)
 
 val arrival_name : arrival_process -> string
+(** ["poisson"], ["bursty:<burst>"], ["diurnal:<period>,<swing>"] —
+    always re-parseable by {!arrival_of_string} (total round-trip). *)
+
 val arrival_of_string : string -> (arrival_process, string) result
-(** Parse ["poisson"] / ["bursty"] / ["diurnal"] (with stock burst and
-    period parameters for the latter two). *)
+(** Parse ["poisson"] / ["bursty"] / ["diurnal"] (stock parameters), or
+    parameterized ["bursty:16"] / ["diurnal:200000000,0.8"] (the [(...)]
+    spelling also works, mirroring [Scheme.of_string]). *)
 
 val arrival_times : config -> int array
 (** The full deterministic arrival schedule (absolute cycles,
@@ -71,7 +104,21 @@ type outcome = {
   arrivals : string;  (** {!arrival_name} of the generator used. *)
   dispatched : int;
   completed : int;
+  failed : int;  (** Requests that blew the deadline in every round. *)
   in_flight : int;  (** Requests unfinished at the horizon. *)
+  attempts : int;
+      (** Total attempts = dispatched + retried + hedged
+          ({!Validate.check_resilience} enforces). *)
+  retried : int;  (** Retry re-dispatches after a blown round. *)
+  hedged : int;  (** Hedged duplicates launched. *)
+  hedge_wins : int;  (** Hedge races the duplicate won. *)
+  hedge_cancelled : int;
+      (** Losing attempts cancelled (one per hedge race; the loser never
+          double-completes a request). *)
+  crashes : int;  (** Instance crashes across the pool. *)
+  restarts : int;  (** Crash–restart cycles completed across the pool. *)
+  down_at_end : int;  (** [crashes - restarts]. *)
+  crash_pages_lost : int;  (** Resident pages wiped across all crashes. *)
   latencies : float array;
       (** Per-completed-request latency (cycles), dispatch order. *)
   latency_h : Repro_util.Histogram.t;
@@ -97,7 +144,18 @@ val run :
     Under a trace-corrupting [fault_plan] all schemes consume the same
     perturbed stream (draws keyed by event index); channel/EPC faults
     apply inside each instance as in any chaos run, surfacing as
-    degraded-mode tails. *)
+    degraded-mode tails.
+
+    A crash fault in the plan kills instances on their own clocks
+    (schedules keyed by pool index, so members crash independently);
+    downtime is charged to [cyc_restart] and therefore to every request
+    queued behind the dead instance.  [config.resilience] adds the
+    service-side responses: per-round deadlines, retry re-dispatch with
+    exponential backoff onto a different instance, hedged duplicates
+    (first completion wins, the loser is cancelled and counted — never
+    double-completed), and an optional preload circuit breaker per
+    instance.  Under {!no_resilience} and a crash-free plan the loop is
+    field-for-field the pre-resilience dispatch. *)
 
 val quantile : outcome -> float -> float
 (** [quantile o q] ([0 <= q <= 1]): exact {!Repro_util.Stats.percentile}
@@ -108,13 +166,23 @@ val throughput : outcome -> float
 (** Completed requests per million cycles of makespan (0 when idle). *)
 
 val check : outcome -> Validate.violation list
-(** {!Validate.check_service} over this outcome's packaged arguments. *)
+(** {!Validate.check_resilience} over this outcome's packaged arguments
+    (the superset of the old service battery: conservation with the
+    failure disposition, attempt conservation, crash bookkeeping,
+    breaker-transition legality, latency sanity, per-instance runs). *)
 
 val assert_valid : outcome -> unit
 (** @raise Validate.Invalid when {!check} reports anything. *)
 
+exception Cells_failed of Job_pool.failure list
+(** A hardened {!matrix} cell exhausted its retry budget (and
+    [keep_going] was off). *)
+
 val matrix :
   ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?keep_going:bool ->
   ?config:config ->
   ?fault_plan:Fault_plan.t ->
   ?input_label:string ->
@@ -124,7 +192,15 @@ val matrix :
   (string * outcome) list
 (** One {!run} per tag, fanned through {!Job_pool} ([jobs] workers,
     submission-order merge) with each outcome {!assert_valid}ed in its
-    worker.  Results pair each tag with its outcome, in [tags] order. *)
+    worker.  Results pair each tag with its outcome, in [tags] order.
+
+    With any of [timeout] (seconds per attempt), [retries] or
+    [keep_going] set, cells run through {!Job_pool.run_hardened}: hung
+    cells are killed at the timeout, failing cells re-run up to
+    [retries] times, and — without [keep_going] — an exhausted cell
+    raises {!Cells_failed}.  With [keep_going:true] the surviving cells
+    are returned (failures reported on stderr only, keeping stdout
+    byte-identical across [-j]). *)
 
 val summary_table : (string * outcome) list -> Repro_util.Table.t
 (** The per-scheme p50/p95/p99/p999 + SLO table — the stable surface

@@ -150,6 +150,15 @@ let trace_events events =
         emit
           (instant ~name:"preload-aborted" ~cat:"preload" ~tid:tid_queue ~ts:at
              [ ("count", string_of_int count) ])
+      | Event.Crash { at; pages_lost } ->
+        (* A crash orphans any open fault/load span; drop the pending
+           starts so they degrade to instants rather than pairing with
+           post-restart endpoints. *)
+        fault := None;
+        load := None;
+        emit
+          (instant ~name:"crash" ~cat:"fault" ~tid:tid_app ~ts:at
+             [ ("pages_lost", string_of_int pages_lost) ])
       | Event.Access { at; vpage } ->
         emit
           (instant ~name:"access" ~cat:"app" ~tid:tid_app ~ts:at
@@ -204,12 +213,14 @@ let row_fields (r : Runner.result) =
     ("cyc_bitmap_check", string_of_int m.cyc_bitmap_check);
     ("cyc_notify", string_of_int m.cyc_notify);
     ("cyc_sip_wait", string_of_int m.cyc_sip_wait);
+    ("cyc_restart", string_of_int m.cyc_restart);
     ("accesses", string_of_int m.accesses);
     ("faults", string_of_int m.faults);
     ("faults_in_flight", string_of_int m.faults_in_flight);
     ("faults_already_present", string_of_int m.faults_already_present);
     ("total_faults", string_of_int (Metrics.total_faults m));
     ("preloads_issued", string_of_int m.preloads_issued);
+    ("preloads_rejected_breaker", string_of_int m.preloads_rejected_breaker);
     ("preloads_completed", string_of_int m.preloads_completed);
     ("preloads_aborted", string_of_int m.preloads_aborted);
     ("preloads_taken_over", string_of_int m.preloads_taken_over);
@@ -220,6 +231,8 @@ let row_fields (r : Runner.result) =
     ("sip_checks", string_of_int m.sip_checks);
     ("sip_notifies", string_of_int m.sip_notifies);
     ("scans", string_of_int m.scans);
+    ("crashes", string_of_int m.crashes);
+    ("crash_pages_lost", string_of_int m.crash_pages_lost);
     ("dfp_stopped", if r.dfp_stopped then "true" else "false");
     ("instrumentation_points", string_of_int r.instrumentation_points);
     ("pending_preloads", string_of_int d.Runner.pending_preloads);
@@ -243,12 +256,15 @@ let csv_header =
     [
       "workload"; "input"; "scheme"; "cycles"; "final_now"; "cyc_compute";
       "cyc_access"; "cyc_aex"; "cyc_eresume"; "cyc_os_handler"; "cyc_load_wait";
-      "cyc_bitmap_check"; "cyc_notify"; "cyc_sip_wait"; "accesses"; "faults";
+      "cyc_bitmap_check"; "cyc_notify"; "cyc_sip_wait"; "cyc_restart";
+      "accesses"; "faults";
       "faults_in_flight"; "faults_already_present"; "total_faults";
-      "preloads_issued"; "preloads_completed"; "preloads_aborted";
+      "preloads_issued"; "preloads_rejected_breaker"; "preloads_completed";
+      "preloads_aborted";
       "preloads_taken_over"; "preloads_skipped"; "preload_hits";
       "preload_evicted_unused"; "evictions"; "sip_checks"; "sip_notifies";
-      "scans"; "dfp_stopped"; "instrumentation_points"; "pending_preloads";
+      "scans"; "crashes"; "crash_pages_lost"; "dfp_stopped";
+      "instrumentation_points"; "pending_preloads";
       "in_flight_preloads"; "in_flight_kind"; "resident_at_end";
       "events_truncated";
     ]

@@ -69,6 +69,10 @@ let check_channel events =
               (v "channel-exclusive" "load of p%d completed at t=%d before it started at t=%d"
                  vpage at at0);
           in_flight := None)
+      (* A crash cancels the in-flight load: its Load_done never arrives,
+         and the next Load_start is legal.  The only place a start may go
+         unmatched mid-log. *)
+      | Event.Crash _ -> in_flight := None
       | _ -> ())
     events;
   (* A load still in flight when the log ends is legal (the run stopped
@@ -169,12 +173,13 @@ let check_accounting (r : Runner.result) =
   let sum_categories =
     m.cyc_compute + m.cyc_access + m.cyc_aex + m.cyc_eresume + m.cyc_os_handler
     + m.cyc_load_wait + m.cyc_bitmap_check + m.cyc_notify + m.cyc_sip_wait
+    + m.cyc_restart
   in
   let violations = ref [] in
   let add x = violations := x :: !violations in
   if Metrics.total_cycles m <> sum_categories then
     add
-      (v "cycle-identity" "total_cycles %d <> sum of the nine categories %d"
+      (v "cycle-identity" "total_cycles %d <> sum of the ten categories %d"
          (Metrics.total_cycles m) sum_categories);
   if r.final_now <> Metrics.total_cycles m then
     add
@@ -192,17 +197,20 @@ let check_accounting (r : Runner.result) =
          "total_faults %d <> demand %d + in-flight %d + already-present %d"
          (Metrics.total_faults m) m.faults m.faults_in_flight
          m.faults_already_present);
-  (* Every preload request is either rejected (out of ELRANGE, or a
-     duplicate of a present/in-flight/queued page) or issued... *)
+  (* Every preload request is either rejected (out of ELRANGE, refused by
+     an Open circuit breaker, or a duplicate of a
+     present/in-flight/queued page) or issued... *)
   if
     m.preloads_requested
-    <> m.preloads_issued + m.preloads_rejected_range + m.preloads_rejected_dup
+    <> m.preloads_issued + m.preloads_rejected_range
+       + m.preloads_rejected_breaker + m.preloads_rejected_dup
   then
     add
       (v "preload-identity"
-         "requested %d <> issued %d + rejected-range %d + rejected-dup %d"
+         "requested %d <> issued %d + rejected-range %d + rejected-breaker %d \
+          + rejected-dup %d"
          m.preloads_requested m.preloads_issued m.preloads_rejected_range
-         m.preloads_rejected_dup);
+         m.preloads_rejected_breaker m.preloads_rejected_dup);
   (* ...and every issued preload ends in exactly one disposition.  Only
      a DFP-kind load closes this identity: [preloads_issued] counts the
      speculative queue, which SIP's synchronous loads never enter. *)
@@ -286,11 +294,25 @@ let check_conservation (r : Runner.result) =
   if r.events <> [] && not d.Runner.events_truncated then begin
     let dones = count (function Event.Load_done _ -> true | _ -> false) r.events in
     let evicts = count (function Event.Evict _ -> true | _ -> false) r.events in
-    if dones - evicts <> d.Runner.resident_at_end then
+    (* Crash losses drop residency without Evict events: the dead
+       enclave's pages simply vanish (no write-back), counted per crash
+       in the log and in [crash_pages_lost]. *)
+    let crash_losses =
+      List.fold_left
+        (fun acc e ->
+          match e with
+          | Event.Crash { pages_lost; _ } -> acc + pages_lost
+          | _ -> acc)
+        0 r.events
+    in
+    if dones - evicts - crash_losses <> d.Runner.resident_at_end then
       add
         (v "page-conservation"
-           "load-dones %d - evictions %d = %d, but %d pages are resident"
-           dones evicts (dones - evicts) d.Runner.resident_at_end)
+           "load-dones %d - evictions %d - crash losses %d = %d, but %d pages \
+            are resident"
+           dones evicts crash_losses
+           (dones - evicts - crash_losses)
+           d.Runner.resident_at_end)
   end;
   List.rev !violations
 
@@ -320,9 +342,14 @@ let check_non_negative (r : Runner.result) =
       ("preload_evicted_unused", m.preload_evicted_unused);
       ("evictions", m.evictions); ("sip_checks", m.sip_checks);
       ("sip_notifies", m.sip_notifies); ("scans", m.scans);
+      ("cyc_restart", m.cyc_restart);
+      ("preloads_rejected_breaker", m.preloads_rejected_breaker);
+      ("crashes", m.crashes); ("crash_pages_lost", m.crash_pages_lost);
       ("cycles", r.cycles); ("final_now", r.final_now);
       ("pending_preloads", r.diagnostics.Runner.pending_preloads);
       ("in_flight_preloads", r.diagnostics.Runner.in_flight_preloads);
+      ("restarts", r.diagnostics.Runner.restarts);
+      ("breaker_trips", r.diagnostics.Runner.breaker_trips);
     ]
   in
   List.filter_map
@@ -358,12 +385,23 @@ let check_event_counters (r : Runner.result) =
     (count (function Event.Evict _ -> true | _ -> false) events);
   expect "scans" m.scans
     (count (function Event.Scan _ -> true | _ -> false) events);
+  expect "crashes" m.crashes
+    (count (function Event.Crash _ -> true | _ -> false) events);
+  expect "crash pages lost" m.crash_pages_lost
+    (List.fold_left
+       (fun acc e ->
+         match e with Event.Crash { pages_lost; _ } -> acc + pages_lost | _ -> acc)
+       0 events);
   let starts = count (function Event.Load_start _ -> true | _ -> false) events in
   let dones = count (function Event.Load_done _ -> true | _ -> false) events in
-  if starts - dones <> 0 && starts - dones <> 1 then
+  (* Each crash may cancel one in-flight load (a start whose done never
+     arrives), plus at most one span legitimately open at end of log. *)
+  if starts - dones < 0 || starts - dones > m.crashes + 1 then
     add
-      (v "event-counter" "load-starts %d vs load-dones %d: at most one span may be open"
-         starts dones);
+      (v "event-counter"
+         "load-starts %d vs load-dones %d: at most one span open plus one \
+          cancelled per crash (%d crashes)"
+         starts dones m.crashes);
   List.rev !violations
 
 let check (r : Runner.result) =
@@ -456,19 +494,10 @@ let check_fleet ~epc_pages ~shared ~interference ~triggered results =
 (* Service invariants take unpacked scalars/histograms rather than a
    [Service] record so [Service] can depend on this module (the same
    inversion as [check_fleet]). *)
-let check_service ~dispatched ~completed ~in_flight ~latency results =
-  let violations = ref [] in
-  let add x = violations := x :: !violations in
-  if dispatched < 0 || completed < 0 || in_flight < 0 then
-    add
-      (v "service-conservation"
-         "negative request counter (dispatched=%d completed=%d in-flight=%d)"
-         dispatched completed in_flight);
-  if dispatched <> completed + in_flight then
-    add
-      (v "service-conservation"
-         "dispatched %d <> completed %d + in-flight %d" dispatched completed
-         in_flight);
+
+(* Shared by [check_service] and [check_resilience]: latency-histogram
+   sanity plus the per-instance battery. *)
+let service_core ~completed ~latency results add =
   let n = Histogram.count latency in
   if n <> completed then
     add
@@ -496,7 +525,125 @@ let check_service ~dispatched ~completed ~in_flight ~latency results =
       List.iter
         (fun x -> add { x with check = Printf.sprintf "instance%d:%s" i x.check })
         (check r))
+    results
+
+let check_service ~dispatched ~completed ~in_flight ~latency results =
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  if dispatched < 0 || completed < 0 || in_flight < 0 then
+    add
+      (v "service-conservation"
+         "negative request counter (dispatched=%d completed=%d in-flight=%d)"
+         dispatched completed in_flight);
+  if dispatched <> completed + in_flight then
+    add
+      (v "service-conservation"
+         "dispatched %d <> completed %d + in-flight %d" dispatched completed
+         in_flight);
+  service_core ~completed ~latency results add;
+  List.rev !violations
+
+(* The resilient-service battery: request conservation with a failure
+   disposition, attempt conservation across retries and hedges, crash
+   bookkeeping against the instances' own counters, and breaker
+   transition-log legality. *)
+let check_resilience ~dispatched ~completed ~failed ~in_flight ~attempts
+    ~retried ~hedged ~hedge_wins ~hedge_cancelled ~crashes ~restarts
+    ~down_at_end ~latency results =
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  List.iter
+    (fun (name, value) ->
+      if value < 0 then add (v "resilience-counter" "%s is %d" name value))
+    [
+      ("dispatched", dispatched); ("completed", completed); ("failed", failed);
+      ("in_flight", in_flight); ("attempts", attempts); ("retried", retried);
+      ("hedged", hedged); ("hedge_wins", hedge_wins);
+      ("hedge_cancelled", hedge_cancelled); ("crashes", crashes);
+      ("restarts", restarts); ("down_at_end", down_at_end);
+    ];
+  (* Every dispatched request ends in exactly one disposition. *)
+  if dispatched <> completed + failed + in_flight then
+    add
+      (v "service-conservation"
+         "dispatched %d <> completed %d + failed %d + in-flight %d" dispatched
+         completed failed in_flight);
+  (* Every attempt is the request's first dispatch, a retry re-dispatch,
+     or a hedged duplicate — and a hedge race has exactly one winner, so
+     wins and cancellations are bounded by the hedges launched. *)
+  if attempts <> dispatched + retried + hedged then
+    add
+      (v "attempt-conservation"
+         "attempts %d <> dispatched %d + retried %d + hedged %d" attempts
+         dispatched retried hedged);
+  if hedge_wins > hedged then
+    add (v "attempt-conservation" "hedge wins %d exceed hedges %d" hedge_wins hedged);
+  if hedge_cancelled > hedged then
+    add
+      (v "attempt-conservation" "hedge cancellations %d exceed hedges %d"
+         hedge_cancelled hedged);
+  (* Crash bookkeeping: every crash is either restarted or still down at
+     the end, and the aggregates must agree with the instances' own
+     counters. *)
+  if crashes <> restarts + down_at_end then
+    add
+      (v "crash-bookkeeping" "crashes %d <> restarts %d + down-at-end %d"
+         crashes restarts down_at_end);
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let metric_crashes = sum (fun (r : Runner.result) -> r.metrics.Metrics.crashes) in
+  let diag_restarts =
+    sum (fun (r : Runner.result) -> r.diagnostics.Runner.restarts)
+  in
+  if crashes <> metric_crashes then
+    add
+      (v "crash-bookkeeping" "outcome says %d crash(es), instances report %d"
+         crashes metric_crashes);
+  if restarts <> diag_restarts then
+    add
+      (v "crash-bookkeeping" "outcome says %d restart(s), instances report %d"
+         restarts diag_restarts);
+  List.iteri
+    (fun i (r : Runner.result) ->
+      let d = r.diagnostics in
+      if d.Runner.restarts > r.metrics.Metrics.crashes then
+        add
+          (v "crash-bookkeeping" "instance%d: %d restart(s) but only %d crash(es)"
+             i d.Runner.restarts r.metrics.Metrics.crashes);
+      (match Preload.Breaker.check_transitions d.Runner.breaker_transitions with
+      | None -> ()
+      | Some reason -> add (v "breaker-legal" "instance%d: %s" i reason));
+      let trips =
+        List.length
+          (List.filter
+             (fun (x : Preload.Breaker.transition) ->
+               x.Preload.Breaker.to_state = Preload.Breaker.Open)
+             d.Runner.breaker_transitions)
+      in
+      if d.Runner.breaker_trips <> trips then
+        add
+          (v "breaker-legal"
+             "instance%d: %d trip(s) reported, transition log has %d" i
+             d.Runner.breaker_trips trips);
+      match d.Runner.breaker_state with
+      | None ->
+        if d.Runner.breaker_transitions <> [] then
+          add
+            (v "breaker-legal"
+               "instance%d: transitions logged without a breaker" i)
+      | Some final ->
+        let expected =
+          List.fold_left
+            (fun _ (x : Preload.Breaker.transition) -> x.Preload.Breaker.to_state)
+            Preload.Breaker.Closed d.Runner.breaker_transitions
+        in
+        if final <> expected then
+          add
+            (v "breaker-legal"
+               "instance%d: final state %s but transition log ends %s" i
+               (Preload.Breaker.state_name final)
+               (Preload.Breaker.state_name expected)))
     results;
+  service_core ~completed ~latency results add;
   List.rev !violations
 
 exception Invalid of violation list

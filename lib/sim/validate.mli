@@ -86,6 +86,35 @@ val check_service :
     finalized run passes the full {!check} battery (violations prefixed
     [instance<i>:]). *)
 
+val check_resilience :
+  dispatched:int ->
+  completed:int ->
+  failed:int ->
+  in_flight:int ->
+  attempts:int ->
+  retried:int ->
+  hedged:int ->
+  hedge_wins:int ->
+  hedge_cancelled:int ->
+  crashes:int ->
+  restarts:int ->
+  down_at_end:int ->
+  latency:Repro_util.Histogram.t ->
+  Runner.result list ->
+  violation list
+(** The resilient-service battery ({!Service} packages the arguments
+    from its outcome).  Extends {!check_service}'s conservation with the
+    failure disposition ([dispatched = completed + failed + in_flight]);
+    attempt conservation ([attempts = dispatched + retried + hedged],
+    hedge wins and cancellations bounded by hedges launched); crash
+    bookkeeping ([crashes = restarts + down_at_end], both agreeing with
+    the instances' own [Metrics.crashes] / [diagnostics.restarts], and
+    no instance restarting more often than it crashed); breaker
+    transition-log legality per instance
+    ({!Preload.Breaker.check_transitions}, trip count and final state
+    agreeing with the log); plus the latency-histogram sanity and
+    per-instance battery of {!check_service}. *)
+
 exception Invalid of violation list
 
 val assert_valid : Runner.result -> unit

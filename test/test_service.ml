@@ -86,7 +86,60 @@ let test_arrivals_bad_config_rejected () =
            {
              config with
              Service.arrivals = Service.Diurnal { period = 1000; swing = 1.5 };
+           }));
+  Alcotest.check_raises "zero horizon"
+    (Invalid_argument "Service: horizon must be positive") (fun () ->
+      ignore (Service.arrival_times { config with Service.horizon = Some 0 }));
+  Alcotest.check_raises "retries without deadline"
+    (Invalid_argument "Service: retries require a deadline") (fun () ->
+      ignore
+        (Service.arrival_times
+           {
+             config with
+             Service.resilience =
+               { Service.no_resilience with Service.retries = 1 };
            }))
+
+let test_arrival_grammar_roundtrip () =
+  (* Every process's printed name must re-parse to itself (the CLI and
+     the outcome's [arrivals] field share this grammar). *)
+  List.iter
+    (fun a ->
+      let name = Service.arrival_name a in
+      match Service.arrival_of_string name with
+      | Ok b -> checkb (name ^ " round-trips") true (a = b)
+      | Error m -> Alcotest.fail (name ^ ": " ^ m))
+    [
+      Service.Poisson;
+      Service.Bursty { burst = 1 };
+      Service.Bursty { burst = 16 };
+      Service.Diurnal { period = 200_000_000; swing = 0.8 };
+      Service.Diurnal { period = 5; swing = 0.0 };
+    ];
+  (* Bare names keep their stock parameters; the paren spelling parses. *)
+  checkb "bare bursty" true
+    (Service.arrival_of_string "bursty" = Ok (Service.Bursty { burst = 8 }));
+  checkb "paren spelling" true
+    (Service.arrival_of_string "bursty(16)" = Ok (Service.Bursty { burst = 16 }))
+
+let test_arrival_grammar_errors () =
+  let err s expected =
+    match Service.arrival_of_string s with
+    | Ok _ -> Alcotest.fail (s ^ " unexpectedly parsed")
+    | Error m -> check Alcotest.string s expected m
+  in
+  err "bursty:0" "arrival \"bursty:0\": burst must be positive";
+  err "bursty:many" "arrival \"bursty:many\": malformed burst \"many\"";
+  err "diurnal:0,0.5"
+    "arrival \"diurnal:0,0.5\": need period > 0 and swing in [0, 1)";
+  err "diurnal:1000,1.5"
+    "arrival \"diurnal:1000,1.5\": need period > 0 and swing in [0, 1)";
+  err "diurnal:1000,x"
+    "arrival \"diurnal:1000,x\": malformed parameters \"1000,x\"";
+  err "diurnal:1000" "arrival \"diurnal:1000\": diurnal takes PERIOD,SWING";
+  err "sawtooth"
+    "unknown arrival process \"sawtooth\" (known: poisson, bursty[:N], \
+     diurnal[:PERIOD,SWING])"
 
 (* ------------------------------------------------------------------ *)
 (* Request conservation and validation                                 *)
@@ -135,6 +188,41 @@ let test_run_under_chaos_validates () =
         (o.Service.completed + o.Service.in_flight);
       Service.assert_valid o)
     [ Fault_plan.jittery_channel; Fault_plan.garbled_trace ]
+
+let test_inert_resilience_identity () =
+  (* Resilience knobs that can never fire (astronomical deadline and
+     hedge trigger, no crash plan) must leave the dispatch math — and
+     therefore every latency — exactly as [no_resilience] computes it. *)
+  let plain = Service.run ~config ~scheme:Scheme.Baseline trace in
+  let guarded =
+    Service.run
+      ~config:
+        {
+          config with
+          Service.resilience =
+            {
+              Service.no_resilience with
+              Service.deadline = Some max_int;
+              retries = 3;
+              retry_backoff = 1;
+              hedge_after = Some (max_int / 2);
+            };
+        }
+      ~scheme:Scheme.Baseline trace
+  in
+  check
+    Alcotest.(array (float 1e-9))
+    "latencies identical" plain.Service.latencies guarded.Service.latencies;
+  checki "completed identical" plain.Service.completed
+    guarded.Service.completed;
+  checki "makespan identical" plain.Service.makespan guarded.Service.makespan;
+  checki "nothing failed" 0 guarded.Service.failed;
+  checki "nothing retried" 0 guarded.Service.retried;
+  checki "nothing hedged" 0 guarded.Service.hedged;
+  checki "attempts = dispatched" guarded.Service.dispatched
+    guarded.Service.attempts;
+  checki "no crashes" 0 guarded.Service.crashes;
+  Service.assert_valid guarded
 
 let test_chaos_degrades_tail () =
   let clean = Service.run ~config ~scheme:Scheme.Baseline trace in
@@ -285,11 +373,14 @@ let () =
           tc "non-decreasing" test_arrivals_non_decreasing;
           tc "bursty groups" test_arrivals_bursty_groups;
           tc "bad config rejected" test_arrivals_bad_config_rejected;
+          tc "grammar round-trips" test_arrival_grammar_roundtrip;
+          tc "grammar errors" test_arrival_grammar_errors;
         ] );
       ( "conservation",
         [
           tc "requests conserved" test_run_conserves_requests;
           tc "horizon leaves in-flight" test_run_horizon_in_flight;
+          tc "inert resilience identity" test_inert_resilience_identity;
           tc "chaos validates" test_run_under_chaos_validates;
           tc "chaos degrades tail" test_chaos_degrades_tail;
         ] );
