@@ -57,6 +57,28 @@ let breaker_arg =
 let breaker_of flag =
   if flag then Some Preload.Breaker.default_config else None
 
+let online_arg =
+  let doc =
+    "Attach the online adaptive controller (no PGO input): $(b,online) \
+     for the stock configuration, or a parameterized spec like \
+     $(b,online:window=8,probe=256).  The controller classifies pages \
+     from the CLOCK scan's harvested access bits and switches between \
+     baseline, DFP and learned instrumentation at scan boundaries."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "online") (some string) None
+    & info [ "online" ] ~docv:"SPEC" ~doc)
+
+let online_of = function
+  | None -> None
+  | Some s -> (
+    match Preload.Online.config_of_string s with
+    | Ok c -> Some c
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1)
+
 (* ---------- run ---------- *)
 
 let settings_of ~epc ~input =
@@ -117,7 +139,8 @@ let run_cmd =
     let doc = "Use a saved instrumentation plan (see $(b,profile --save-plan)) for the sip/hybrid schemes." in
     Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
   in
-  let action workload scheme epc input breakdown events plan_file breaker =
+  let action workload scheme epc input breakdown events plan_file breaker
+      online =
     match model_of_name workload with
     | None -> unknown_workload workload
     | Some model ->
@@ -126,10 +149,12 @@ let run_cmd =
       let config =
         { Sim.Runner.default_config with epc_pages = epc; log_capacity = events }
       in
-      let result =
-        Sim.Runner.run ~config ?breaker:(breaker_of breaker)
-          ~input_label:(Input.to_string input) ~scheme trace
+      let spec =
+        Sim.Runner.Spec.make ~config ?breaker:(breaker_of breaker)
+          ?online:(online_of online)
+          ~input_label:(Input.to_string input) ()
       in
+      let result = Sim.Runner.run ~spec ~scheme trace in
       print_endline (Sim.Report.summary result);
       if result.instrumentation_points > 0 then
         Printf.printf "instrumentation points: %d\n" result.instrumentation_points;
@@ -150,7 +175,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ workload_arg $ scheme_arg $ epc_arg $ input_arg
-      $ breakdown_arg $ events_arg $ plan_arg $ breaker_arg)
+      $ breakdown_arg $ events_arg $ plan_arg $ breaker_arg $ online_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one preloading scheme")
@@ -164,8 +189,12 @@ let compare_cmd =
     | None -> unknown_workload workload
     | Some model ->
       let trace = model ~epc_pages:epc ~input in
-      let config = { Sim.Runner.default_config with epc_pages = epc } in
-      let run scheme = Sim.Runner.run ~config ~scheme trace in
+      let spec =
+        Sim.Runner.Spec.make
+          ~config:{ Sim.Runner.default_config with epc_pages = epc }
+          ~input_label:(Input.to_string input) ()
+      in
+      let run scheme = Sim.Runner.run ~spec ~scheme trace in
       let baseline = run Scheme.Baseline in
       let plan = build_plan ~epc workload in
       let table =
@@ -282,6 +311,10 @@ let stats_cmd =
       let s = Workload.Trace_stats.analyse trace in
       Printf.printf "%s (%s):\n  %s\n\n" workload (Input.to_string input)
         (Format.asprintf "%a" Workload.Trace_stats.pp s);
+      Printf.printf
+        "hot-page persistence (top-%d overlap across %d windows): %s\n\n"
+        64 16
+        (Repro_util.Table.cell_pct s.Workload.Trace_stats.hot_persistence);
       print_endline "LRU miss-ratio curve (baseline fault-rate estimate):";
       List.iter
         (fun (size, ratio) ->
@@ -328,8 +361,12 @@ let replay_cmd =
   let action file scheme epc =
     let trace = Workload.Trace_io.load_trace ~path:file in
     let scheme = parse_scheme ~epc ~workload:trace.Workload.Trace.name scheme in
-    let config = { Sim.Runner.default_config with epc_pages = epc } in
-    let result = Sim.Runner.run ~config ~scheme trace in
+    let spec =
+      Sim.Runner.Spec.make
+        ~config:{ Sim.Runner.default_config with epc_pages = epc }
+        ()
+    in
+    let result = Sim.Runner.run ~spec ~scheme trace in
     print_endline (Sim.Report.summary result)
   in
   let term = Term.(const action $ file_arg $ scheme_arg $ epc_arg) in
@@ -340,16 +377,18 @@ let replay_cmd =
 let scheme_pos_arg =
   Arg.(value & pos 1 string "baseline" & info [] ~docv:"SCHEME" ~doc:scheme_doc)
 
-let run_logged ~workload ~scheme_name ~epc ~input ~log_capacity =
+let run_logged ?online ~workload ~scheme_name ~epc ~input ~log_capacity () =
   match model_of_name workload with
   | None -> unknown_workload workload
   | Some model ->
     let scheme = parse_scheme ~epc ~workload scheme_name in
     let trace = model ~epc_pages:epc ~input in
-    let config =
-      { Sim.Runner.default_config with epc_pages = epc; log_capacity }
+    let spec =
+      Sim.Runner.Spec.make
+        ~config:{ Sim.Runner.default_config with epc_pages = epc; log_capacity }
+        ~input_label:(Input.to_string input) ?online ()
     in
-    Sim.Runner.run ~config ~input_label:(Input.to_string input) ~scheme trace
+    Sim.Runner.run ~spec ~scheme trace
 
 let validate_cmd =
   let action workload scheme epc input =
@@ -358,7 +397,7 @@ let validate_cmd =
        ring still overflows. *)
     let result =
       run_logged ~workload ~scheme_name:scheme ~epc ~input
-        ~log_capacity:(1 lsl 20)
+        ~log_capacity:(1 lsl 20) ()
     in
     if result.diagnostics.events_truncated then
       Printf.printf
@@ -407,12 +446,14 @@ let export_cmd =
     let doc = "Preloading scheme (as for $(b,run))." in
     Arg.(value & opt string "baseline" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
   in
-  let action workload scheme epc input format out =
+  let action workload scheme epc input format out online =
     let log_capacity =
       if Sim.Trace_export.needs_events format then 1 lsl 20 else 0
     in
     let result =
-      run_logged ~workload ~scheme_name:scheme ~epc ~input ~log_capacity
+      run_logged
+        ?online:(online_of online)
+        ~workload ~scheme_name:scheme ~epc ~input ~log_capacity ()
     in
     let payload = Sim.Trace_export.render ~format result in
     match out with
@@ -426,7 +467,7 @@ let export_cmd =
   let term =
     Term.(
       const action $ workload_arg $ scheme_opt_arg $ epc_arg $ input_arg
-      $ format_arg $ out_arg)
+      $ format_arg $ out_arg $ online_arg)
   in
   Cmd.v
     (Cmd.info "export"
@@ -572,7 +613,7 @@ let chaos_cmd =
     Arg.(value & opt (list string) [] & info [ "workloads" ] ~docv:"NAMES" ~doc)
   in
   let action epc input quick_flag jobs seed plan_names workloads timeout
-      retries keep_going journal resume fused breaker =
+      retries keep_going journal resume fused breaker online =
     let plans =
       List.map
         (fun name ->
@@ -605,6 +646,7 @@ let chaos_cmd =
         resume;
         fused;
         breaker = breaker_of breaker;
+        online = online_of online;
       }
     in
     let outcome =
@@ -629,7 +671,8 @@ let chaos_cmd =
     Term.(
       const action $ epc_chaos_arg $ input_arg $ quick_arg $ jobs_arg
       $ seed_arg $ plans_arg $ workloads_arg $ timeout_arg $ retries_arg
-      $ keep_going_arg $ journal_arg $ resume_arg $ fused_arg $ breaker_arg)
+      $ keep_going_arg $ journal_arg $ resume_arg $ fused_arg $ breaker_arg
+      $ online_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -904,8 +947,8 @@ let service_cmd =
   in
   let action workload schemes epc input requests pool events gap arrivals_s
       slo seed switchless fault_plan_name jobs plan_file deadline
-      request_retries backoff hedge restart_s breaker timeout cell_retries
-      keep_going =
+      request_retries backoff hedge restart_s breaker online timeout
+      cell_retries keep_going =
     let model =
       match model_of_name workload with
       | Some m -> m
@@ -942,6 +985,7 @@ let service_cmd =
         hedge_after = hedge;
         restart;
         breaker = breaker_of breaker;
+        online = online_of online;
       }
     in
     let config =
@@ -990,8 +1034,8 @@ let service_cmd =
       $ requests_arg $ pool_arg $ events_arg $ gap_arg $ arrivals_arg
       $ slo_arg $ seed_arg $ switchless_arg $ fault_plan_arg $ jobs_arg
       $ plan_arg $ deadline_arg $ request_retries_arg $ backoff_arg
-      $ hedge_arg $ restart_arg $ breaker_arg $ timeout_arg $ retries_arg
-      $ keep_going_arg)
+      $ hedge_arg $ restart_arg $ breaker_arg $ online_arg $ timeout_arg
+      $ retries_arg $ keep_going_arg)
   in
   Cmd.v
     (Cmd.info "service"

@@ -29,13 +29,13 @@ let evaluate name model =
     totals.c1 totals.c2 totals.c3
     (Preload.Sip_instrumenter.instrumentation_points plan);
   (* 2. Measure on other images. *)
-  let config = { Sim.Runner.default_config with epc_pages } in
+  let spec = Sim.Runner.Spec.make ~config:{ Sim.Runner.default_config with epc_pages } () in
   let improvements scheme =
     List.map
       (fun i ->
         let trace = model ~epc_pages ~input:(Input.Ref i) in
-        let baseline = Sim.Runner.run ~config ~scheme:Scheme.Baseline trace in
-        let r = Sim.Runner.run ~config ~scheme trace in
+        let baseline = Sim.Runner.run ~spec ~scheme:Scheme.Baseline trace in
+        let r = Sim.Runner.run ~spec ~scheme trace in
         Sim.Runner.improvement ~baseline r)
       [ 0; 1; 2 ]
   in

@@ -16,7 +16,7 @@ let () =
      Paper: SIP +1.6%, DFP +6.0%, SIP+DFP +7.1%.\n";
   let model = Workload.Vision.mixed_blood in
   let trace = model ~epc_pages ~input:(Workload.Input.Ref 0) in
-  let config = { Sim.Runner.default_config with epc_pages } in
+  let spec = Sim.Runner.Spec.make ~config:{ Sim.Runner.default_config with epc_pages } () in
   (* PGO: profile the train input, instrument only Class-3-heavy sites;
      Class-2 faults are left to DFP exactly as §4.4 prescribes. *)
   let plan =
@@ -27,7 +27,7 @@ let () =
   in
   Printf.printf "instrumentation points: %d (all in the MSER phase)\n\n"
     (Preload.Sip_instrumenter.instrumentation_points plan);
-  let baseline = Sim.Runner.run ~config ~scheme:Scheme.Baseline trace in
+  let baseline = Sim.Runner.run ~spec ~scheme:Scheme.Baseline trace in
   let table =
     Table.create
       ~headers:
@@ -38,7 +38,7 @@ let () =
         ]
   in
   let row scheme =
-    let r = Sim.Runner.run ~config ~scheme trace in
+    let r = Sim.Runner.run ~spec ~scheme trace in
     Table.add_row table
       [
         r.scheme;

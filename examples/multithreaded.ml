@@ -20,13 +20,13 @@ let () =
     Workload.Parallel_apps.mt_scan ~threads:8 ~epc_pages
       ~input:(Workload.Input.Ref 0)
   in
-  let config = { Sim.Runner.default_config with epc_pages } in
-  let baseline = Sim.Runner.run ~config ~scheme:Scheme.Baseline trace in
+  let spec = Sim.Runner.Spec.make ~config:{ Sim.Runner.default_config with epc_pages } () in
+  let baseline = Sim.Runner.run ~spec ~scheme:Scheme.Baseline trace in
   Printf.printf "workload: %s — %s\n\n" trace.Workload.Trace.name
     (Sim.Report.summary baseline);
   let show label per_thread =
     let scheme = Scheme.Dfp { Dfp.default_config with per_thread } in
-    let r = Sim.Runner.run ~config ~scheme trace in
+    let r = Sim.Runner.run ~spec ~scheme trace in
     Printf.printf "%-28s improvement %s, faults %s, preloads used %s\n" label
       (Repro_util.Table.cell_pct (Sim.Runner.improvement ~baseline r))
       (Repro_util.Table.cell_int (Sgxsim.Metrics.total_faults r.metrics))

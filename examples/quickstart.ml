@@ -16,10 +16,10 @@ let () =
   let trace =
     Workload.Spec.microbenchmark ~epc_pages ~input:(Workload.Input.Ref 0)
   in
-  let config = { Sim.Runner.default_config with epc_pages } in
-  let native = Sim.Runner.run ~config ~scheme:Scheme.Native trace in
-  let baseline = Sim.Runner.run ~config ~scheme:Scheme.Baseline trace in
-  let dfp = Sim.Runner.run ~config ~scheme:Scheme.dfp_default trace in
+  let spec = Sim.Runner.Spec.make ~config:{ Sim.Runner.default_config with epc_pages } () in
+  let native = Sim.Runner.run ~spec ~scheme:Scheme.Native trace in
+  let baseline = Sim.Runner.run ~spec ~scheme:Scheme.Baseline trace in
+  let dfp = Sim.Runner.run ~spec ~scheme:Scheme.dfp_default trace in
   Printf.printf "native (no SGX):  %s\n" (Sim.Report.summary native);
   Printf.printf "enclave baseline: %s\n" (Sim.Report.summary baseline);
   Printf.printf "enclave + DFP:    %s\n\n" (Sim.Report.summary dfp);

@@ -15,11 +15,11 @@ module Table = Repro_util.Table
 
 let epc_pages = 1024 (* smaller EPC: this is a walkthrough, not the eval *)
 
-let config = { Sim.Runner.default_config with epc_pages }
+let spec = Sim.Runner.Spec.make ~config:{ Sim.Runner.default_config with epc_pages } ()
 
 let normalized trace scheme =
-  let baseline = Sim.Runner.run ~config ~scheme:Scheme.Baseline trace in
-  let r = Sim.Runner.run ~config ~scheme trace in
+  let baseline = Sim.Runner.run ~spec ~scheme:Scheme.Baseline trace in
+  let r = Sim.Runner.run ~spec ~scheme trace in
   Sim.Runner.normalized_time ~baseline r
 
 let () =
@@ -63,11 +63,11 @@ let () =
       (Preload.Sip_profiler.default_config ~residency_pages:epc_pages)
       train
   in
-  let baseline = Sim.Runner.run ~config ~scheme:Scheme.Baseline train in
+  let baseline = Sim.Runner.run ~spec ~scheme:Scheme.Baseline train in
   List.iter
     (fun threshold ->
       let plan = Preload.Sip_instrumenter.plan_of_profile ~threshold profile in
-      let r = Sim.Runner.run ~config ~scheme:(Scheme.Sip plan) train in
+      let r = Sim.Runner.run ~spec ~scheme:(Scheme.Sip plan) train in
       Printf.printf "  threshold %5.1f%% -> %3d points, normalized time %.3f\n%!"
         (100.0 *. threshold)
         (Preload.Sip_instrumenter.instrumentation_points plan)

@@ -112,18 +112,19 @@ let check_stop t enclave ~now =
     ignore (Enclave.abort_pending_preloads enclave ~now)
   end
 
+let create config =
+  {
+    config;
+    small = Array.make small_threads None;
+    others = Hashtbl.create 4;
+    predictor_count = 0;
+    acc_preload_counter = 0;
+    preload_counter = 0;
+    stopped = false;
+  }
+
 let attach enclave config =
-  let t =
-    {
-      config;
-      small = Array.make small_threads None;
-      others = Hashtbl.create 4;
-      predictor_count = 0;
-      acc_preload_counter = 0;
-      preload_counter = 0;
-      stopped = false;
-    }
-  in
+  let t = create config in
   Enclave.set_on_fault enclave (fun enc ctx -> on_fault t enc ctx);
   Enclave.set_on_preload_complete enclave (fun _ _ ->
       t.preload_counter <- t.preload_counter + 1);

@@ -60,6 +60,18 @@ val attach : Sgxsim.Enclave.t -> config -> t
     predictor and may queue preloads.  Only one scheme should own the
     enclave's hooks. *)
 
+val create : config -> t
+(** Bare DFP state with no hooks installed — for drivers that place the
+    hooks themselves.  The online controller ({!Online}) uses this to
+    chain {!on_fault} behind its mode gate instead of letting DFP own
+    the enclave's fault hook unconditionally. *)
+
+val on_fault : t -> Sgxsim.Enclave.t -> Sgxsim.Enclave.fault_ctx -> unit
+(** Feed one fault to the predictor and issue/abort preloads — the body
+    {!attach} installs as the enclave's fault hook.  Exposed for
+    {!Online}, which wraps it so an adaptive controller can switch the
+    stream preloader on and off per phase. *)
+
 val stopped : t -> bool
 (** Whether the safety valve has fired. *)
 

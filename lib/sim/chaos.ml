@@ -25,6 +25,11 @@ type settings = {
       (* Attach a preload circuit breaker to every non-Native cell, so
          the matrix shows what tripping Open under a hostile plan costs
          (and that it stays Closed under clean ones). *)
+  online : Preload.Online.config option;
+      (* Attach the online adaptive controller to every non-Native cell:
+         the chaos matrix then answers whether adaptation stays legal
+         (and helpful) while the fault plans are actively lying to the
+         classifier. *)
 }
 
 let default_workloads ~quick =
@@ -46,6 +51,7 @@ let default =
     resume = false;
     fused = true;
     breaker = None;
+    online = None;
   }
 
 let quick = { default with quick = true; workloads = default_workloads ~quick:true }
@@ -130,7 +136,11 @@ let cell_of_result ~workload ~plan (r : Runner.result) =
 let runner_config es =
   { Runner.default_config with epc_pages = es.Experiments.epc_pages; log_capacity }
 
-let run_cell es ?breaker ~workload ~scheme_tag ~plan () =
+let cell_spec es ?breaker ?online ~plan () =
+  Runner.Spec.make ~config:(runner_config es) ~fault_plan:plan
+    ~input_label:(Input.to_string es.Experiments.ref_input) ?breaker ?online ()
+
+let run_cell es ?breaker ?online ~workload ~scheme_tag ~plan () =
   let sip_plan =
     (* The profiling step is pure and cheap relative to the measured run;
        recomputing it inside the cell keeps the cell self-contained (a
@@ -142,8 +152,7 @@ let run_cell es ?breaker ~workload ~scheme_tag ~plan () =
   let scheme = scheme_of scheme_tag sip_plan in
   let trace = Experiments.trace_of es workload ~input:es.Experiments.ref_input in
   let r =
-    Runner.run ~config:(runner_config es) ~fault_plan:plan ?breaker
-      ~input_label:(Input.to_string es.Experiments.ref_input) ~scheme trace
+    Runner.run ~spec:(cell_spec es ?breaker ?online ~plan ()) ~scheme trace
   in
   cell_of_result ~workload ~plan r
 
@@ -153,13 +162,14 @@ let run_cell es ?breaker ~workload ~scheme_tag ~plan () =
    is the same pure function of the trace each SIP/hybrid cell would
    recompute, so the resulting cells are field-for-field the ones the
    per-cell path produces (the CI fused/per-cell diff locks this). *)
-let run_group es ?breaker ~workload ~plan () =
+let run_group es ?breaker ?online ~workload ~plan () =
   let sip_plan = Experiments.plan_for es workload in
   let schemes = List.map (fun tag -> scheme_of tag sip_plan) scheme_names in
   let trace = Experiments.trace_of es workload ~input:es.Experiments.ref_input in
   let rs =
-    Runner.run_fused ~config:(runner_config es) ~fault_plan:plan ?breaker
-      ~input_label:(Input.to_string es.Experiments.ref_input) ~schemes trace
+    Runner.run_fused
+      ~spec:(cell_spec es ?breaker ?online ~plan ())
+      ~schemes trace
   in
   List.map (cell_of_result ~workload ~plan) rs
 
@@ -188,14 +198,17 @@ let run settings =
     Job_pool.run_hardened ~jobs:settings.jobs ?timeout:settings.cell_timeout
       ~retries:settings.retries ?journal ~resume:settings.resume
       ~journal_key:
-        (Printf.sprintf "chaos %s seed=%d breaker=%s"
+        (Printf.sprintf "chaos %s seed=%d breaker=%s online=%s"
            (Experiments.settings_key es) settings.seed
            (match settings.breaker with
            | None -> "off"
            | Some b ->
              Printf.sprintf "%d/%d/%g/%d/%d" b.Preload.Breaker.window
                b.Preload.Breaker.min_samples b.Preload.Breaker.threshold
-               b.Preload.Breaker.cooldown b.Preload.Breaker.probe_samples))
+               b.Preload.Breaker.cooldown b.Preload.Breaker.probe_samples)
+           (match settings.online with
+           | None -> "off"
+           | Some o -> Preload.Online.config_name o))
       jobs
   in
   let cells, failed =
@@ -208,8 +221,8 @@ let run settings =
                  ~label:
                    (Printf.sprintf "chaos/%s/%s/%s" workload scheme_tag
                       plan.Fault_plan.name)
-                 (run_cell es ?breaker:settings.breaker ~workload ~scheme_tag
-                    ~plan))
+                 (run_cell es ?breaker:settings.breaker
+                    ?online:settings.online ~workload ~scheme_tag ~plan))
              (grid settings))
       in
       ( List.filter_map (function Ok c -> Some c | Error _ -> None) results,
@@ -231,7 +244,8 @@ let run settings =
                    (Printf.sprintf "chaos/%s/fused[%s]/%s" workload
                       (String.concat "," scheme_names)
                       plan.Fault_plan.name)
-                 (run_group es ?breaker:settings.breaker ~workload ~plan))
+                 (run_group es ?breaker:settings.breaker
+                    ?online:settings.online ~workload ~plan))
              groups)
       in
       (* Fused jobs come back (workload, plan)-major with the scheme
@@ -334,6 +348,11 @@ let print_report settings outcome =
       "breaker" b.Preload.Breaker.window b.Preload.Breaker.min_samples
       (100.0 *. b.Preload.Breaker.threshold)
       b.Preload.Breaker.cooldown b.Preload.Breaker.probe_samples);
+  (match settings.online with
+  | None -> ()
+  | Some o ->
+    Printf.printf "- %-16s %s (adaptive controller on every cell)\n" "online"
+      (Preload.Online.config_name o));
   print_newline ();
   List.iter (print_workload outcome.cells) settings.workloads;
   List.iter

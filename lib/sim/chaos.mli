@@ -42,6 +42,12 @@ type settings = {
           ([--breaker] on the CLI): hostile plans show the trip and its
           cost, clean plans show it staying Closed for free.  Part of
           the journal key. *)
+  online : Preload.Online.config option;
+      (** Attach the online adaptive controller to every non-Native cell
+          ([--online] on the CLI): the matrix then doubles as the
+          adversarial test of adaptation — the {!Validate} battery keeps
+          checking controller legality while the fault plans perturb the
+          signal it learns from.  Part of the journal key. *)
 }
 
 val default : settings

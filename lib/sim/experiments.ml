@@ -102,8 +102,12 @@ let runner_config settings =
 
 (* Every experiment run passes through the validator: no reproduction
    figure is printed from a run whose own invariants do not hold. *)
-let run_checked ?config ?input_label ~scheme trace =
-  let r = Runner.run ?config ?input_label ~scheme trace in
+let run_checked ?config ?input_label ?fault_plan ?online ~scheme trace =
+  let r =
+    Runner.run
+      ~spec:(Runner.Spec.make ?config ?input_label ?fault_plan ?online ())
+      ~scheme trace
+  in
   Validate.assert_valid r;
   r
 
@@ -212,6 +216,7 @@ let cells settings ~table ~label ~f xs =
    inside its job exactly as [run_checked] would. *)
 let scheme_grid settings ~table ~config ?(input_label = "") ~key_label
     ~tag_label ~trace_of:trace_for ~scheme_of grid =
+  let spec = Runner.Spec.make ~config ~input_label () in
   let cell_label (k, tag) =
     let kl = key_label k in
     if kl = "" then tag_label tag
@@ -220,10 +225,7 @@ let scheme_grid settings ~table ~config ?(input_label = "") ~key_label
   if not settings.fused then
     cells settings ~table ~label:cell_label
       ~f:(fun (k, tag) ->
-        let r =
-          Runner.run ~config ~input_label ~scheme:(scheme_of k tag)
-            (trace_for k)
-        in
+        let r = Runner.run ~spec ~scheme:(scheme_of k tag) (trace_for k) in
         Validate.assert_valid r;
         r)
       grid
@@ -252,9 +254,7 @@ let scheme_grid settings ~table ~config ?(input_label = "") ~key_label
             (String.concat "," (List.map tag_label tags)))
         ~f:(fun (k, tags) ->
           let schemes = List.map (scheme_of k) tags in
-          let rs =
-            Runner.run_fused ~config ~input_label ~schemes (trace_for k)
-          in
+          let rs = Runner.run_fused ~spec ~schemes (trace_for k) in
           List.iter Validate.assert_valid rs;
           rs)
         groups
@@ -1664,6 +1664,167 @@ let print_resilience settings =
      channel time exactly when the channel is the bottleneck.\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* E-online — adaptive preloading without a training trace             *)
+(* ------------------------------------------------------------------ *)
+
+(* The online controller's claim: with zero profile input it should
+   land near the PGO hybrid on phased programs — DFP mode through the
+   streaming phase, learned instrumentation through the irregular one —
+   and at worst pay its learning window on single-behaviour programs.
+   mixed-blood is the phased witness; lbm (pure stream) and deepsjeng
+   (pure irregular) bound the cost of learning what a profile already
+   knows. *)
+let online_workloads settings =
+  if settings.quick then [ "mixed-blood" ]
+  else [ "mixed-blood"; "lbm"; "deepsjeng" ]
+
+let online_tags = [ "baseline"; "SIP (PGO)"; "dfp-stop"; "hybrid (PGO)"; "online" ]
+
+(* Unlike every PGO row, the online cell's spec carries the controller
+   and its scheme is plain [Baseline]: all preloading it does is learned
+   from its own run.  Cells get their own specs (no [scheme_grid]): a
+   fused group would share one controller across schemes. *)
+let online_scheme_and_spec settings ?fault_plan name tag =
+  let spec ?online () =
+    Runner.Spec.make ~config:(runner_config settings) ?fault_plan
+      ~input_label:(Input.to_string settings.ref_input) ?online ()
+  in
+  match tag with
+  | "baseline" -> (Scheme.Baseline, spec ())
+  | "SIP (PGO)" -> (Scheme.Sip (plan_for settings name), spec ())
+  | "dfp-stop" -> (Scheme.dfp_stop, spec ())
+  | "hybrid (PGO)" -> (hybrid_scheme (plan_for settings name), spec ())
+  | "online" -> (Scheme.Baseline, spec ~online:Preload.Online.default_config ())
+  | t -> invalid_arg ("Experiments.online: unknown scheme tag " ^ t)
+
+let online_rows settings =
+  let names = online_workloads settings in
+  prewarm settings names;
+  prewarm settings ~input:Input.Train names;
+  let grid =
+    List.concat_map (fun n -> List.map (fun t -> (n, t)) online_tags) names
+  in
+  let runs =
+    cells settings ~table:"online"
+      ~label:(fun (n, tag) -> Printf.sprintf "%s/%s" n tag)
+      ~f:(fun (n, tag) ->
+        let scheme, spec = online_scheme_and_spec settings n tag in
+        let r =
+          Runner.run ~spec ~scheme
+            (trace_of settings n ~input:settings.ref_input)
+        in
+        Validate.assert_valid r;
+        r)
+      grid
+  in
+  let table = List.combine grid runs in
+  List.concat_map
+    (fun n ->
+      let baseline = List.assoc (n, "baseline") table in
+      List.filter_map
+        (fun tag ->
+          if tag = "baseline" then None
+          else Some (row_of ~baseline (List.assoc (n, tag) table)))
+        online_tags)
+    names
+
+(* The variable-EPC axis: a co-tenant plan periodically steals frames
+   ({!Fault_plan.epc_budget}), so the effective EPC — and with it the
+   profitable scheme — changes mid-run.  A profile computed at the
+   nominal size cannot anticipate it; the controller re-reads the fault
+   rate every scan and follows the squeeze. *)
+let online_epc_rows settings =
+  let name = "mixed-blood" in
+  prewarm settings [ name ];
+  prewarm settings ~input:Input.Train [ name ];
+  let plans = [ Fault_plan.none; Fault_plan.noisy_neighbor ] in
+  let plan_of pname =
+    List.find (fun (p : Fault_plan.t) -> p.Fault_plan.name = pname) plans
+  in
+  let tags = [ "baseline"; "SIP (PGO)"; "online" ] in
+  let grid =
+    List.concat_map
+      (fun (p : Fault_plan.t) -> List.map (fun t -> (p.Fault_plan.name, t)) tags)
+      plans
+  in
+  let runs =
+    cells settings ~table:"online-epc"
+      ~label:(fun (pname, tag) -> Printf.sprintf "%s/%s" pname tag)
+      ~f:(fun (pname, tag) ->
+        let scheme, spec =
+          online_scheme_and_spec settings ~fault_plan:(plan_of pname) name tag
+        in
+        let r =
+          Runner.run ~spec ~scheme
+            (trace_of settings name ~input:settings.ref_input)
+        in
+        Validate.assert_valid r;
+        r)
+      grid
+  in
+  let table = List.combine grid runs in
+  List.map
+    (fun (p : Fault_plan.t) ->
+      let cell tag = List.assoc (p.Fault_plan.name, tag) table in
+      let baseline = cell "baseline" in
+      let norm tag = Runner.normalized_time ~baseline (cell tag) in
+      let online = cell "online" in
+      let s =
+        match online.Runner.diagnostics.Runner.online with
+        | Some s -> s
+        | None -> assert false (* the online cell always attaches *)
+      in
+      (p.Fault_plan.name, norm "SIP (PGO)", norm "online", s))
+    plans
+
+let print_online settings =
+  let module Online = Preload.Online in
+  Printf.printf "## E-online — adaptive preloading without a training trace\n\n";
+  Printf.printf "### Phased workloads: online controller vs PGO schemes\n\n";
+  Table.print (improvement_table (online_rows settings));
+  Printf.printf
+    "\n### mixed-blood: variable EPC (co-tenant frame steal, plan \
+     epc_budget)\n\n";
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("fault plan", Table.Left);
+          ("SIP (PGO) norm.", Table.Right);
+          ("online norm.", Table.Right);
+          ("mode switches", Table.Right);
+          ("phase shifts", Table.Right);
+          ("sites instrumented", Table.Right);
+          ("final mode", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (plan, sip, online, (s : Online.summary)) ->
+      Table.add_row t
+        [
+          plan;
+          Table.cell_float ~decimals:3 sip;
+          Table.cell_float ~decimals:3 online;
+          Table.cell_int (List.length s.Online.s_transitions);
+          Table.cell_int s.Online.s_phase_shifts;
+          Table.cell_int s.Online.s_instrumented;
+          Online.mode_name s.Online.final_mode;
+        ])
+    (online_epc_rows settings);
+  Table.print t;
+  print_string
+    "\nThe online rows consume no training trace: the controller starts\n\
+     in baseline mode, classifies sites from the CLOCK scan's harvested\n\
+     access bits, and switches scheme at scan boundaries — DFP when the\n\
+     stream-covered miss share clears its threshold, learned\n\
+     instrumentation when irregular sites dominate.  On phased programs\n\
+     it beats the offline SIP profile (which averages both phases into\n\
+     one plan); on single-behaviour programs it pays only its learning\n\
+     window.  Under the co-tenant squeeze the effective EPC moves\n\
+     mid-run, and the phase detector re-triggers where a fixed profile\n\
+     would stay mis-tuned.\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1694,6 +1855,7 @@ let catalog =
     ("fleet", "Multi-enclave fleet: shared vs partitioned EPC interference", print_fleet);
     ("service", "Open-loop request service: tail latency, SLOs, switchless calls", print_service);
     ("resilience", "Crash-recovery: restarts, retries, hedging, preload breaker", print_resilience);
+    ("online", "Online adaptive preloading (no PGO): phased workloads, variable EPC", print_online);
   ]
 
 let all = List.map (fun (id, descr, _) -> (id, descr)) catalog

@@ -173,6 +173,20 @@ val ablation_oram_rows : settings -> improvement_row list
 (** DFP / DFP-stop on the boundary workloads: ORAM-style randomness
     (§3.1), an adversarial pair-walk, and an ideal endless stream. *)
 
+val online_rows : settings -> improvement_row list
+(** E-online: the online adaptive controller (zero training input,
+    scheme [Baseline] plus {!Preload.Online.default_config} in the
+    spec) against the PGO rows — SIP, DFP-stop and the hybrid — on
+    phased and single-behaviour workloads.  The online rows' scheme
+    label carries the ["+online"] suffix. *)
+
+val online_epc_rows :
+  settings -> (string * float * float * Preload.Online.summary) list
+(** E-online's variable-EPC axis: mixed-blood under a fault-free plan
+    and a co-tenant frame-stealing plan ({!Fault_plan.noisy_neighbor}'s
+    [epc_budget] squeeze).  Per row (plan name, PGO-SIP normalized time,
+    online normalized time, the online controller's summary). *)
+
 (** {1 Driver} *)
 
 val all : (string * string) list

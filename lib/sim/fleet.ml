@@ -64,6 +64,10 @@ type outcome = {
    plus a cursor over its (possibly plan-perturbed) access stream. *)
 type feed = {
   inst : Runner.instance;
+  spec : Runner.Spec.t;
+      (* Per-tenant: a partitioned pool gives each tenant its own EPC
+         size, so each carries the spec it was built under into
+         [finalize]. *)
   arena : Trace_arena.t;
   events : Access.t array option;
       (* Materialised per tenant when the plan corrupts/truncates the
@@ -80,7 +84,7 @@ let partition_capacity ~epc_pages ~n i =
   max 1 ((epc_pages / n) + if i < epc_pages mod n then 1 else 0)
 
 let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
-    ?(input_label = "") tenants =
+    ?(input_label = "") ?online tenants =
   let tenants = Array.of_list tenants in
   let n = Array.length tenants in
   if n = 0 then invalid_arg "Fleet.run: empty fleet";
@@ -98,16 +102,18 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
           | Shared -> config.epc_pages
           | Partitioned -> partition_capacity ~epc_pages:config.epc_pages ~n i
         in
-        let rc =
-          {
-            Runner.epc_pages;
-            costs = config.costs;
-            log_capacity = config.log_capacity;
-          }
+        let spec =
+          Runner.Spec.make
+            ~config:
+              {
+                Runner.epc_pages;
+                costs = config.costs;
+                log_capacity = config.log_capacity;
+              }
+            ~fault_plan ~input_label ?online ()
         in
         let inst =
-          Runner.make_instance ?epc:pool ~owner:i ~config:rc ~fault_plan
-            ~trace:t.trace t.scheme
+          Runner.make_instance ?epc:pool ~owner:i ~spec ~trace:t.trace t.scheme
         in
         let arena = Trace_arena.compile t.trace in
         let events =
@@ -127,7 +133,7 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
           | Some evs -> Array.length evs
           | None -> Trace_arena.length arena
         in
-        { inst; arena; events; len; idx = 0 })
+        { inst; spec; arena; events; len; idx = 0 })
       tenants
   in
   let enclaves = Array.map (fun f -> f.inst.Runner.enclave) feeds in
@@ -205,8 +211,7 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
     Array.to_list
       (Array.mapi
          (fun i f ->
-           Runner.finalize ~fault_plan ~input_label ~trace:tenants.(i).trace
-             f.inst)
+           Runner.finalize ~spec:f.spec ~trace:tenants.(i).trace f.inst)
          feeds)
   in
   let shared_pool =
@@ -248,7 +253,7 @@ let assert_valid outcome =
 type cell = { c_tag : string; c_mode : epc_mode; c_outcome : outcome }
 
 let matrix ?(jobs = 1) ?(config = default_config) ?(fault_plan = Fault_plan.none)
-    ?(input_label = "") ~scheme_for ~tags ~modes tenants =
+    ?(input_label = "") ?online ~scheme_for ~tags ~modes tenants =
   if tenants = [] then invalid_arg "Fleet.matrix: empty fleet";
   let grid =
     List.concat_map (fun tag -> List.map (fun mode -> (tag, mode)) modes) tags
@@ -264,7 +269,8 @@ let matrix ?(jobs = 1) ?(config = default_config) ?(fault_plan = Fault_plan.none
                 tenants
             in
             let outcome =
-              run ~config:{ config with mode } ~fault_plan ~input_label fleet
+              run ~config:{ config with mode } ~fault_plan ~input_label ?online
+                fleet
             in
             assert_valid outcome;
             { c_tag = tag; c_mode = mode; c_outcome = outcome }))

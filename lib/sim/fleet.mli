@@ -85,11 +85,14 @@ val run :
   ?config:config ->
   ?fault_plan:Fault_plan.t ->
   ?input_label:string ->
+  ?online:Preload.Online.config ->
   tenant list ->
   outcome
 (** Execute the fleet to completion (every tenant's full trace).  With
     one tenant and [Shared] mode, [results] is [[Runner.run ... ]],
-    structurally equal field for field.
+    structurally equal field for field.  [online] attaches the adaptive
+    controller to every non-Native tenant (each learns from its own
+    stream; the controllers share nothing).
     @raise Invalid_argument on an empty fleet. *)
 
 val check : outcome -> Validate.violation list
@@ -107,6 +110,7 @@ val matrix :
   ?config:config ->
   ?fault_plan:Fault_plan.t ->
   ?input_label:string ->
+  ?online:Preload.Online.config ->
   scheme_for:(string -> string -> Preload.Scheme.t) ->
   tags:string list ->
   modes:epc_mode list ->

@@ -156,12 +156,15 @@ let run ?(clock = Sys.time) ?(jobs = 1) s =
       replay_speedup = seq_wall /. arena_wall;
     }
   in
-  let config =
-    { Runner.default_config with epc_pages = s.epc_pages; log_capacity = 0 }
+  let spec =
+    Runner.Spec.make
+      ~config:
+        { Runner.default_config with epc_pages = s.epc_pages; log_capacity = 0 }
+      ()
   in
   let measure scheme =
     let t0 = clock () in
-    let r = Runner.run ~config ~scheme trace in
+    let r = Runner.run ~spec ~scheme trace in
     let t1 = clock () in
     (* The timed region is the replay alone; validation is unpaid but
        keeps the timing honest — a broken run must not post a time. *)
@@ -199,7 +202,7 @@ let run ?(clock = Sys.time) ?(jobs = 1) s =
      every simulated column; a divergence here is a broken fusion, not a
      slow one, and fails the benchmark. *)
   let fused_results, fused_wall =
-    timed (fun () -> Runner.run_fused ~config ~schemes trace)
+    timed (fun () -> Runner.run_fused ~spec ~schemes trace)
   in
   List.iter
     (fun (r : Runner.result) ->

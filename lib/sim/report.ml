@@ -72,6 +72,17 @@ let diagnostics_table (r : Runner.result) =
     row "breaker trips" (Table.cell_int d.Runner.breaker_trips);
     row "breaker rejections"
       (Table.cell_int r.Runner.metrics.Metrics.preloads_rejected_breaker));
+  (match d.Runner.online with
+  | None -> ()
+  | Some s ->
+    let module Online = Preload.Online in
+    row "online mode" (Online.mode_name s.Online.final_mode);
+    row "online mode switches"
+      (Table.cell_int (List.length s.Online.s_transitions));
+    row "online phase shifts" (Table.cell_int s.Online.s_phase_shifts);
+    row "online sites instrumented" (Table.cell_int s.Online.s_instrumented);
+    row "online label flips"
+      (Table.cell_int (List.length s.Online.s_label_changes)));
   t
 
 let fault_latency_table (r : Runner.result) =

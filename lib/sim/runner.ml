@@ -28,6 +28,40 @@ let restart_policy_of_string = function
   | s ->
     Error (Printf.sprintf "unknown restart policy %S (expected cold|rewarm)" s)
 
+(* The one run-entry record.  Every knob that used to be a mirrored
+   optional argument on [run]/[run_fused]/[make_instance] (and then on
+   Fleet/Service/Chaos in turn) lives here once, validated once. *)
+module Spec = struct
+  type t = {
+    config : config;
+    fault_plan : Fault_plan.t;
+    input_label : string;
+    restart : restart_policy;
+    breaker : Preload.Breaker.config option;
+    online : Preload.Online.config option;
+  }
+
+  let default =
+    {
+      config = default_config;
+      fault_plan = Fault_plan.none;
+      input_label = "";
+      restart = Cold;
+      breaker = None;
+      online = None;
+    }
+
+  let make ?(config = default_config) ?(fault_plan = Fault_plan.none)
+      ?(input_label = "") ?(restart = Cold) ?breaker ?online () =
+    if config.epc_pages <= 0 then
+      invalid_arg "Runner.Spec: epc_pages must be positive";
+    if config.log_capacity < 0 then
+      invalid_arg "Runner.Spec: log_capacity must be non-negative";
+    ignore (Option.map Preload.Breaker.validate breaker);
+    ignore (Option.map Preload.Online.validate online);
+    { config; fault_plan; input_label; restart; breaker; online }
+end
+
 type diagnostics = {
   pending_preloads : int;
   in_flight_preloads : int;
@@ -38,6 +72,7 @@ type diagnostics = {
   breaker_state : Breaker.state option;
   breaker_trips : int;
   breaker_transitions : Breaker.transition list;
+  online : Preload.Online.summary option;
 }
 
 type result = {
@@ -78,12 +113,14 @@ type instance = {
   i_crash_key : int; (* instance index in the crash draw chain *)
   i_restart : restart_policy;
   i_breaker : Breaker.t option;
+  i_online : Preload.Online.t option;
   mutable crash_window : int; (* highest crash window already evaluated *)
   mutable restarts : int;
 }
 
-let make_instance ?epc ?owner ?(restart = Cold) ?breaker ~(config : config)
-    ~fault_plan ~(trace : Trace.t) scheme =
+let make_instance ?epc ?owner ~(spec : Spec.t) ~(trace : Trace.t) scheme =
+  let config = spec.Spec.config in
+  let fault_plan = spec.Spec.fault_plan in
   (* A stale profile perturbs the scheme itself, before anything else
      sees it: SIP/Hybrid run with the scrambled plan throughout. *)
   let scheme =
@@ -146,11 +183,37 @@ let make_instance ?epc ?owner ?(restart = Cold) ?breaker ~(config : config)
       None
     | Scheme.Baseline | Scheme.Native | Scheme.Sip _ -> None
   in
-  (* The breaker chains after the scheme's hooks (which own the set_*
-     slots) and installs the admission gate.  Native never speculates, so
-     a breaker on it would only log an eternally-Closed machine. *)
+  (* The online controller attaches to whatever actuation slots the base
+     scheme left free: it owns the mode-gated stream preloader when the
+     fault hook is unclaimed (Baseline, SIP) and the dynamic SIP
+     predicate when there is no static plan.  Native runs outside SGX —
+     nothing to adapt.  Its observations come from [step], which (unlike
+     the fault hook) sees instruction sites. *)
+  let online =
+    match (scheme, spec.Spec.online) with
+    | Scheme.Native, _ | _, None -> None
+    | _, Some ocfg ->
+      let can_dfp =
+        match scheme with
+        | Scheme.Baseline | Scheme.Sip _ -> true
+        | Scheme.Native | Scheme.Dfp _ | Scheme.Hybrid _ | Scheme.Next_line _
+        | Scheme.Stride _ | Scheme.Markov _ ->
+          false
+      in
+      let can_sip = Scheme.sip_plan scheme = None in
+      let ctl =
+        Preload.Online.create ~config:ocfg ~residency_pages:epc_pages ~can_dfp
+          ~can_sip ()
+      in
+      Preload.Online.attach ctl enclave;
+      Some ctl
+  in
+  (* The breaker chains after the scheme's (and controller's) hooks,
+     which own the set_* slots, and installs the admission gate.  Native
+     never speculates, so a breaker on it would only log an
+     eternally-Closed machine. *)
   let breaker =
-    match (scheme, breaker) with
+    match (scheme, spec.Spec.breaker) with
     | Scheme.Native, _ | _, None -> None
     | _, Some bconfig ->
       let b = Breaker.create ~config:bconfig () in
@@ -200,9 +263,10 @@ let make_instance ?epc ?owner ?(restart = Cold) ?breaker ~(config : config)
         (float_of_int
            (ctx.handled_at - ctx.raised_at + costs.Cost_model.t_eresume)));
   let sip_site =
-    match Scheme.sip_plan scheme with
-    | Some plan -> Preload.Sip_instrumenter.site_predicate plan
-    | None -> fun _ -> false
+    match (Scheme.sip_plan scheme, online) with
+    | Some plan, _ -> Preload.Sip_instrumenter.site_predicate plan
+    | None, Some ctl -> Preload.Online.site_predicate ctl
+    | None, None -> fun _ -> false
   in
   {
     i_scheme = scheme;
@@ -222,8 +286,9 @@ let make_instance ?epc ?owner ?(restart = Cold) ?breaker ~(config : config)
       | Scheme.Native -> None
       | _ -> fault_plan.Fault_plan.crash);
     i_crash_key = Option.value owner ~default:0;
-    i_restart = restart;
+    i_restart = spec.Spec.restart;
     i_breaker = breaker;
+    i_online = online;
     crash_window = -1;
     restarts = 0;
   }
@@ -268,14 +333,19 @@ let check_crash inst =
       end
     end
 
-let finalize ~fault_plan ~input_label ~(trace : Trace.t) inst =
+let finalize ~(spec : Spec.t) ~(trace : Trace.t) inst =
   Enclave.sync inst.enclave ~now:inst.now;
   let metrics = Enclave.metrics inst.enclave in
   {
     workload = trace.Trace.name;
-    input = input_label;
-    scheme = Scheme.name inst.i_scheme;
-    fault_plan = fault_plan.Fault_plan.name;
+    input = spec.Spec.input_label;
+    scheme =
+      (* An adaptive run is a different scheme from its base: tables and
+         journals must never conflate the two. *)
+      (match inst.i_online with
+      | Some _ -> Scheme.name inst.i_scheme ^ "+online"
+      | None -> Scheme.name inst.i_scheme);
+    fault_plan = spec.Spec.fault_plan.Fault_plan.name;
     cycles = Metrics.total_cycles metrics;
     final_now = inst.now;
     costs = inst.i_costs;
@@ -308,6 +378,7 @@ let finalize ~fault_plan ~input_label ~(trace : Trace.t) inst =
           (match inst.i_breaker with
           | Some b -> Breaker.transitions b
           | None -> []);
+        online = Option.map Preload.Online.summary inst.i_online;
       };
     fault_latency = inst.fault_latency_h;
     dfp_stopped =
@@ -321,6 +392,12 @@ let finalize ~fault_plan ~input_label ~(trace : Trace.t) inst =
 
 let step inst ~site ~vpage ~compute ~thread =
   check_crash inst;
+  (* The classifier observes from here — the only place that sees the
+     instruction site — and never touches the enclave, so observation
+     cannot perturb the replay. *)
+  (match inst.i_online with
+  | Some ctl -> Preload.Online.observe ctl ~site ~vpage
+  | None -> ());
   let t = Enclave.compute inst.enclave ~now:inst.now compute in
   let t =
     if inst.sip_site site then
@@ -329,12 +406,10 @@ let step inst ~site ~vpage ~compute ~thread =
   in
   inst.now <- t
 
-let run_fused ?(config = default_config) ?(fault_plan = Fault_plan.none)
-    ?(input_label = "") ?restart ?breaker ~schemes trace =
+let run_fused ?(spec = Spec.default) ~schemes trace =
+  let fault_plan = spec.Spec.fault_plan in
   let instances =
-    Array.of_list
-      (List.map (make_instance ?restart ?breaker ~config ~fault_plan ~trace)
-         schemes)
+    Array.of_list (List.map (make_instance ~spec ~trace) schemes)
   in
   let n = Array.length instances in
   (* Replay from the compiled arena, fanning each access out to every
@@ -382,15 +457,10 @@ let run_fused ?(config = default_config) ?(fault_plan = Fault_plan.none)
       (Fault_plan.perturb_trace fault_plan
          ~elrange_pages:trace.Trace.elrange_pages
          (Workload.Trace_arena.to_seq arena)));
-  List.map
-    (finalize ~fault_plan ~input_label ~trace)
-    (Array.to_list instances)
+  List.map (finalize ~spec ~trace) (Array.to_list instances)
 
-let run ?config ?fault_plan ?input_label ?restart ?breaker ~scheme trace =
-  match
-    run_fused ?config ?fault_plan ?input_label ?restart ?breaker
-      ~schemes:[ scheme ] trace
-  with
+let run ?spec ~scheme trace =
+  match run_fused ?spec ~schemes:[ scheme ] trace with
   | [ r ] -> r
   | _ -> assert false
 

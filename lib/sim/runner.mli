@@ -32,6 +32,51 @@ val restart_policy_name : restart_policy -> string
 val restart_policy_of_string : string -> (restart_policy, string) result
 (** Inverse of {!restart_policy_name}; [Error reason] on anything else. *)
 
+(** The run specification: every cross-cutting knob of a replay in one
+    validated record.  This replaces the
+    [?config ?fault_plan ?input_label ?restart ?breaker] optional-arg
+    sprawl the run entry points (and each driver above them) used to
+    mirror — the online controller arrives as a field here, not as a
+    sixth argument.  Build with {!Spec.make} (validating) or start from
+    {!Spec.default} and override fields. *)
+module Spec : sig
+  type t = {
+    config : config;
+    fault_plan : Fault_plan.t;
+        (** Default {!Fault_plan.none}: the unperturbed simulation. *)
+    input_label : string;  (** Reported as [result.input]. *)
+    restart : restart_policy;  (** Post-crash policy (default [Cold]). *)
+    breaker : Preload.Breaker.config option;
+        (** Attach the preload circuit breaker (never on Native). *)
+    online : Preload.Online.config option;
+        (** Attach the online adaptive controller (never on Native).
+            The controller takes whatever actuation slots the base
+            scheme left free: on [Baseline] it owns both the mode-gated
+            DFP and the dynamic SIP predicate; a scheme with its own
+            fault-hook preloader keeps it, and a static plan keeps its
+            predicate.  Results carry a ["+online"] scheme-name
+            suffix. *)
+  }
+
+  val default : t
+  (** All defaults: paper config, no fault plan, no breaker, no
+      controller, cold restarts, empty input label. *)
+
+  val make :
+    ?config:config ->
+    ?fault_plan:Fault_plan.t ->
+    ?input_label:string ->
+    ?restart:restart_policy ->
+    ?breaker:Preload.Breaker.config ->
+    ?online:Preload.Online.config ->
+    unit ->
+    t
+  (** Validating constructor: raises [Invalid_argument] on a
+      non-positive EPC, a negative log capacity, or an invalid
+      breaker/online config (via their own [validate]).  Omitted fields
+      take the {!default} values. *)
+end
+
 type diagnostics = {
   pending_preloads : int;  (** Preloads still queued at end of run. *)
   in_flight_preloads : int;
@@ -58,6 +103,11 @@ type diagnostics = {
   breaker_transitions : Preload.Breaker.transition list;
       (** Full chronological state-change log, checked for legality by
           {!Validate.check_resilience}. *)
+  online : Preload.Online.summary option;
+      (** End-of-run controller snapshot (final mode, transition and
+          label-change logs, per-site classification totals); [None]
+          when no controller was attached.  Checked by
+          {!Validate.check_online}. *)
 }
 (** End-of-run diagnostic state.  One typed value consumed by
     {!Validate}, {!Report} and {!Trace_export}; grows here rather than
@@ -87,25 +137,22 @@ type result = {
   epc_capacity : int;  (** EPC frames the run was configured with. *)
 }
 
-val run :
-  ?config:config -> ?fault_plan:Fault_plan.t -> ?input_label:string ->
-  ?restart:restart_policy -> ?breaker:Preload.Breaker.config ->
-  scheme:Preload.Scheme.t -> Workload.Trace.t -> result
+val run : ?spec:Spec.t -> scheme:Preload.Scheme.t -> Workload.Trace.t -> result
 (** Replay the trace once, from its compiled {!Workload.Trace_arena}
-    (compiling it on first use; see the arena's memo/cache).  [Native]
-    schemes run with the native cost model and an effectively unbounded
-    EPC (the machine's RAM); fault-plan EPC-budget and channel-jitter
-    hooks do not apply to it (there is no enclave to perturb), so Native
-    cycles are invariant across fault plans up to trace corruption.
-    [fault_plan] (default {!Fault_plan.none}) perturbs the run at the
-    plan's injection points; a stale plan scrambles the SIP plan before
-    attachment, and corrupted traces are corrupted identically on every
-    replay (the draws are seeded by event index). *)
+    (compiling it on first use; see the arena's memo/cache), under
+    [spec] (default {!Spec.default}).  [Native] schemes run with the
+    native cost model and an effectively unbounded EPC (the machine's
+    RAM); fault-plan EPC-budget and channel-jitter hooks do not apply to
+    it (there is no enclave to perturb), so Native cycles are invariant
+    across fault plans up to trace corruption.  The spec's fault plan
+    perturbs the run at the plan's injection points; a stale plan
+    scrambles the SIP plan before attachment, and corrupted traces are
+    corrupted identically on every replay (the draws are seeded by event
+    index). *)
 
 val run_fused :
-  ?config:config -> ?fault_plan:Fault_plan.t -> ?input_label:string ->
-  ?restart:restart_policy -> ?breaker:Preload.Breaker.config ->
-  schemes:Preload.Scheme.t list -> Workload.Trace.t -> result list
+  ?spec:Spec.t -> schemes:Preload.Scheme.t list -> Workload.Trace.t ->
+  result list
 (** Replay the trace {e once}, driving one independent simulation
     instance per scheme off the single pass.  Results come back in
     [schemes] order and are field-for-field identical to
@@ -143,6 +190,7 @@ type instance = {
           a solo run), so fleet members crash independently. *)
   i_restart : restart_policy;
   i_breaker : Preload.Breaker.t option;
+  i_online : Preload.Online.t option;
   mutable crash_window : int;
       (** Highest crash window already evaluated (-1 initially). *)
   mutable restarts : int;
@@ -154,21 +202,18 @@ type instance = {
 val make_instance :
   ?epc:Sgxsim.Clock_evictor.t ->
   ?owner:int ->
-  ?restart:restart_policy ->
-  ?breaker:Preload.Breaker.config ->
-  config:config ->
-  fault_plan:Fault_plan.t ->
+  spec:Spec.t ->
   trace:Workload.Trace.t ->
   Preload.Scheme.t ->
   instance
-(** Build a ready-to-step instance: scrambles a stale SIP plan, creates
-    the enclave, installs fault-plan hooks (non-Native only), attaches
-    the preloader, an optional circuit breaker (chained after the
-    scheme's hooks; never on Native) and the latency histograms.
-    [restart] (default [Cold]) picks the post-crash policy.  A fleet
-    passes the shared [epc] pool and per-tenant [owner] tag; both are
-    ignored for Native (which models unconstrained RAM and must not
-    contend for EPC). *)
+(** Build a ready-to-step instance under [spec]: scrambles a stale SIP
+    plan, creates the enclave, installs fault-plan hooks (non-Native
+    only), attaches the preloader, the optional online controller (on
+    the actuation slots the scheme left free), the optional circuit
+    breaker (chained after everything; never on Native) and the latency
+    histograms.  A fleet passes the shared [epc] pool and per-tenant
+    [owner] tag; both are ignored for Native (which models
+    unconstrained RAM and must not contend for EPC). *)
 
 val check_crash : instance -> unit
 (** Evaluate the crash schedule up to the instance's current clock:
@@ -185,14 +230,9 @@ val step :
     (SIP-checked or plain) access, advancing the instance's private
     clock. *)
 
-val finalize :
-  fault_plan:Fault_plan.t ->
-  input_label:string ->
-  trace:Workload.Trace.t ->
-  instance ->
-  result
+val finalize : spec:Spec.t -> trace:Workload.Trace.t -> instance -> result
 (** Drain background work at the instance's final clock and package the
-    {!result}. *)
+    {!result}.  Pass the same spec the instance was built with. *)
 
 val improvement : baseline:result -> result -> float
 (** Fractional improvement of a result over the baseline run

@@ -20,6 +20,7 @@ type resilience = {
   hedge_after : int option;
   restart : Runner.restart_policy;
   breaker : Preload.Breaker.config option;
+  online : Preload.Online.config option;
 }
 
 let no_resilience =
@@ -30,6 +31,7 @@ let no_resilience =
     hedge_after = None;
     restart = Runner.Cold;
     breaker = None;
+    online = None;
   }
 
 type config = {
@@ -157,6 +159,7 @@ let validate_config c =
   if z.retries > 0 && z.deadline = None then
     invalid_arg "Service: retries require a deadline";
   Option.iter (fun b -> ignore (Preload.Breaker.validate b)) z.breaker;
+  Option.iter (fun o -> ignore (Preload.Online.validate o)) z.online;
   c
 
 (* One exponential inter-arrival draw with the given mean, in whole
@@ -267,17 +270,21 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
   let z = c.resilience in
   let arrivals = arrival_times c in
   let len, event = event_source fault_plan trace in
-  let runner_config =
-    { Runner.epc_pages = c.epc_pages; costs = c.costs; log_capacity = 0 }
+  let spec =
+    Runner.Spec.make
+      ~config:
+        { Runner.epc_pages = c.epc_pages; costs = c.costs; log_capacity = 0 }
+      ~fault_plan ~input_label ~restart:z.restart ?breaker:z.breaker
+      ?online:z.online ()
   in
   (* [owner:i] keys each pool member's crash schedule (frame tags are
      unobservable in a private EPC pool, so this changes nothing for a
-     crash-free plan); the restart policy and optional breaker ride the
-     same instance plumbing the chaos runner uses. *)
+     crash-free plan); the restart policy and the optional breaker and
+     online controller ride the same instance plumbing the chaos runner
+     uses. *)
   let instances =
     Array.init c.pool (fun i ->
-        Runner.make_instance ~owner:i ~restart:z.restart ?breaker:z.breaker
-          ~config:runner_config ~fault_plan ~trace scheme)
+        Runner.make_instance ~owner:i ~spec ~trace scheme)
   in
   (* The service layer keeps its own timeline: [free_at.(i)] is when
      instance [i] finishes its current request, *including* the
@@ -385,8 +392,7 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
           if latency > c.slo then incr slo_violations))
     arrivals;
   let results =
-    Array.to_list
-      (Array.map (Runner.finalize ~fault_plan ~input_label ~trace) instances)
+    Array.to_list (Array.map (Runner.finalize ~spec ~trace) instances)
   in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
   let crashes = sum (fun (r : Runner.result) -> r.Runner.metrics.Metrics.crashes) in
@@ -397,7 +403,12 @@ let run ?(config = default_config) ?(fault_plan = Fault_plan.none)
     sum (fun (r : Runner.result) -> r.Runner.metrics.Metrics.crash_pages_lost)
   in
   {
-    scheme = Scheme.name scheme;
+    scheme =
+      (* Mirror the "+online" suffix the finalized runner results carry,
+         so the service table and its per-instance results agree. *)
+      (match results with
+      | r :: _ -> r.Runner.scheme
+      | [] -> Scheme.name scheme);
     fault_plan = fault_plan.Fault_plan.name;
     switchless = c.switchless;
     arrivals = arrival_name c.arrivals;
@@ -536,8 +547,18 @@ let summary_table cells =
           ("crashes", Table.Right);
         ]
   in
+  let online_suffix = "+online" in
   List.iter
     (fun (tag, o) ->
+      (* The caller's tag is the CLI spelling; carry the runner's
+         "+online" suffix over so the table row matches [o.scheme]. *)
+      let tag =
+        if
+          String.ends_with ~suffix:online_suffix o.scheme
+          && not (String.ends_with ~suffix:online_suffix tag)
+        then tag ^ online_suffix
+        else tag
+      in
       Table.add_row t
         [
           tag;

@@ -49,12 +49,18 @@ type resilience = {
       (** Post-crash policy for every pool instance. *)
   breaker : Preload.Breaker.config option;
       (** Attach a preload circuit breaker to every pool instance. *)
+  online : Preload.Online.config option;
+      (** Attach the online adaptive controller to every pool instance
+          (each learns from its own request stream; never on Native).
+          The outcome's [scheme] label gains the ["+online"] suffix the
+          per-instance results carry. *)
 }
 
 val no_resilience : resilience
 (** The inert knobs: no deadline, no retries, no hedging, cold restarts,
-    no breaker.  With a crash-free plan, {!run} under [no_resilience] is
-    field-for-field the pre-resilience service loop. *)
+    no breaker, no online controller.  With a crash-free plan, {!run}
+    under [no_resilience] is field-for-field the pre-resilience service
+    loop. *)
 
 type config = {
   epc_pages : int;  (** EPC frames per warm instance. *)

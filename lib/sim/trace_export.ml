@@ -244,6 +244,26 @@ let row_fields (r : Runner.result) =
         | Some k -> kind_str k) );
     ("resident_at_end", string_of_int d.Runner.resident_at_end);
     ("events_truncated", if d.Runner.events_truncated then "true" else "false");
+    ( "online_mode",
+      str
+        (match d.Runner.online with
+        | None -> "none"
+        | Some s -> Preload.Online.mode_name s.Preload.Online.final_mode) );
+    ( "online_transitions",
+      string_of_int
+        (match d.Runner.online with
+        | None -> 0
+        | Some s -> List.length s.Preload.Online.s_transitions) );
+    ( "online_phase_shifts",
+      string_of_int
+        (match d.Runner.online with
+        | None -> 0
+        | Some s -> s.Preload.Online.s_phase_shifts) );
+    ( "online_instrumented",
+      string_of_int
+        (match d.Runner.online with
+        | None -> 0
+        | Some s -> s.Preload.Online.s_instrumented) );
   ]
 
 let jsonl_row r = obj (row_fields r)
@@ -266,7 +286,8 @@ let csv_header =
       "scans"; "crashes"; "crash_pages_lost"; "dfp_stopped";
       "instrumentation_points"; "pending_preloads";
       "in_flight_preloads"; "in_flight_kind"; "resident_at_end";
-      "events_truncated";
+      "events_truncated"; "online_mode"; "online_transitions";
+      "online_phase_shifts"; "online_instrumented";
     ]
 
 let csv_cell value =

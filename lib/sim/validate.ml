@@ -404,11 +404,141 @@ let check_event_counters (r : Runner.result) =
          starts dones m.crashes);
   List.rev !violations
 
+(* Online-controller invariants: label conservation (every observed
+   access carries exactly one lifetime class label), transition-log
+   legality against the mode machine, and decision alignment — with a
+   complete event log, every mode switch and label flip must sit on a
+   service-scan timestamp, the only place the controller is allowed to
+   act. *)
+let check_online (r : Runner.result) =
+  match r.diagnostics.Runner.online with
+  | None -> []
+  | Some s ->
+    let module Online = Preload.Online in
+    let violations = ref [] in
+    let add x = violations := x :: !violations in
+    if s.Online.s_observed <> r.metrics.Metrics.accesses then
+      add
+        (v "online-conservation"
+           "controller observed %d access(es), metrics counted %d"
+           s.Online.s_observed r.metrics.Metrics.accesses);
+    let labelled =
+      List.fold_left
+        (fun acc (_, (c1, c2, c3)) -> acc + c1 + c2 + c3)
+        0 s.Online.per_site
+    in
+    if labelled <> s.Online.s_observed then
+      add
+        (v "online-conservation"
+           "per-site lifetime labels sum to %d, controller observed %d"
+           labelled s.Online.s_observed);
+    (match
+       Online.check_transitions ?pin:s.Online.s_config.Online.pin
+         s.Online.s_transitions
+     with
+    | None -> ()
+    | Some reason -> add (v "online-legal" "%s" reason));
+    let initial =
+      Option.value s.Online.s_config.Online.pin ~default:Online.Baseline
+    in
+    let expected_final =
+      List.fold_left
+        (fun _ (x : Online.transition) -> x.Online.to_mode)
+        initial s.Online.s_transitions
+    in
+    if s.Online.final_mode <> expected_final then
+      add
+        (v "online-legal" "final mode %s but transition log ends %s"
+           (Online.mode_name s.Online.final_mode)
+           (Online.mode_name expected_final));
+    if r.events <> [] && not r.diagnostics.Runner.events_truncated then begin
+      let scan_times = Hashtbl.create 64 in
+      List.iter
+        (fun e ->
+          match e with
+          | Event.Scan _ -> Hashtbl.replace scan_times (Event.at e) ()
+          | _ -> ())
+        r.events;
+      let at_scan t = Hashtbl.mem scan_times t in
+      List.iter
+        (fun (x : Online.transition) ->
+          if not (at_scan x.Online.at) then
+            add
+              (v "online-scan-aligned"
+                 "mode switch %s -> %s at t=%d is not a scan timestamp"
+                 (Online.mode_name x.Online.from_mode)
+                 (Online.mode_name x.Online.to_mode)
+                 x.Online.at))
+        s.Online.s_transitions;
+      List.iter
+        (fun (x : Online.label_change) ->
+          if not (at_scan x.Online.lc_at) then
+            add
+              (v "online-scan-aligned"
+                 "label flip of site %d at t=%d is not a scan timestamp"
+                 x.Online.lc_site x.Online.lc_at))
+        s.Online.s_label_changes
+    end;
+    List.rev !violations
+
+(* The oracle identity: a controller pinned to a static scheme's mode
+   must reproduce that scheme's run field for field.  The only legal
+   differences are the "+online" scheme label and the controller summary
+   in the diagnostics; everything measurable — cycles, every metric
+   counter, the event log, the end-of-run channel state — must agree. *)
+let check_online_oracle ~(pinned : Runner.result) ~(static : Runner.result) =
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  let expect_int name a b =
+    if a <> b then add (v "online-oracle" "%s: pinned %d <> static %d" name a b)
+  in
+  let expect_str name a b =
+    if a <> b then
+      add (v "online-oracle" "%s: pinned %S <> static %S" name a b)
+  in
+  expect_str "workload" pinned.Runner.workload static.Runner.workload;
+  expect_str "input" pinned.Runner.input static.Runner.input;
+  expect_str "fault_plan" pinned.Runner.fault_plan static.Runner.fault_plan;
+  expect_int "cycles" pinned.Runner.cycles static.Runner.cycles;
+  expect_int "final_now" pinned.Runner.final_now static.Runner.final_now;
+  expect_int "epc_capacity" pinned.Runner.epc_capacity
+    static.Runner.epc_capacity;
+  expect_int "instrumentation_points" pinned.Runner.instrumentation_points
+    static.Runner.instrumentation_points;
+  if pinned.Runner.dfp_stopped <> static.Runner.dfp_stopped then
+    add
+      (v "online-oracle" "dfp_stopped: pinned %b <> static %b"
+         pinned.Runner.dfp_stopped static.Runner.dfp_stopped);
+  if pinned.Runner.metrics <> static.Runner.metrics then
+    add (v "online-oracle" "metric counters diverge");
+  if pinned.Runner.events <> static.Runner.events then
+    add
+      (v "online-oracle" "event logs diverge (%d vs %d events)"
+         (List.length pinned.Runner.events)
+         (List.length static.Runner.events));
+  if pinned.Runner.fault_latency <> static.Runner.fault_latency then
+    add (v "online-oracle" "fault-latency histograms diverge");
+  let dp = pinned.Runner.diagnostics and ds = static.Runner.diagnostics in
+  expect_int "pending_preloads" dp.Runner.pending_preloads
+    ds.Runner.pending_preloads;
+  expect_int "in_flight_preloads" dp.Runner.in_flight_preloads
+    ds.Runner.in_flight_preloads;
+  expect_int "resident_at_end" dp.Runner.resident_at_end
+    ds.Runner.resident_at_end;
+  expect_int "restarts" dp.Runner.restarts ds.Runner.restarts;
+  expect_int "breaker_trips" dp.Runner.breaker_trips ds.Runner.breaker_trips;
+  if dp.Runner.in_flight_kind <> ds.Runner.in_flight_kind then
+    add (v "online-oracle" "in-flight load kind diverges");
+  if dp.Runner.events_truncated <> ds.Runner.events_truncated then
+    add (v "online-oracle" "events_truncated diverges");
+  List.rev !violations
+
 let check (r : Runner.result) =
   check_accounting r
   @ check_non_negative r
   @ check_conservation r
   @ check_fault_latency r
+  @ check_online r
   @
   (* Event-derived checks need the whole history: skip them when logging
      was off or the ring dropped its oldest events. *)

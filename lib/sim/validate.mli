@@ -49,7 +49,29 @@ val check_events :
 
 val check : Runner.result -> violation list
 (** All applicable checks for one finished run.  Event-derived checks are
-    skipped when the run logged nothing or the log ring overflowed. *)
+    skipped when the run logged nothing or the log ring overflowed.
+    Runs with an online controller attached additionally pass
+    {!check_online}. *)
+
+val check_online : Runner.result -> violation list
+(** Online-controller invariants (empty for runs without a controller):
+    label conservation — the controller observed exactly
+    [metrics.accesses] accesses and its lifetime per-site class totals
+    sum back to that count; transition-log legality
+    ({!Preload.Online.check_transitions} under the config's pin, plus
+    the final mode agreeing with the log); and, when a complete event
+    log is available, scan alignment — every mode switch and label flip
+    carries a service-scan timestamp. *)
+
+val check_online_oracle :
+  pinned:Runner.result -> static:Runner.result -> violation list
+(** The oracle identity behind the online design: a controller pinned to
+    a static scheme's mode ([pin = Some Baseline] vs [Scheme.Baseline],
+    [pin = Some Dfp] vs the default DFP scheme) must reproduce the
+    static run field for field — cycles, every metric counter, the event
+    log, fault-latency histograms and end-of-run channel state.  Only
+    the scheme label (which carries ["+online"]) and the controller
+    summary may differ. *)
 
 val check_fleet :
   epc_pages:int ->

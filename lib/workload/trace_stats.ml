@@ -7,7 +7,60 @@ type t = {
   sequential_pairs : int;
   same_page_pairs : int;
   run_length_mean : float;
+  hot_persistence : float;
 }
+
+(* Hot-page persistence: split the stream into equal windows, take each
+   window's most-accessed pages, and measure how much of one window's
+   hot set survives into the next.  1.0 = one stable hot set for the
+   whole run (residency-friendly; an online classifier can trust old
+   labels), ~0 = the hot set turns over every window (stream- or
+   scan-like; labels go stale as fast as they are learned). *)
+let hot_windows = 16
+let hot_top = 64
+
+let hot_persistence_of arena ~events =
+  if events = 0 then 0.0
+  else begin
+    let window_len = max 1 ((events + hot_windows - 1) / hot_windows) in
+    let counts = Array.init hot_windows (fun _ -> Hashtbl.create 64) in
+    let idx = ref 0 in
+    Trace_arena.iter arena ~f:(fun ~site:_ ~vpage ~compute:_ ~thread:_ ->
+        let w = min (hot_windows - 1) (!idx / window_len) in
+        incr idx;
+        let h = counts.(w) in
+        Hashtbl.replace h vpage
+          (1 + Option.value (Hashtbl.find_opt h vpage) ~default:0));
+    let top h =
+      (* Total order (count desc, then page asc), so hash-fold order
+         cannot leak into the result. *)
+      let sorted =
+        List.sort
+          (fun (p1, n1) (p2, n2) ->
+            if n1 <> n2 then compare n2 n1 else compare p1 p2)
+          (Hashtbl.fold (fun page n acc -> (page, n) :: acc) h [])
+      in
+      List.filteri (fun i _ -> i < hot_top) sorted |> List.map fst
+    in
+    let tops = Array.map top counts in
+    let overlaps = ref [] in
+    Array.iteri
+      (fun i t ->
+        if i + 1 < hot_windows then
+          match (t, tops.(i + 1)) with
+          | [], _ | _, [] -> ()
+          | t, t' ->
+            let set = Hashtbl.create hot_top in
+            List.iter (fun p -> Hashtbl.replace set p ()) t';
+            let inter = List.length (List.filter (Hashtbl.mem set) t) in
+            overlaps :=
+              (float_of_int inter /. float_of_int (List.length t))
+              :: !overlaps)
+      tops;
+    match !overlaps with
+    | [] -> 0.0
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  end
 
 let analyse trace =
   let arena = Trace_arena.compile trace in
@@ -62,6 +115,7 @@ let analyse trace =
     same_page_pairs = !same_page_pairs;
     run_length_mean =
       (if !runs = 0 then 0.0 else float_of_int !run_pages /. float_of_int !runs);
+    hot_persistence = hot_persistence_of arena ~events:!events;
   }
 
 let miss_ratio trace ~epc_pages =
@@ -104,6 +158,7 @@ let miss_ratio_curve trace ~epc_pages =
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>events=%d distinct-pages=%d sites=%d threads=%d compute=%d@ \
-     sequential-pairs=%d same-page-pairs=%d mean-run=%.2f@]"
+     sequential-pairs=%d same-page-pairs=%d mean-run=%.2f \
+     hot-persistence=%.2f@]"
     t.events t.distinct_pages t.sites t.threads t.total_compute
-    t.sequential_pairs t.same_page_pairs t.run_length_mean
+    t.sequential_pairs t.same_page_pairs t.run_length_mean t.hot_persistence

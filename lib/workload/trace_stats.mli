@@ -21,6 +21,16 @@ type t = {
           repeat terminates the run in progress (it neither extends it
           nor bridges it across the repeat: [A, A, A+1] is two runs) and
           the repeated page starts a fresh candidate run. *)
+  hot_persistence : float;
+      (** How much of one window's hot set survives into the next: the
+          stream is split into 16 equal windows, each window's top-64
+          pages by access count are its hot set (ties to the lower page
+          number), and this is the mean of
+          [|top(w) ∩ top(w+1)| / |top(w)|] over consecutive non-empty
+          windows (0.0 with fewer than two non-empty windows).  1.0 = a
+          stable hot set the whole run; near 0 = the hot set turns over
+          every window, so learned page labels go stale as fast as an
+          online classifier can earn them. *)
 }
 
 val analyse : Trace.t -> t

@@ -153,7 +153,7 @@ let run_scheme_best_case plan scheme =
     Experiments.trace_of Experiments.quick "best-case" ~input:(Input.Ref 0)
   in
   let config = { Runner.default_config with epc_pages = 1024 } in
-  Runner.run ~config ~fault_plan:plan ~scheme trace
+  Runner.run ~spec:(Runner.Spec.make ~config ~fault_plan:plan ()) ~scheme trace
 
 let run_best_case plan = run_scheme_best_case plan Preload.Scheme.dfp_stop
 

@@ -77,7 +77,7 @@ let plan_pool = Fault_plan.none :: Fault_plan.bank
 
 let singleton_diff ~seed ~plan scheme =
   let trace = trace_for seed in
-  let solo = Runner.run ~config ~fault_plan:plan ~scheme trace in
+  let solo = Runner.run ~spec:(Runner.Spec.make ~config ~fault_plan:plan ()) ~scheme trace in
   let outcome =
     Fleet.run ~config:(fleet_config Fleet.Shared) ~fault_plan:plan
       [ Fleet.tenant ~label:"solo" ~scheme trace ]

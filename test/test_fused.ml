@@ -90,9 +90,9 @@ let check_equal ~ctx (fused : Runner.result) (solo : Runner.result) =
 
 let run_diff ~seed ~plan ~schemes =
   let trace = trace_for seed in
-  let fused = Runner.run_fused ~config ~fault_plan:plan ~schemes trace in
+  let fused = Runner.run_fused ~spec:(Runner.Spec.make ~config ~fault_plan:plan ()) ~schemes trace in
   let solo =
-    List.map (fun s -> Runner.run ~config ~fault_plan:plan ~scheme:s trace) schemes
+    List.map (fun s -> Runner.run ~spec:(Runner.Spec.make ~config ~fault_plan:plan ()) ~scheme:s trace) schemes
   in
   checki "result count" (List.length solo) (List.length fused);
   List.iteri
@@ -126,8 +126,8 @@ let test_all_plans_mixed_schemes () =
 let test_singleton_fusion_is_run () =
   (* A 1-scheme fusion must also be [run] itself, trivially. *)
   let trace = trace_for 3 in
-  let r = Runner.run ~config ~scheme:Scheme.dfp_default trace in
-  match Runner.run_fused ~config ~schemes:[ Scheme.dfp_default ] trace with
+  let r = Runner.run ~spec:(Runner.Spec.make ~config ()) ~scheme:Scheme.dfp_default trace in
+  match Runner.run_fused ~spec:(Runner.Spec.make ~config ()) ~schemes:[ Scheme.dfp_default ] trace with
   | [ r' ] -> checkb "singleton equal" true (r = r')
   | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs)
 

@@ -206,7 +206,10 @@ let test_runner_crash_restart_bookkeeping () =
   List.iter
     (fun restart ->
       let r =
-        Runner.run ~config:runner_config ~fault_plan:crash_test_plan ~restart
+        Runner.run
+          ~spec:
+            (Runner.Spec.make ~config:runner_config
+               ~fault_plan:crash_test_plan ~restart ())
           ~scheme:Scheme.dfp_stop trace
       in
       let label = Runner.restart_policy_name restart in
@@ -223,7 +226,9 @@ let test_runner_crash_restart_bookkeeping () =
 
 let test_runner_crash_deterministic () =
   let go () =
-    Runner.run ~config:runner_config ~fault_plan:crash_test_plan
+    Runner.run
+      ~spec:
+        (Runner.Spec.make ~config:runner_config ~fault_plan:crash_test_plan ())
       ~scheme:Scheme.dfp_stop trace
   in
   let a = go () and b = go () in
@@ -235,7 +240,10 @@ let test_runner_crash_deterministic () =
 
 let test_runner_breaker_diagnostics () =
   let braked =
-    Runner.run ~config:runner_config ~breaker:Breaker.default_config
+    Runner.run
+      ~spec:
+        (Runner.Spec.make ~config:runner_config
+           ~breaker:Breaker.default_config ())
       ~scheme:Scheme.dfp_default trace
   in
   checkb "breaker state surfaced" true
@@ -244,7 +252,7 @@ let test_runner_breaker_diagnostics () =
     (braked.Runner.diagnostics.Runner.breaker_trips >= 0);
   Validate.assert_valid braked;
   let plain =
-    Runner.run ~config:runner_config ~scheme:Scheme.dfp_default trace
+    Runner.run ~spec:(Runner.Spec.make ~config:runner_config ()) ~scheme:Scheme.dfp_default trace
   in
   checkb "no breaker, no state" true
     (plain.Runner.diagnostics.Runner.breaker_state = None);
@@ -252,10 +260,15 @@ let test_runner_breaker_diagnostics () =
     plain.Runner.metrics.Metrics.preloads_rejected_breaker
 
 let test_native_immune_to_crash_and_breaker () =
-  let plain = Runner.run ~config:runner_config ~scheme:Scheme.Native trace in
+  let plain =
+    Runner.run ~spec:(Runner.Spec.make ~config:runner_config ()) ~scheme:Scheme.Native trace
+  in
   let stressed =
-    Runner.run ~config:runner_config ~fault_plan:crash_test_plan
-      ~breaker:Breaker.default_config ~scheme:Scheme.Native trace
+    Runner.run
+      ~spec:
+        (Runner.Spec.make ~config:runner_config ~fault_plan:crash_test_plan
+           ~breaker:Breaker.default_config ())
+      ~scheme:Scheme.Native trace
   in
   checki "native cycles unmoved" plain.Runner.cycles stressed.Runner.cycles;
   checki "native never crashes" 0 stressed.Runner.metrics.Metrics.crashes;
@@ -283,6 +296,7 @@ let sconfig =
         hedge_after = Some 15_000_000;
         restart = Runner.Rewarm;
         breaker = Some Breaker.default_config;
+        online = None;
       };
   }
 

@@ -23,7 +23,7 @@ let trace name =
   in
   model ~epc_pages:epc ~input:Input.Train
 
-let run name scheme = Runner.run ~config ~scheme (trace name)
+let run name scheme = Runner.run ~spec:(Runner.Spec.make ~config ()) ~scheme (trace name)
 
 let plan_for name =
   let profile =
@@ -133,7 +133,7 @@ let test_every_scheme_validates () =
   let config = { config with Runner.log_capacity = 1 lsl 18 } in
   List.iter
     (fun scheme ->
-      let r = Runner.run ~config ~scheme (trace "mixed-blood") in
+      let r = Runner.run ~spec:(Runner.Spec.make ~config ()) ~scheme (trace "mixed-blood") in
       checki
         (r.scheme ^ ": final now = total cycles")
         (Metrics.total_cycles r.metrics) r.final_now;
@@ -184,7 +184,7 @@ let test_queue_stress_latency_fits () =
   let s = { Sim.Macro_bench.smoke with events = 20_000 } in
   let stress = Sim.Macro_bench.queue_stress s in
   let config = { Runner.default_config with epc_pages = s.epc_pages } in
-  let r = Runner.run ~config ~scheme:Scheme.dfp_default stress in
+  let r = Runner.run ~spec:(Runner.Spec.make ~config ()) ~scheme:Scheme.dfp_default stress in
   checkb "stress run faults at all" true (Metrics.total_faults r.metrics > 0);
   List.iter
     (fun (kind, h) ->
@@ -454,8 +454,8 @@ let test_markov_scheme_via_runner () =
      several timesteps, so the second sweep replays the first's fault
      chain. *)
   let trace = Workload.Spec.lbm ~epc_pages:epc ~input:(Input.Ref 0) in
-  let base = Runner.run ~config ~scheme:Scheme.Baseline trace in
-  let m = Runner.run ~config ~scheme:(Scheme.markov ~table_pages:(8 * epc) ~degree:4) trace in
+  let base = Runner.run ~spec:(Runner.Spec.make ~config ()) ~scheme:Scheme.Baseline trace in
+  let m = Runner.run ~spec:(Runner.Spec.make ~config ()) ~scheme:(Scheme.markov ~table_pages:(8 * epc) ~degree:4) trace in
   Alcotest.(check string) "scheme name" "markov(4096,4)" m.scheme;
   checkb "repeated sweeps are learnable" true
     (Runner.improvement ~baseline:base m > 0.0)

@@ -196,7 +196,7 @@ let run_didactic scheme =
   let config =
     { Runner.default_config with epc_pages = 32; log_capacity = 4096 }
   in
-  Runner.run ~config ~scheme (didactic_trace ())
+  Runner.run ~spec:(Runner.Spec.make ~config ()) ~scheme (didactic_trace ())
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace export                                                 *)
